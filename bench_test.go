@@ -1,0 +1,241 @@
+package tsteiner
+
+// Benchmarks regenerating every table and figure of the paper at reduced
+// scale (go test -bench=.). Each benchmark reports the headline numbers of
+// its table/figure via b.ReportMetric so the series the paper reports are
+// visible straight from the bench output; the full-scale runs are driven
+// by cmd/experiments.
+//
+// The expensive shared state (baseline flows, the trained evaluator) is
+// built once and reused by every benchmark.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"tsteiner/internal/core"
+	"tsteiner/internal/exp"
+	"tsteiner/internal/train"
+)
+
+// benchScale shrinks the ten designs so the whole bench suite finishes in
+// minutes on one core while keeping every experiment's shape.
+const benchScale = 0.12
+
+var (
+	suiteOnce sync.Once
+	suiteVal  *exp.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *exp.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		cfg := exp.Default()
+		cfg.Scale = benchScale
+		cfg.AugmentVariants = 1
+		cfg.RandomTrials = 4
+		cfg.LargeDesignTrials = 2
+		cfg.Train = train.Options{Epochs: 60, LR: 1e-2, Seed: 1}
+		suiteVal, suiteErr = exp.NewSuite(cfg)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteVal
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.TotalTrain.CellNodes), "trainCells")
+		b.ReportMetric(float64(r.TotalTrain.Steiner+r.TotalTest.Steiner), "steinerNodes")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		// The paper's headline: WNS and TNS ratios below 1.0.
+		b.ReportMetric(r.AvgRatio[0], "wnsRatio")
+		b.ReportMetric(r.AvgRatio[1], "tnsRatio")
+		b.ReportMetric(r.AvgRatio[3], "wlRatio")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgTrain.ArrivalAll, "r2TrainAll")
+		b.ReportMetric(r.AvgTest.ArrivalAll, "r2TestAll")
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgTotalRatio, "totalRatio")
+		b.ReportMetric(r.AvgDRRatio, "drRatio")
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		mean := 0.0
+		for _, v := range r.All {
+			mean += v
+		}
+		b.ReportMetric(mean/float64(len(r.All)), "meanTNSratio")
+		b.ReportMetric(float64(len(r.All)), "trials")
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgTSteinerTNS, "tsTNSratio")
+		b.ReportMetric(r.AvgRandomTNS, "randTNSratio")
+	}
+}
+
+func BenchmarkStudyConsistency(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Consistency([]string{"spm", "APU"}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Avg, "pearsonTNS")
+	}
+}
+
+func BenchmarkStudyTimingDrivenRoute(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.TimingDrivenRoute([]string{"spm", "APU"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStudySteinerAwareness(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.SteinerAwareness()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		var full, blind float64
+		for _, row := range r.Rows {
+			full += row.FullAll
+			blind += row.BlindAll
+		}
+		n := float64(len(r.Rows))
+		b.ReportMetric(full/n, "r2Full")
+		b.ReportMetric(blind/n, "r2Blind")
+	}
+}
+
+func BenchmarkStudyPriorWorkPD(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.PDComparison([]string{"spm"}, []float64{0.3, 0.7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches: the design choices DESIGN.md calls out, each compared
+// on a small design through true sign-off.
+
+func benchAblation(b *testing.B, mutate func(*core.Options)) {
+	s := benchSuite(b)
+	// The Ablations API runs all variants; for per-variant benches, run
+	// one design with one mutated option set.
+	for i := 0; i < b.N; i++ {
+		r, err := s.AblationOne("spm", mutate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TrueTNS, "trueTNS")
+		b.ReportMetric(float64(r.Iterations), "iters")
+	}
+}
+
+func BenchmarkAblationSmoothing(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.Gamma = 0.05 })
+}
+
+func BenchmarkAblationStepsize(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.FixedTheta = 4.0 })
+}
+
+func BenchmarkAblationGreedy(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.AlwaysAccept = true })
+}
+
+func BenchmarkAblationRawGradient(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.RawGradient = true })
+}
+
+func BenchmarkAblationPaperConfig(b *testing.B) {
+	benchAblation(b, func(o *core.Options) {})
+}

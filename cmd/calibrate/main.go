@@ -1,0 +1,78 @@
+// Command calibrate reports the endpoint arrival-time distribution of a
+// benchmark under the baseline flow — the numbers used to choose each
+// design's clock constraint (see DESIGN.md §6.6) and useful when adding
+// new benchmarks or retuning the technology.
+//
+// Usage:
+//
+//	calibrate [-scale 1.0] [-designs a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"tsteiner/internal/flow"
+	"tsteiner/internal/metrics"
+	"tsteiner/internal/report"
+	"tsteiner/internal/synth"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1.0, "benchmark scale factor")
+		designs = flag.String("designs", "", "comma-separated subset (default: all)")
+	)
+	flag.Parse()
+
+	specs := synth.Benchmarks()
+	if *designs != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*designs, ",") {
+			want[n] = true
+		}
+		var sel []synth.Spec
+		for _, s := range specs {
+			if want[s.Name] {
+				sel = append(sel, s)
+			}
+		}
+		specs = sel
+	}
+
+	t := report.Table{
+		Title: "endpoint arrival distribution (baseline flow)",
+		Header: []string{"Benchmark", "clock", "endpoints", "max", "p90", "p60",
+			"p40", "WNS", "vio%"},
+	}
+	for _, spec := range specs {
+		log.Printf("running %s", spec.Name)
+		p, err := flow.PrepareBenchmark(spec.Name, *scale, flow.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, timing, err := flow.SignoffTiming(p, p.Forest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arr := timing.EndpointArrival
+		vioPct := 100 * float64(rep.Vios) / float64(len(arr))
+		t.AddRow(spec.Name,
+			report.F(p.Design.ClockPeriod, 2),
+			report.I(len(arr)),
+			report.F(metrics.Quantile(arr, 1.0), 2),
+			report.F(metrics.Quantile(arr, 0.9), 2),
+			report.F(metrics.Quantile(arr, 0.6), 2),
+			report.F(metrics.Quantile(arr, 0.4), 2),
+			report.F(rep.WNS, 3),
+			report.F(vioPct, 1))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nguideline: set each clock near p60 so 30-60% of endpoints violate,")
+	fmt.Println("matching the violation ratios of the paper's Table II designs.")
+}

@@ -1,0 +1,225 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale 1.0] [-designs a,b,c] [-out results.txt]
+//	            [-table 1|2|3|4] [-figure 2|5] [-ablations] [-all]
+//	            [-trials 10] [-epochs 150] [-model model.json]
+//
+// Without -table/-figure/-ablations, -all is assumed. Results are written
+// to stdout and, when -out is given, to the file as well.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"tsteiner/internal/exp"
+)
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 1.0, "benchmark scale factor (1.0 = paper sizes)")
+		designs   = flag.String("designs", "", "comma-separated benchmark subset (default: all ten)")
+		outPath   = flag.String("out", "", "also write results to this file")
+		table     = flag.Int("table", 0, "regenerate one table (1-4)")
+		figure    = flag.Int("figure", 0, "regenerate one figure (2 or 5)")
+		ablations = flag.Bool("ablations", false, "run refinement ablations")
+		studies   = flag.Bool("studies", false, "run the consistency and prior-work (PD) studies")
+		all       = flag.Bool("all", false, "run every table, figure, the ablations and the studies")
+		trials    = flag.Int("trials", 10, "random-move trials per design (figures)")
+		epochs    = flag.Int("epochs", 0, "override training epochs")
+		iters     = flag.Int("iters", 0, "override max refinement iterations N")
+		augment   = flag.Int("augment", -1, "override perturbed training variants per design")
+		trust     = flag.Float64("trust", 0, "override trust radius (DBU)")
+		modelPath = flag.String("model", "", "save the trained evaluator to this path")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	cfg := exp.Default()
+	cfg.Scale = *scale
+	if *designs != "" {
+		cfg.Designs = strings.Split(*designs, ",")
+	}
+	cfg.RandomTrials = *trials
+	if *epochs > 0 {
+		cfg.Train.Epochs = *epochs
+	}
+	if *iters > 0 {
+		cfg.Refine.N = *iters
+	}
+	if *augment >= 0 {
+		cfg.AugmentVariants = *augment
+	}
+	if *trust > 0 {
+		cfg.Refine.TrustRadiusDBU = *trust
+	}
+	if !*quiet {
+		cfg.Log = func(format string, args ...any) {
+			log.Printf(format, args...)
+		}
+	}
+
+	suite, err := exp.NewSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	runAll := *all || (*table == 0 && *figure == 0 && !*ablations && !*studies)
+	emit := func(name string, run func(io.Writer) error) {
+		fmt.Fprintf(out, "\n")
+		if err := run(out); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	if runAll || *table == 1 {
+		emit("table 1", func(w io.Writer) error {
+			r, err := suite.Table1()
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	}
+	if runAll || *table == 2 {
+		emit("table 2", func(w io.Writer) error {
+			r, err := suite.Table2()
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	}
+	if runAll || *table == 3 {
+		emit("table 3", func(w io.Writer) error {
+			r, err := suite.Table3()
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	}
+	if runAll || *table == 4 {
+		emit("table 4", func(w io.Writer) error {
+			r, err := suite.Table4()
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	}
+	if runAll || *figure == 2 {
+		emit("figure 2", func(w io.Writer) error {
+			r, err := suite.Figure2()
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	}
+	if runAll || *figure == 5 {
+		emit("figure 5", func(w io.Writer) error {
+			r, err := suite.Figure5()
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	}
+	if runAll || *ablations {
+		emit("ablations", func(w io.Writer) error {
+			// Ablate on small/medium designs to keep the sweep cheap.
+			names := []string{"spm", "cic_decimator", "APU"}
+			if len(cfg.Designs) > 0 {
+				names = intersect(names, cfg.Designs)
+			}
+			if len(names) == 0 {
+				fmt.Fprintln(w, "ablations skipped: no small designs in -designs")
+				return nil
+			}
+			r, err := suite.Ablations(names)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	}
+
+	if runAll || *studies {
+		names := []string{"spm", "cic_decimator", "APU"}
+		if len(cfg.Designs) > 0 {
+			names = intersect(names, cfg.Designs)
+		}
+		if len(names) > 0 {
+			emit("consistency study", func(w io.Writer) error {
+				r, err := suite.Consistency(names, 6)
+				if err != nil {
+					return err
+				}
+				return r.Render(w)
+			})
+			emit("pd comparison", func(w io.Writer) error {
+				r, err := suite.PDComparison(names, []float64{0.3, 0.7})
+				if err != nil {
+					return err
+				}
+				return r.Render(w)
+			})
+			emit("timing-driven routing", func(w io.Writer) error {
+				r, err := suite.TimingDrivenRoute(names)
+				if err != nil {
+					return err
+				}
+				return r.Render(w)
+			})
+			emit("steiner awareness", func(w io.Writer) error {
+				r, err := suite.SteinerAwareness()
+				if err != nil {
+					return err
+				}
+				return r.Render(w)
+			})
+		}
+	}
+
+	if *modelPath != "" {
+		m, err := suite.Model()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Save(*modelPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("model saved to %s", *modelPath)
+	}
+}
+
+func intersect(a, b []string) []string {
+	set := map[string]bool{}
+	for _, x := range b {
+		set[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Command runflow executes the physical-design pipeline on a user-supplied
+// design (JSON, as written by designio/cmd tsteiner -save-design) instead
+// of a bundled benchmark: placement (unless the file carries positions),
+// Steiner construction, optional buffering, routing and sign-off STA.
+//
+// Usage:
+//
+//	runflow -design mydesign.json [-replace] [-buffer] [-svg out.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tsteiner/internal/bufins"
+	"tsteiner/internal/designio"
+	"tsteiner/internal/flow"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/viz"
+)
+
+func main() {
+	var (
+		path    = flag.String("design", "", "design JSON path (required)")
+		replace = flag.Bool("replace", false, "re-place the design even if it carries positions")
+		buffer  = flag.Bool("buffer", false, "apply fanout-driven buffer insertion first")
+		svgPath = flag.String("svg", "", "write the layout SVG here")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := lib.Default()
+	d, err := designio.ReadJSON(f, l)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s: %d cells, %d nets, %d endpoints",
+		d.Name, len(d.Cells), len(d.Nets), len(d.Endpoints()))
+
+	if *buffer {
+		buffered, st, err := bufins.Insert(d, bufins.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("buffered %d nets with %d buffers (max tree depth %d)",
+			st.NetsBuffered, st.BuffersInserted, st.TreeDepthMax)
+		d = buffered
+	}
+
+	cfg := flow.DefaultConfig()
+	var prepared *flow.Prepared
+	if *replace || !hasPlacement(d) {
+		prepared, err = flow.Prepare(d, l, cfg)
+	} else {
+		// Keep the file's placement: skip the placer by preparing with
+		// the existing positions (Prepare always places, so build the
+		// forest directly through a placement-preserving config).
+		prepared, err = flow.PrepareKeepPlacement(d, l, cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := flow.Signoff(prepared, prepared.Forest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sign-off: WNS %.3f ns, TNS %.2f ns, %d violations\n", rep.WNS, rep.TNS, rep.Vios)
+	fmt.Printf("routing:  WL %d DBU, %d vias, %d DRVs, overflow %d\n",
+		rep.WirelengthDBU, rep.Vias, rep.DRVs, rep.Overflow)
+
+	if *svgPath != "" {
+		out, err := os.Create(*svgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		if err := viz.WriteLayoutSVG(out, prepared.Design, prepared.Forest, viz.DefaultLayoutOptions()); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("layout written to %s", *svgPath)
+	}
+}
+
+// hasPlacement reports whether any cell carries a non-origin position.
+func hasPlacement(d *netlist.Design) bool {
+	if d.Die.Empty() || d.Die.Width() == 0 {
+		return false
+	}
+	for ci := range d.Cells {
+		p := d.Cells[ci].Pos
+		if p.X != 0 || p.Y != 0 {
+			return true
+		}
+	}
+	return false
+}

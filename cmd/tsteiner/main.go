@@ -1,0 +1,193 @@
+// Command tsteiner runs the full physical-design flow on one benchmark,
+// with or without TSteiner refinement, and prints the sign-off comparison.
+//
+// Usage:
+//
+//	tsteiner -design spm [-scale 1.0] [-baseline-only]
+//	         [-epochs 150] [-iters 25] [-model model.json] [-seed 2023]
+//
+// When -model names an existing file the evaluator is loaded from it;
+// otherwise a fresh evaluator is trained on this design (plus perturbed
+// variants) before refinement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tsteiner/internal/core"
+	"tsteiner/internal/designio"
+	"tsteiner/internal/flow"
+	"tsteiner/internal/gnn"
+	"tsteiner/internal/report"
+	"tsteiner/internal/train"
+	"tsteiner/internal/viz"
+)
+
+func main() {
+	var (
+		design       = flag.String("design", "spm", "benchmark name (see internal/synth)")
+		scale        = flag.Float64("scale", 1.0, "benchmark scale factor")
+		baselineOnly = flag.Bool("baseline-only", false, "run only the baseline flow")
+		epochs       = flag.Int("epochs", 150, "evaluator training epochs")
+		iters        = flag.Int("iters", 25, "max refinement iterations N")
+		rounds       = flag.Int("rounds", 1, "successive refinement rounds (re-anchored trust region)")
+		modelPath    = flag.String("model", "", "load/save the evaluator at this path")
+		seed         = flag.Int64("seed", 2023, "random seed")
+		svgPath      = flag.String("svg", "", "write a layout SVG (refined trees) to this path")
+		forestPath   = flag.String("save-forest", "", "write the refined Steiner forest JSON to this path")
+		designPath   = flag.String("save-design", "", "write the design JSON to this path")
+		verilogPath  = flag.String("save-verilog", "", "write a structural Verilog view to this path")
+		trace        = flag.Bool("trace", false, "print the per-iteration refinement trace")
+	)
+	flag.Parse()
+
+	log.Printf("running baseline flow on %s (scale %.2f)", *design, *scale)
+	smp, err := train.BuildSample(*design, *scale, true, flow.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport("baseline", smp.Baseline)
+	if *designPath != "" {
+		if err := writeFile(*designPath, func(w *os.File) error {
+			return designio.WriteJSON(w, smp.Prepared.Design)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("design written to %s", *designPath)
+	}
+	if *verilogPath != "" {
+		if err := writeFile(*verilogPath, func(w *os.File) error {
+			return designio.WriteVerilog(w, smp.Prepared.Design)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("verilog written to %s", *verilogPath)
+	}
+	if *baselineOnly {
+		return
+	}
+
+	var m *gnn.Model
+	if *modelPath != "" {
+		if loaded, err := gnn.Load(*modelPath); err == nil {
+			log.Printf("loaded evaluator from %s", *modelPath)
+			m = loaded
+		}
+	}
+	if m == nil {
+		log.Printf("training evaluator (%d epochs)", *epochs)
+		samples := []*train.Sample{smp}
+		aug, err := train.Augment(smp, 2, 10, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples = append(samples, aug...)
+		m = gnn.NewModel(gnn.DefaultConfig(), *seed)
+		opt := train.DefaultOptions()
+		opt.Epochs = *epochs
+		opt.Seed = *seed
+		if _, err := train.Train(m, samples, opt); err != nil {
+			log.Fatal(err)
+		}
+		if *modelPath != "" {
+			if err := m.Save(*modelPath); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("saved evaluator to %s", *modelPath)
+		}
+	}
+	sc, err := train.Evaluate(m, smp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("evaluator R²: all-pins %.4f, endpoints %.4f", sc.ArrivalAll, sc.ArrivalEnds)
+
+	opt := core.DefaultOptions()
+	opt.N = *iters
+	ref, err := core.NewRefiner(m, smp.Batch, smp.Prepared, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("refining Steiner points (N=%d, rounds=%d)", opt.N, *rounds)
+	res, err := ref.RefineRounds(*rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("refinement: %d iterations in %.1fs, evaluator WNS %.3f→%.3f TNS %.1f→%.1f",
+		res.Iterations, res.RuntimeSec, res.InitWNS, res.BestWNS, res.InitTNS, res.BestTNS)
+	if *trace {
+		tt := report.Table{
+			Title:  "refinement trace (evaluator metrics per iteration)",
+			Header: []string{"iter", "WNS", "TNS", "theta", "accepted"},
+		}
+		for i, h := range res.History {
+			acc := ""
+			if h.Accepted {
+				acc = "yes"
+			}
+			tt.AddRow(report.I(i+1), report.F(h.WNS, 4), report.F(h.TNS, 2),
+				report.F(h.Theta, 3), acc)
+		}
+		if err := tt.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rep, err := flow.Signoff(smp.Prepared, res.Forest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.TSteinerSec = res.RuntimeSec
+	printReport("tsteiner", rep)
+
+	t := report.Table{
+		Title:  "sign-off comparison",
+		Header: []string{"flow", "WNS", "TNS", "#Vios", "WL", "#Vias", "#DRV"},
+	}
+	t.AddRow("baseline", report.F(smp.Baseline.WNS, 3), report.F(smp.Baseline.TNS, 1),
+		report.I(smp.Baseline.Vios), fmt.Sprint(smp.Baseline.WirelengthDBU),
+		report.I(smp.Baseline.Vias), report.I(smp.Baseline.DRVs))
+	t.AddRow("tsteiner", report.F(rep.WNS, 3), report.F(rep.TNS, 1),
+		report.I(rep.Vios), fmt.Sprint(rep.WirelengthDBU),
+		report.I(rep.Vias), report.I(rep.DRVs))
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if *svgPath != "" {
+		if err := writeFile(*svgPath, func(w *os.File) error {
+			return viz.WriteLayoutSVG(w, smp.Prepared.Design, res.Forest, viz.DefaultLayoutOptions())
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("layout SVG written to %s", *svgPath)
+	}
+	if *forestPath != "" {
+		if err := writeFile(*forestPath, func(w *os.File) error {
+			return designio.WriteForestJSON(w, res.Forest)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("refined forest written to %s", *forestPath)
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printReport(name string, r *flow.Report) {
+	log.Printf("%s: WNS %.3f ns, TNS %.1f ns, %d violations, WL %d DBU, %d vias, %d DRVs (GR %.1fs, DR %.1fs)",
+		name, r.WNS, r.TNS, r.Vios, r.WirelengthDBU, r.Vias, r.DRVs, r.GRSec, r.DRSec)
+}

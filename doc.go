@@ -1,0 +1,18 @@
+// Package tsteiner reproduces "Concurrent Sign-off Timing Optimization via
+// Deep Steiner Points Refinement" (DAC 2023): a learning-assisted
+// pre-routing optimizer that relocates Steiner points using gradients from
+// a GNN sign-off timing evaluator, together with every substrate the paper
+// depends on (benchmark synthesis, placement, Steiner construction, global
+// routing, a detailed-routing surrogate, RC extraction, STA, and a
+// reverse-mode autodiff engine).
+//
+// Entry points:
+//
+//   - cmd/tsteiner       — run the flow on one benchmark with/without refinement
+//   - cmd/experiments    — regenerate every table and figure of the paper
+//   - examples/          — runnable walkthroughs of the public API
+//   - internal/core      — the TSteiner algorithm itself
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper.
+package tsteiner

@@ -1,0 +1,43 @@
+// Run the structured (systolic-array) benchmark family through the flow:
+// mesh designs have short, regular, register-bounded nets — the opposite
+// stress profile of the random-cone OpenCores-style benchmarks — and make
+// a good smoke test for routing and timing on locality-heavy layouts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsteiner/internal/flow"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/synth"
+)
+
+func main() {
+	l := lib.Default()
+	spec := synth.MeshSpec{Name: "mesh12x12", Rows: 12, Cols: 12, ClockNS: 0.55}
+	d, err := synth.GenerateMesh(spec, l)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d cells, %d nets, %d endpoints\n",
+		d.Name, len(d.Cells), len(d.Nets), len(d.Endpoints()))
+
+	prepared, err := flow.Prepare(d, l, flow.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steiner: %d nodes over %d trees, total WL %.0f DBU\n",
+		prepared.Forest.Stats().SteinerNodes, len(prepared.Forest.Trees),
+		prepared.Forest.TotalWirelengthF())
+
+	rep, err := flow.Signoff(prepared, prepared.Forest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sign-off: WNS %.3f ns, TNS %.2f ns, %d violations\n", rep.WNS, rep.TNS, rep.Vios)
+	fmt.Printf("routing:  WL %d DBU, %d vias, overflow %d, %d DRVs\n",
+		rep.WirelengthDBU, rep.Vias, rep.Overflow, rep.DRVs)
+	fmt.Printf("hold:     WHS %.3f ns (%d violations), %d max-transition violations\n",
+		rep.WHS, rep.HoldVios, rep.SlewVios)
+}

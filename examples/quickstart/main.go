@@ -1,0 +1,67 @@
+// Quickstart: run the complete TSteiner pipeline on the smallest
+// benchmark — baseline flow, evaluator training, Steiner refinement, and
+// the final sign-off comparison — in under a minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsteiner/internal/core"
+	"tsteiner/internal/flow"
+	"tsteiner/internal/gnn"
+	"tsteiner/internal/train"
+)
+
+func main() {
+	// 1. Baseline: generate + place the design, build Steiner trees, and
+	//    run global routing → detailed routing → RC extraction → STA.
+	sample, err := train.BuildSample("spm", 1.0, true, flow.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline sign-off: WNS %.3f ns, TNS %.1f ns, %d violating endpoints\n",
+		sample.Baseline.WNS, sample.Baseline.TNS, sample.Baseline.Vios)
+
+	// 2. Train the timing evaluator on this design plus two randomly
+	//    perturbed variants (so it learns how timing responds to Steiner
+	//    movement).
+	samples := []*train.Sample{sample}
+	aug, err := train.Augment(sample, 2, 10, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples = append(samples, aug...)
+	model := gnn.NewModel(gnn.DefaultConfig(), 7)
+	if _, err := train.Train(model, samples, train.Options{Epochs: 120, LR: 1e-2, Seed: 1}); err != nil {
+		log.Fatal(err)
+	}
+	scores, err := train.Evaluate(model, sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluator R²: %.3f (all pins), %.3f (endpoints)\n",
+		scores.ArrivalAll, scores.ArrivalEnds)
+
+	// 3. Refine Steiner points with Algorithm 1.
+	refiner, err := core.NewRefiner(model, sample.Batch, sample.Prepared, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := refiner.Refine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refinement: %d iterations, evaluator TNS %.1f → %.1f\n",
+		result.Iterations, result.InitTNS, result.BestTNS)
+
+	// 4. Sign off the refined trees through the same routing flow.
+	refined, err := flow.Signoff(sample.Prepared, result.Forest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refined sign-off:  WNS %.3f ns, TNS %.1f ns, %d violating endpoints\n",
+		refined.WNS, refined.TNS, refined.Vios)
+	fmt.Printf("TNS ratio vs baseline: %.3f (lower is better)\n",
+		refined.TNS/sample.Baseline.TNS)
+}

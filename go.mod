@@ -1,0 +1,3 @@
+module tsteiner
+
+go 1.22

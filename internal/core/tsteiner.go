@@ -1,0 +1,450 @@
+// Package core implements TSteiner, the paper's concurrent sign-off
+// timing optimization via deep Steiner point refinement (Section III):
+//
+//   - the smoothed timing penalty P_γ = λ_w·w_γ + λ_t·t_γ over the
+//     evaluator's predicted endpoint slacks, with Log-Sum-Exp replacing
+//     the hard min in WNS and a softplus relaxation for TNS (Eq. 5–6);
+//   - sign-off timing gradients (∇_Xs P, ∇_Ys P) via backward propagation
+//     through the evaluator (Section III-A);
+//   - the stochastic optimizer SO (Eq. 7) with the adaptive stepsize
+//     scheme Adaptive_Theta (Eq. 8–9, a Barzilai–Borwein secant step);
+//   - the concurrent refinement loop of Algorithm 1 with best-solution
+//     tracking, λ escalation after iteration 5, movement clamped to the
+//     grid boundary, and the auto-convergence rule (ratio μ).
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tsteiner/internal/flow"
+	"tsteiner/internal/gnn"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/tensor"
+)
+
+// Options are TSteiner's hyper-parameters; defaults follow Section IV-A.
+type Options struct {
+	LambdaW float64 // WNS weight λ_w (paper: −200)
+	LambdaT float64 // TNS weight λ_t (paper: −2)
+	Gamma   float64 // LSE smoothing temperature γ (paper: 10)
+	Alpha   float64 // adaptive-stepsize probe scale α (paper: 5)
+	Mu      float64 // converge ratio μ (paper: 0.1)
+	N       int     // maximum optimization iterations
+
+	Beta1, Beta2, Eps float64 // SO hyper-parameters (Eq. 7)
+
+	// EscalateAfter/EscalateRate: from iteration EscalateAfter on, both λ
+	// are increased by EscalateRate per iteration (paper: 5 and 1%).
+	EscalateAfter int
+	EscalateRate  float64
+
+	// MaxMoveDBU clamps the per-iteration displacement of each coordinate.
+	MaxMoveDBU float64
+
+	// TrustRadiusDBU bounds each Steiner point's TOTAL displacement from
+	// its initial position ("we constrain the largest moving distance
+	// according to the width and length of the global routing grid
+	// graph"). It also keeps the search inside the region where the
+	// learned evaluator was fit, so surrogate gradients stay meaningful.
+	TrustRadiusDBU float64
+
+	// RawGradient switches SO from the Adam-normalized update of Eq. 7 to
+	// a plain gradient step X' = X − θ·∇P. The Barzilai–Borwein stepsize
+	// of Eq. 9 is the secant inverse-curvature estimate for exactly this
+	// un-normalized form; with it, low-|gradient| (noise) points barely
+	// move while critical points move up to the clamp, which transfers
+	// far better through the discrete routing stage.
+	RawGradient bool
+
+	// Ablation switches (all false in the paper's configuration).
+	FixedTheta   float64 // >0 disables Adaptive_Theta and uses this stepsize
+	AlwaysAccept bool    // disables best-solution tracking/restore
+}
+
+// DefaultOptions mirrors the paper's experiment settings.
+func DefaultOptions() Options {
+	return Options{
+		LambdaW:        -200.0,
+		LambdaT:        -2.0,
+		Gamma:          10.0,
+		Alpha:          5.0,
+		Mu:             0.1,
+		N:              25,
+		Beta1:          0.9,
+		Beta2:          0.999,
+		Eps:            1e-8,
+		EscalateAfter:  5,
+		EscalateRate:   0.01,
+		MaxMoveDBU:     8,
+		TrustRadiusDBU: 12,
+	}
+}
+
+// IterRecord traces one refinement iteration.
+type IterRecord struct {
+	WNS, TNS float64 // evaluated metrics of the candidate
+	Accepted bool
+	Theta    float64
+}
+
+// Result is the outcome of a refinement run.
+type Result struct {
+	Forest           *rsmt.Forest // refined Steiner trees (continuous positions)
+	InitWNS, InitTNS float64      // evaluator metrics before refinement
+	BestWNS, BestTNS float64      // evaluator metrics of the kept solution
+	Iterations       int
+	ConvergedByRatio bool
+	RuntimeSec       float64
+	History          []IterRecord
+}
+
+// Refiner bundles the trained evaluator with a design's batch.
+type Refiner struct {
+	Model *gnn.Model
+	Batch *gnn.Batch
+	Prep  *flow.Prepared
+	Opt   Options
+}
+
+// NewRefiner validates inputs and builds a refiner.
+func NewRefiner(m *gnn.Model, b *gnn.Batch, p *flow.Prepared, opt Options) (*Refiner, error) {
+	if m == nil || b == nil || p == nil {
+		return nil, fmt.Errorf("core: nil input")
+	}
+	if opt.Gamma <= 0 || opt.N <= 0 || opt.Alpha == 0 {
+		return nil, fmt.Errorf("core: bad options %+v", opt)
+	}
+	return &Refiner{Model: m, Batch: b, Prep: p, Opt: opt}, nil
+}
+
+// evalMetrics runs a forward pass and returns hard (unsmoothed) WNS/TNS of
+// the predicted endpoint slacks — the quantities Algorithm 1 compares.
+func (r *Refiner) evalMetrics(f *rsmt.Forest) (wns, tns float64, err error) {
+	tp := tensor.NewTape()
+	xs, ys, err := r.Batch.SteinerLeaves(tp, f)
+	if err != nil {
+		return 0, 0, err
+	}
+	pred, err := r.Model.Forward(tp, r.Batch, xs, ys, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	wns, tns = hardMetrics(pred.Slack.Data)
+	return wns, tns, nil
+}
+
+func hardMetrics(slack []float64) (wns, tns float64) {
+	wns = math.Inf(1)
+	for _, s := range slack {
+		if s < wns {
+			wns = s
+		}
+		if s < 0 {
+			tns += s
+		}
+	}
+	if len(slack) == 0 {
+		wns = 0
+	}
+	return wns, tns
+}
+
+// gradients computes (∇_Xs P, ∇_Ys P) at the forest's current positions
+// for the given λ weights (Section III-A).
+func (r *Refiner) gradients(f *rsmt.Forest, lw, lt float64) (gx, gy []float64, err error) {
+	tp := tensor.NewTape()
+	xs, ys, err := r.Batch.SteinerLeaves(tp, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := r.Model.Forward(tp, r.Batch, xs, ys, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := r.penalty(tp, pred, lw, lt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tp.Backward(p); err != nil {
+		return nil, nil, err
+	}
+	return append([]float64(nil), xs.Grad...), append([]float64(nil), ys.Grad...), nil
+}
+
+// penalty builds P_γ = λ_w·w_γ + λ_t·t_γ on the tape (Eq. 4–6):
+//
+//	w_γ = −LSE(−s; γ)                (smooth min over endpoint slacks)
+//	t_γ = −γ·Σ softplus(−s/γ)        (smooth Σ min(0, s))
+func (r *Refiner) penalty(tp *tensor.Tape, pred *gnn.Prediction, lw, lt float64) (*tensor.Tensor, error) {
+	negS, err := tp.Scale(pred.Slack, -1)
+	if err != nil {
+		return nil, err
+	}
+	lse, err := tp.LSE(negS, r.Opt.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	wGamma, err := tp.Scale(lse, -1)
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := tp.Scale(pred.Slack, -1/r.Opt.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := tp.Softplus(scaled)
+	if err != nil {
+		return nil, err
+	}
+	spSum, err := tp.Sum(sp)
+	if err != nil {
+		return nil, err
+	}
+	tGamma, err := tp.Scale(spSum, -r.Opt.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	wTerm, err := tp.Scale(wGamma, lw)
+	if err != nil {
+		return nil, err
+	}
+	tTerm, err := tp.Scale(tGamma, lt)
+	if err != nil {
+		return nil, err
+	}
+	return tp.Add(wTerm, tTerm)
+}
+
+// Penalty evaluates the smoothed timing penalty P_γ (Eq. 4–6) at a
+// forest's current positions without computing gradients.
+func (r *Refiner) Penalty(f *rsmt.Forest) (float64, error) {
+	tp := tensor.NewTape()
+	xs, ys, err := r.Batch.SteinerLeaves(tp, f)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := r.Model.Forward(tp, r.Batch, xs, ys, false)
+	if err != nil {
+		return 0, err
+	}
+	p, err := r.penalty(tp, pred, r.Opt.LambdaW, r.Opt.LambdaT)
+	if err != nil {
+		return 0, err
+	}
+	return p.Data[0], nil
+}
+
+// Gradients exposes the sign-off timing gradients at a forest's current
+// positions under the configured λ weights — the quantity Fig. 3's
+// backward pass produces. Useful for analysis tooling on top of the
+// refiner.
+func (r *Refiner) Gradients(f *rsmt.Forest) (gx, gy []float64, err error) {
+	return r.gradients(f, r.Opt.LambdaW, r.Opt.LambdaT)
+}
+
+// adaptiveTheta implements Adaptive_Theta (Eq. 8–9): probe a small move
+// along the gradient and form the secant-quotient stepsize.
+func (r *Refiner) adaptiveTheta(f *rsmt.Forest) (float64, error) {
+	gx0, gy0, err := r.gradients(f, r.Opt.LambdaW, r.Opt.LambdaT)
+	if err != nil {
+		return 0, err
+	}
+	probe := f.Clone()
+	xs, ys, idx := probe.SteinerPositions()
+	for i := range xs {
+		xs[i] += r.Opt.Alpha * gx0[i]
+		ys[i] += r.Opt.Alpha * gy0[i]
+	}
+	if err := probe.SetSteinerPositions(xs, ys, idx, r.Prep.Design.Die); err != nil {
+		return 0, err
+	}
+	gx1, gy1, err := r.gradients(probe, r.Opt.LambdaW, r.Opt.LambdaT)
+	if err != nil {
+		return 0, err
+	}
+	// θ = |ΔX|₂ / |Δ∇|₂ over the concatenated (X, Y) vector. Positions
+	// may have been clamped, so measure the realized displacement.
+	x0, y0, _ := f.SteinerPositions()
+	x1, y1, _ := probe.SteinerPositions()
+	var dPos, dGrad float64
+	for i := range x0 {
+		dx := x1[i] - x0[i]
+		dy := y1[i] - y0[i]
+		dPos += dx*dx + dy*dy
+		ggx := gx1[i] - gx0[i]
+		ggy := gy1[i] - gy0[i]
+		dGrad += ggx*ggx + ggy*ggy
+	}
+	if dGrad < 1e-30 || dPos < 1e-30 {
+		// Flat landscape: fall back to a GCell-scale stepsize so the
+		// first iterations still explore.
+		return float64(r.Prep.Config.GCellSize), nil
+	}
+	return math.Sqrt(dPos) / math.Sqrt(dGrad), nil
+}
+
+// Refine runs Algorithm 1 from the prepared forest and returns the
+// refined forest (positions are continuous; callers round via
+// flow.Signoff's post-processing).
+func (r *Refiner) Refine() (*Result, error) {
+	return r.refineFrom(r.Prep.Forest)
+}
+
+// RefineRounds runs successive refinement rounds, re-anchoring the trust
+// region at each round's best solution — the simplest instance of the
+// paper's future-work direction of extending Steiner refinement beyond a
+// single pre-routing pass. Later rounds can escape the first round's
+// movement bound while each individual step stays within the region where
+// the evaluator is locally valid.
+func (r *Refiner) RefineRounds(rounds int) (*Result, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("core: rounds %d < 1", rounds)
+	}
+	start := r.Prep.Forest
+	var agg *Result
+	for k := 0; k < rounds; k++ {
+		res, err := r.refineFrom(start)
+		if err != nil {
+			return nil, err
+		}
+		if agg == nil {
+			agg = res
+		} else {
+			agg.History = append(agg.History, res.History...)
+			agg.Iterations += res.Iterations
+			agg.RuntimeSec += res.RuntimeSec
+			agg.BestWNS = res.BestWNS
+			agg.BestTNS = res.BestTNS
+			agg.ConvergedByRatio = res.ConvergedByRatio
+			agg.Forest = res.Forest
+		}
+		start = res.Forest
+	}
+	return agg, nil
+}
+
+// refineFrom runs Algorithm 1 anchored at the given starting forest.
+func (r *Refiner) refineFrom(startForest *rsmt.Forest) (*Result, error) {
+	t0 := time.Now()
+	opt := r.Opt
+	cur := startForest.Clone()
+
+	initWNS, initTNS, err := r.evalMetrics(cur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{InitWNS: initWNS, InitTNS: initTNS, BestWNS: initWNS, BestTNS: initTNS}
+
+	theta := opt.FixedTheta
+	if theta <= 0 {
+		theta, err = r.adaptiveTheta(cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	nVars := r.Batch.NSteiner
+	mX := make([]float64, nVars)
+	vX := make([]float64, nVars)
+	mY := make([]float64, nVars)
+	vY := make([]float64, nVars)
+	// Trust-region anchors: the round's starting positions.
+	x0, y0, _ := startForest.SteinerPositions()
+
+	lw, lt := opt.LambdaW, opt.LambdaT
+	best := cur.Clone()
+
+	for t := 0; t < opt.N; t++ {
+		gx, gy, err := r.gradients(cur, lw, lt)
+		if err != nil {
+			return nil, err
+		}
+		cand := cur.Clone()
+		xs, ys, idx := cand.SteinerPositions()
+		step := func(pos, g, mAcc, vAcc []float64) {
+			for i := range pos {
+				var d float64
+				if opt.RawGradient {
+					d = theta * g[i]
+				} else {
+					mAcc[i] = opt.Beta1*mAcc[i] + (1-opt.Beta1)*g[i]
+					vAcc[i] = opt.Beta2*vAcc[i] + (1-opt.Beta2)*g[i]*g[i]
+					d = theta * mAcc[i] / (math.Sqrt(vAcc[i]) + opt.Eps)
+				}
+				if opt.MaxMoveDBU > 0 {
+					if d > opt.MaxMoveDBU {
+						d = opt.MaxMoveDBU
+					}
+					if d < -opt.MaxMoveDBU {
+						d = -opt.MaxMoveDBU
+					}
+				}
+				pos[i] -= d
+			}
+		}
+		step(xs, gx, mX, vX)
+		step(ys, gy, mY, vY)
+		if rr := opt.TrustRadiusDBU; rr > 0 {
+			for i := range xs {
+				xs[i] = clampTo(xs[i], x0[i]-rr, x0[i]+rr)
+				ys[i] = clampTo(ys[i], y0[i]-rr, y0[i]+rr)
+			}
+		}
+		if err := cand.SetSteinerPositions(xs, ys, idx, r.Prep.Design.Die); err != nil {
+			return nil, err
+		}
+
+		wns, tns, err := r.evalMetrics(cand)
+		if err != nil {
+			return nil, err
+		}
+		accepted := opt.AlwaysAccept || wns > res.BestWNS || tns > res.BestTNS
+		if accepted {
+			if wns > res.BestWNS || tns > res.BestTNS {
+				res.BestWNS = wns
+				res.BestTNS = tns
+				best = cand.Clone()
+			}
+			cur = cand
+		}
+		// On rejection cur is kept: S_T^(t+1) ← S_T^(t) (Alg. 1 line 13).
+		res.History = append(res.History, IterRecord{WNS: wns, TNS: tns, Accepted: accepted, Theta: theta})
+		res.Iterations = t + 1
+
+		if t+1 >= opt.EscalateAfter {
+			lw *= 1 + opt.EscalateRate
+			lt *= 1 + opt.EscalateRate
+		}
+
+		if ratioImproved(initWNS, res.BestWNS, opt.Mu) || ratioImproved(initTNS, res.BestTNS, opt.Mu) {
+			res.ConvergedByRatio = true
+			break
+		}
+	}
+
+	res.Forest = best
+	res.RuntimeSec = time.Since(t0).Seconds()
+	return res, nil
+}
+
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ratioImproved implements Algorithm 1 line 19: (init − best)/init > μ.
+// With negative metrics this is the fractional improvement toward zero;
+// non-negative initial metrics cannot trigger it.
+func ratioImproved(init, best, mu float64) bool {
+	if init >= 0 {
+		return false
+	}
+	return (init-best)/init > mu
+}

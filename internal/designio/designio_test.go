@@ -1,0 +1,197 @@
+package designio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/place"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/synth"
+)
+
+func placedDesign(t *testing.T, name string, scale float64) *netlist.Design {
+	t.Helper()
+	spec, err := synth.BenchmarkByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := synth.Generate(spec.Scale(scale), lib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := place.Place(d, place.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := lib.Default()
+	d := placedDesign(t, "spm", 1.0)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadJSON(&buf, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || d2.ClockPeriod != d.ClockPeriod || d2.Die != d.Die {
+		t.Fatal("header fields lost")
+	}
+	if len(d2.Cells) != len(d.Cells) || len(d2.Nets) != len(d.Nets) || len(d2.Pins) != len(d.Pins) {
+		t.Fatalf("sizes differ: %d/%d cells, %d/%d nets, %d/%d pins",
+			len(d2.Cells), len(d.Cells), len(d2.Nets), len(d.Nets), len(d2.Pins), len(d.Pins))
+	}
+	// Structure: same stats; placement preserved per cell name.
+	if d.Stats() != d2.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", d.Stats(), d2.Stats())
+	}
+	pos := map[string][2]int{}
+	for ci := range d.Cells {
+		pos[d.Cells[ci].Name] = [2]int{d.Cells[ci].Pos.X, d.Cells[ci].Pos.Y}
+	}
+	for ci := range d2.Cells {
+		want := pos[d2.Cells[ci].Name]
+		if d2.Cells[ci].Pos.X != want[0] || d2.Cells[ci].Pos.Y != want[1] {
+			t.Fatalf("cell %s placement lost", d2.Cells[ci].Name)
+		}
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	l := lib.Default()
+	cases := []string{
+		`not json`,
+		`{"Name":"x","Ports":[{"Name":"p","Dir":"sideways"}]}`,
+		`{"Name":"x","Cells":[{"Name":"u1","Master":"INV_X1"},{"Name":"u1","Master":"INV_X1"}]}`,
+		`{"Name":"x","Nets":[{"Name":"n","Driver":"ghost","Sinks":["gone"]}]}`,
+		`{"Name":"x","Cells":[{"Name":"u1","Master":"INV_X1"}],"Nets":[{"Name":"n","Driver":"u1/NOPE","Sinks":[]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c), l); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteVerilog(t *testing.T) {
+	d := placedDesign(t, "spm", 1.0)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	if !strings.HasPrefix(v, "module spm (") {
+		t.Fatalf("missing module header:\n%.120s", v)
+	}
+	if !strings.Contains(v, "endmodule") {
+		t.Fatal("missing endmodule")
+	}
+	if !strings.Contains(v, "input clk") {
+		t.Fatal("sequential design must expose clk port")
+	}
+	if !strings.Contains(v, ".CK(clk)") {
+		t.Fatal("register clock pins must connect to clk")
+	}
+	// Every cell instantiated once.
+	for ci := range d.Cells {
+		name := d.Cells[ci].Name
+		if !strings.Contains(v, " "+name+" (") {
+			t.Fatalf("instance %s missing", name)
+		}
+	}
+	// Output assigns exist.
+	if !strings.Contains(v, "assign ") {
+		t.Fatal("missing output assigns")
+	}
+}
+
+func TestWriteVerilogCombinationalOnly(t *testing.T) {
+	l := lib.Default()
+	b := netlist.NewBuilder("comb", l)
+	pi := b.AddPI("a")
+	inv := b.AddCell("u1", "INV_X1")
+	po := b.AddPO("z", 0.01)
+	d0 := b.Design()
+	b.Connect(pi, d0.Cell(inv).InputPins()[0])
+	b.Connect(d0.Cell(inv).OutputPin(), po)
+	d, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	if strings.Contains(v, "input clk") {
+		t.Fatal("register-free design must not expose clk")
+	}
+	if !strings.Contains(v, "INV_X1 u1 (") {
+		t.Fatalf("instance missing:\n%s", v)
+	}
+}
+
+func TestForestRoundTrip(t *testing.T) {
+	d := placedDesign(t, "spm", 1.0)
+	f, err := rsmt.BuildAll(d, rsmt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nudge some Steiner positions so we test non-integer round trips.
+	xs, ys, idx := f.SteinerPositions()
+	for i := range xs {
+		xs[i] += 0.25
+		ys[i] -= 0.75
+	}
+	if err := f.SetSteinerPositions(xs, ys, idx, d.Die); err != nil {
+		t.Fatal(err)
+	}
+	// Clamping may have altered edge positions; compare against what the
+	// forest actually holds.
+	xs, ys, _ = f.SteinerPositions()
+
+	var buf bytes.Buffer
+	if err := WriteForestJSON(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ReadForestJSON(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Trees) != len(f.Trees) {
+		t.Fatal("tree count lost")
+	}
+	xs2, ys2, _ := f2.SteinerPositions()
+	for i := range xs {
+		if xs[i] != xs2[i] || ys[i] != ys2[i] {
+			t.Fatalf("position %d lost in round trip", i)
+		}
+	}
+}
+
+func TestReadForestJSONRejectsForeign(t *testing.T) {
+	d := placedDesign(t, "spm", 1.0)
+	other := placedDesign(t, "cic_decimator", 1.0)
+	f, err := rsmt.BuildAll(other, rsmt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteForestJSON(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadForestJSON(&buf, d); err == nil {
+		t.Fatal("foreign forest accepted")
+	}
+	if _, err := ReadForestJSON(strings.NewReader("nope"), d); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Package drc is the detailed-routing surrogate standing in for
+// TritonRoute. Full detailed routing needs track-level geometry and a
+// design-rule deck that do not exist in this environment; what the
+// experiments actually consume is the *coupling* between global-routing
+// quality and detailed-routing outcomes. This package models exactly that
+// coupling, deterministically:
+//
+//   - congestion hot spots (GCells over capacity, pin-dense GCells) turn
+//     into design-rule violations (DRVs);
+//   - congestion also costs detour wirelength and repair vias;
+//   - detailed-routing runtime is dominated by DRV repair iterations, so
+//     fewer violations mean faster detailed routing — the effect behind
+//     the paper's Table IV speedup.
+//
+// All outputs are pure functions of the routed grid state and pin map, so
+// flows comparing baseline vs. TSteiner see consistent, reproducible
+// deltas.
+package drc
+
+import (
+	"fmt"
+	"math"
+
+	"tsteiner/internal/grid"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/route"
+)
+
+// Options tunes the surrogate's coupling model.
+type Options struct {
+	// PinCapacityPerGCell is the pin count a GCell absorbs without
+	// access-related violations.
+	PinCapacityPerGCell int
+	// DRVPerOverflow converts summed track overflow into expected DRVs.
+	DRVPerOverflow float64
+	// DRVPerExcessPin converts pin-capacity excess into expected DRVs.
+	DRVPerExcessPin float64
+	// DetourFactor scales congestion-driven detour wirelength.
+	DetourFactor float64
+	// Runtime model coefficients (modeled seconds).
+	SecPerMMWire float64 // per 1e6 DBU of wire
+	SecPerKVia   float64 // per 1000 vias
+	SecPerDRV    float64 // per violation repair loop
+	SecPerKPin   float64 // per 1000 pins (pin access)
+}
+
+// DefaultOptions returns coupling constants calibrated so full-scale
+// benchmarks land in the same order of magnitude as the paper's Table IV.
+func DefaultOptions() Options {
+	return Options{
+		PinCapacityPerGCell: 14,
+		DRVPerOverflow:      0.010,
+		DRVPerExcessPin:     0.020,
+		DetourFactor:        0.03,
+		SecPerMMWire:        28.0,
+		SecPerKVia:          0.35,
+		SecPerDRV:           2.2,
+		SecPerKPin:          1.4,
+	}
+}
+
+// Result is the detailed-routing report consumed by Table II/IV.
+type Result struct {
+	WirelengthDBU int64   // final routed wirelength
+	Vias          int     // final via count
+	DRVs          int     // design-rule violations remaining
+	RuntimeSec    float64 // modeled detailed-routing runtime
+}
+
+// Run evaluates the surrogate on a globally routed design.
+func Run(d *netlist.Design, g *grid.Grid, gr *route.Result, opt Options) (*Result, error) {
+	if opt.PinCapacityPerGCell <= 0 {
+		return nil, fmt.Errorf("drc: non-positive pin capacity")
+	}
+	// Pin density per GCell.
+	pinCount := make([]int, g.W*g.H)
+	for i := range d.Pins {
+		x, y := g.GCellOf(d.Pins[i].Pos)
+		pinCount[y*g.W+x]++
+	}
+
+	// Expected DRVs: overflow-driven plus pin-access-driven, concentrated
+	// where both coincide (the cross term mirrors how pin-dense congested
+	// tiles dominate real DRV maps).
+	var drvExp float64
+	var utilSum float64
+	var utilCells int
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			of := 0
+			if x < g.W-1 {
+				of += g.OverflowH(x, y)
+			}
+			if x > 0 {
+				of += g.OverflowH(x-1, y)
+			}
+			if y < g.H-1 {
+				of += g.OverflowV(x, y)
+			}
+			if y > 0 {
+				of += g.OverflowV(x, y-1)
+			}
+			excess := pinCount[y*g.W+x] - opt.PinCapacityPerGCell
+			if excess < 0 {
+				excess = 0
+			}
+			drvExp += opt.DRVPerOverflow * float64(of) / 2 // each edge seen from both sides
+			drvExp += opt.DRVPerExcessPin * float64(excess)
+			if of > 0 && excess > 0 {
+				drvExp += 0.05 * math.Sqrt(float64(of)*float64(excess))
+			}
+			utilSum += g.CongestionAt(g.Center(x, y))
+			utilCells++
+		}
+	}
+	drvs := int(math.Round(drvExp))
+
+	// Detour: congested regions cost extra jogs proportional to average
+	// utilization, plus a fixed intra-GCell jog per sink pin.
+	avgUtil := 0.0
+	if utilCells > 0 {
+		avgUtil = utilSum / float64(utilCells)
+	}
+	sinkPins := 0
+	for ni := range d.Nets {
+		sinkPins += len(d.Nets[ni].Sinks)
+	}
+	detour := float64(gr.WirelengthDBU) * opt.DetourFactor * avgUtil
+	wl := gr.WirelengthDBU + int64(detour) + int64(2*sinkPins)
+
+	// Vias: global-routing vias plus two repair vias per DRV fixed.
+	vias := gr.Vias + 2*drvs
+
+	rt := float64(wl)/1e6*opt.SecPerMMWire +
+		float64(vias)/1e3*opt.SecPerKVia +
+		float64(drvs)*opt.SecPerDRV +
+		float64(len(d.Pins))/1e3*opt.SecPerKPin
+
+	return &Result{
+		WirelengthDBU: wl,
+		Vias:          vias,
+		DRVs:          drvs,
+		RuntimeSec:    rt,
+	}, nil
+}

@@ -1,0 +1,129 @@
+package drc
+
+import (
+	"testing"
+
+	"tsteiner/internal/grid"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/place"
+	"tsteiner/internal/route"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/synth"
+)
+
+func fixture(t *testing.T, caps []int) (*netlist.Design, *grid.Grid, *route.Result) {
+	t.Helper()
+	spec, err := synth.BenchmarkByName("APU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := synth.Generate(spec.Scale(0.3), lib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := place.Place(d, place.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := rsmt.BuildAll(d, rsmt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.New(d.Die, 8, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := route.Route(d, f, g, route.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, g, gr
+}
+
+func TestRunBasics(t *testing.T) {
+	d, g, gr := fixture(t, []int{4, 6, 6, 5, 5})
+	res, err := Run(d, g, gr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WirelengthDBU < gr.WirelengthDBU {
+		t.Fatal("detailed wirelength below global wirelength")
+	}
+	if res.Vias < gr.Vias {
+		t.Fatal("detailed vias below global vias")
+	}
+	if res.DRVs < 0 {
+		t.Fatal("negative DRVs")
+	}
+	if res.RuntimeSec <= 0 {
+		t.Fatal("non-positive runtime")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	d, g, gr := fixture(t, []int{4, 6, 6, 5, 5})
+	a, err := Run(d, g, gr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(d, g, gr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMoreCongestionMoreDRVs(t *testing.T) {
+	_, gTight, grTight := fixture(t, []int{0, 4, 4, 3, 3})
+	dT, _, _ := fixture(t, []int{0, 4, 4, 3, 3})
+	resTight, err := Run(dT, gTight, grTight, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dL, gLoose, grLoose := fixture(t, []int{0, 12, 12, 10, 10})
+	resLoose, err := Run(dL, gLoose, grLoose, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resTight.DRVs <= resLoose.DRVs {
+		t.Fatalf("tight grid DRVs (%d) should exceed loose grid DRVs (%d)",
+			resTight.DRVs, resLoose.DRVs)
+	}
+	if resTight.RuntimeSec <= resLoose.RuntimeSec {
+		t.Fatalf("tight grid runtime (%f) should exceed loose (%f)",
+			resTight.RuntimeSec, resLoose.RuntimeSec)
+	}
+}
+
+func TestDRVsScaleWithSecPerDRV(t *testing.T) {
+	d, g, gr := fixture(t, []int{0, 4, 4, 3, 3})
+	opt := DefaultOptions()
+	base, err := Run(d, g, gr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.DRVs == 0 {
+		t.Skip("no DRVs in this configuration")
+	}
+	opt.SecPerDRV *= 2
+	heavy, err := Run(d, g, gr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelta := float64(base.DRVs) * DefaultOptions().SecPerDRV
+	gotDelta := heavy.RuntimeSec - base.RuntimeSec
+	if diff := gotDelta - wantDelta; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("runtime delta %f want %f", gotDelta, wantDelta)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	d, g, gr := fixture(t, []int{4, 6, 6, 5, 5})
+	opt := DefaultOptions()
+	opt.PinCapacityPerGCell = 0
+	if _, err := Run(d, g, gr, opt); err == nil {
+		t.Fatal("zero pin capacity accepted")
+	}
+}

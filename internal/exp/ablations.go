@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"io"
+
+	"tsteiner/internal/core"
+	"tsteiner/internal/flow"
+	"tsteiner/internal/report"
+)
+
+// AblationRow records one refinement variant's outcome on one design.
+type AblationRow struct {
+	Design  string
+	Variant string
+	// Evaluator metrics before/after refinement.
+	EvalInitTNS, EvalBestTNS float64
+	// True sign-off metrics after routing the refined trees.
+	TrueWNS, TrueTNS float64
+	Iterations       int
+	RuntimeSec       float64
+}
+
+// AblationResult compares the design choices DESIGN.md calls out:
+// LSE smoothing, adaptive stepsize, best-solution tracking, and the
+// Steiner message-passing depth.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// ablationVariant names a configuration mutation.
+type ablationVariant struct {
+	name   string
+	mutate func(o *core.Options)
+}
+
+func ablationVariants() []ablationVariant {
+	return []ablationVariant{
+		{"paper", func(o *core.Options) {}},
+		{"sharp-smoothing", func(o *core.Options) { o.Gamma = 0.05 }},
+		{"fixed-theta", func(o *core.Options) { o.FixedTheta = 4.0 }},
+		{"always-accept", func(o *core.Options) { o.AlwaysAccept = true }},
+		{"raw-gradient", func(o *core.Options) { o.RawGradient = true }},
+	}
+}
+
+// Ablations runs every variant on the given designs (must be in the
+// suite's benchmark set).
+func (s *Suite) Ablations(designs []string) (*AblationResult, error) {
+	m, err := s.Model()
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{}
+	for _, name := range designs {
+		smp, err := s.Sample(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range ablationVariants() {
+			opt := s.cfg.Refine
+			v.mutate(&opt)
+			s.logf("ablation %s on %s", v.name, name)
+			ref, err := core.NewRefiner(m, smp.Batch, smp.Prepared, opt)
+			if err != nil {
+				return nil, err
+			}
+			res, err := ref.Refine()
+			if err != nil {
+				return nil, err
+			}
+			rep, err := flow.Signoff(smp.Prepared, res.Forest)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, AblationRow{
+				Design:      name,
+				Variant:     v.name,
+				EvalInitTNS: res.InitTNS,
+				EvalBestTNS: res.BestTNS,
+				TrueWNS:     rep.WNS,
+				TrueTNS:     rep.TNS,
+				Iterations:  res.Iterations,
+				RuntimeSec:  res.RuntimeSec,
+			})
+		}
+	}
+	return out, nil
+}
+
+// AblationOne runs a single mutated refinement configuration on one design
+// and signs off the result (the per-variant benchmark entry point).
+func (s *Suite) AblationOne(design string, mutate func(*core.Options)) (*AblationRow, error) {
+	m, err := s.Model()
+	if err != nil {
+		return nil, err
+	}
+	smp, err := s.Sample(design)
+	if err != nil {
+		return nil, err
+	}
+	opt := s.cfg.Refine
+	mutate(&opt)
+	ref, err := core.NewRefiner(m, smp.Batch, smp.Prepared, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ref.Refine()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := flow.Signoff(smp.Prepared, res.Forest)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationRow{
+		Design:      design,
+		Variant:     "custom",
+		EvalInitTNS: res.InitTNS,
+		EvalBestTNS: res.BestTNS,
+		TrueWNS:     rep.WNS,
+		TrueTNS:     rep.TNS,
+		Iterations:  res.Iterations,
+		RuntimeSec:  res.RuntimeSec,
+	}, nil
+}
+
+// Render writes the ablation table.
+func (r *AblationResult) Render(w io.Writer) error {
+	t := report.Table{
+		Title: "ABLATIONS: refinement variants (eval = model-predicted, true = routed sign-off)",
+		Header: []string{"Design", "Variant", "evalTNS0", "evalTNS*",
+			"trueWNS", "trueTNS", "iters", "sec"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Design, row.Variant,
+			report.F(row.EvalInitTNS, 1), report.F(row.EvalBestTNS, 1),
+			report.F(row.TrueWNS, 3), report.F(row.TrueTNS, 1),
+			report.I(row.Iterations), report.F(row.RuntimeSec, 1))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,258 @@
+// Package exp implements the paper's experiments end to end: each table
+// and figure of the evaluation section is a method on a Suite that lazily
+// builds and caches the expensive shared state (baseline flow runs, the
+// trained evaluator) so one process can regenerate everything.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tsteiner/internal/core"
+	"tsteiner/internal/flow"
+	"tsteiner/internal/gnn"
+	"tsteiner/internal/metrics"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/synth"
+	"tsteiner/internal/train"
+)
+
+// Config parameterizes a full experiment run.
+type Config struct {
+	// Scale shrinks every benchmark (1.0 = the paper's sizes).
+	Scale float64
+	// Designs restricts the benchmark set (nil = all ten).
+	Designs []string
+	Flow    flow.Config
+	GNN     gnn.Config
+	Train   train.Options
+	Refine  core.Options
+	// AugmentVariants perturbed copies per training design teach the
+	// evaluator the position→timing derivative.
+	AugmentVariants int
+	AugmentDist     float64
+	// RandomTrials per design for the Fig. 2 / Fig. 5 random-move
+	// experiments (the paper uses 10–50); LargeDesignTrials bounds the
+	// two biggest designs.
+	RandomTrials      int
+	LargeDesignTrials int
+	Seed              int64
+	// Log receives progress lines (nil = silent).
+	Log func(format string, args ...any)
+}
+
+// Default returns the full-scale configuration.
+func Default() Config {
+	return Config{
+		Scale:             1.0,
+		Flow:              flow.DefaultConfig(),
+		GNN:               gnn.DefaultConfig(),
+		Train:             train.DefaultOptions(),
+		Refine:            core.DefaultOptions(),
+		AugmentVariants:   2,
+		AugmentDist:       10,
+		RandomTrials:      10,
+		LargeDesignTrials: 3,
+		Seed:              2023,
+	}
+}
+
+// Suite caches shared experiment state.
+type Suite struct {
+	cfg     Config
+	specs   []synth.Spec
+	samples map[string]*train.Sample
+	model   *gnn.Model
+	// tsRuns caches per-design TSteiner outcomes (shared by Tables II/IV
+	// and Fig. 5).
+	tsRuns map[string]*tsRun
+	// randomRuns caches RandomMoves trials keyed by design and trial
+	// count (shared by Fig. 2 and Fig. 5).
+	randomRuns map[string]*randomRun
+}
+
+type randomRun struct {
+	wns, tns []float64
+}
+
+type tsRun struct {
+	refine *core.Result
+	report *flow.Report
+}
+
+// NewSuite validates the config and resolves the benchmark list.
+func NewSuite(cfg Config) (*Suite, error) {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("exp: scale %g out of (0,1]", cfg.Scale)
+	}
+	all := synth.Benchmarks()
+	var specs []synth.Spec
+	if len(cfg.Designs) == 0 {
+		specs = all
+	} else {
+		for _, want := range cfg.Designs {
+			s, err := synth.BenchmarkByName(want)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, s)
+		}
+	}
+	return &Suite{
+		cfg:        cfg,
+		specs:      specs,
+		samples:    map[string]*train.Sample{},
+		tsRuns:     map[string]*tsRun{},
+		randomRuns: map[string]*randomRun{},
+	}, nil
+}
+
+func (s *Suite) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
+
+// Specs returns the active benchmark list.
+func (s *Suite) Specs() []synth.Spec { return s.specs }
+
+// Sample lazily builds the baseline flow record of one design.
+func (s *Suite) Sample(name string) (*train.Sample, error) {
+	if got, ok := s.samples[name]; ok {
+		return got, nil
+	}
+	spec, err := synth.BenchmarkByName(name)
+	if err != nil {
+		return nil, err
+	}
+	s.logf("building baseline sample %s (scale %.2f)", name, s.cfg.Scale)
+	smp, err := train.BuildSample(name, s.cfg.Scale, spec.Train, s.cfg.Flow)
+	if err != nil {
+		return nil, err
+	}
+	s.samples[name] = smp
+	return smp, nil
+}
+
+// Model lazily trains the evaluator on the training split (plus perturbed
+// augmentation variants).
+func (s *Suite) Model() (*gnn.Model, error) {
+	if s.model != nil {
+		return s.model, nil
+	}
+	var all []*train.Sample
+	for _, spec := range s.specs {
+		smp, err := s.Sample(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, smp)
+		if spec.Train && s.cfg.AugmentVariants > 0 {
+			s.logf("augmenting %s with %d perturbed variants", spec.Name, s.cfg.AugmentVariants)
+			aug, err := train.Augment(smp, s.cfg.AugmentVariants, s.cfg.AugmentDist, s.cfg.Seed+int64(len(all)))
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, aug...)
+		}
+	}
+	m := gnn.NewModel(s.cfg.GNN, s.cfg.Seed)
+	opt := s.cfg.Train
+	if opt.Verbose == nil && s.cfg.Log != nil {
+		opt.Verbose = func(ep int, loss float64) {
+			if ep%10 == 0 {
+				s.logf("train epoch %d loss %.5f", ep, loss)
+			}
+		}
+	}
+	s.logf("training evaluator on %d samples", len(all))
+	if _, err := train.Train(m, all, opt); err != nil {
+		return nil, err
+	}
+	s.model = m
+	return m, nil
+}
+
+// TSteiner lazily runs refinement + sign-off for one design.
+func (s *Suite) TSteiner(name string) (*core.Result, *flow.Report, error) {
+	if got, ok := s.tsRuns[name]; ok {
+		return got.refine, got.report, nil
+	}
+	smp, err := s.Sample(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := s.Model()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.logf("refining %s", name)
+	ref, err := core.NewRefiner(m, smp.Batch, smp.Prepared, s.cfg.Refine)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := ref.Refine()
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := flow.Signoff(smp.Prepared, res.Forest)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.TSteinerSec = res.RuntimeSec
+	s.tsRuns[name] = &tsRun{refine: res, report: rep}
+	return res, rep, nil
+}
+
+// randomTrials returns the trial count for a design (bounded for the two
+// largest benchmarks).
+func (s *Suite) randomTrials(spec synth.Spec) int {
+	if spec.Cells >= 40000 && s.cfg.LargeDesignTrials > 0 {
+		return s.cfg.LargeDesignTrials
+	}
+	return s.cfg.RandomTrials
+}
+
+// RandomMoves runs k random-disturbance sign-off trials for one design and
+// returns the WNS and TNS ratios to the baseline (Fig. 2 / Fig. 5 data).
+func (s *Suite) RandomMoves(name string, k int) (wnsRatios, tnsRatios []float64, err error) {
+	key := fmt.Sprintf("%s/%d", name, k)
+	if got, ok := s.randomRuns[key]; ok {
+		return got.wns, got.tns, nil
+	}
+	smp, err := s.Sample(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(len(name))))
+	for trial := 0; trial < k; trial++ {
+		f := smp.Prepared.Forest.Clone()
+		rsmt.Perturb(f, rng, s.cfg.AugmentDist, smp.Prepared.Design.Die)
+		rep, err := flow.Signoff(smp.Prepared, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		wnsRatios = append(wnsRatios, metrics.Ratio(rep.WNS, smp.Baseline.WNS))
+		tnsRatios = append(tnsRatios, metrics.Ratio(rep.TNS, smp.Baseline.TNS))
+	}
+	s.randomRuns[key] = &randomRun{wns: wnsRatios, tns: tnsRatios}
+	return wnsRatios, tnsRatios, nil
+}
+
+// sortedNames returns the suite's design names, training split first (the
+// paper's table order).
+func (s *Suite) sortedNames() []string {
+	specs := append([]synth.Spec(nil), s.specs...)
+	sort.SliceStable(specs, func(i, j int) bool {
+		if specs[i].Train != specs[j].Train {
+			return specs[i].Train
+		}
+		return false // keep canonical order within each split
+	})
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.Name
+	}
+	return names
+}

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"io"
+
+	"tsteiner/internal/metrics"
+	"tsteiner/internal/report"
+)
+
+// ---------- Figure 2 ----------
+
+// Figure2Result holds the distribution of sign-off TNS ratios under random
+// Steiner disturbance (paper Fig. 2).
+type Figure2Result struct {
+	// PerDesign maps design name → TNS ratios (disturbed / original).
+	PerDesign map[string][]float64
+	// All flattens every trial.
+	All []float64
+	// Histogram over [Lo, Hi) with Bins buckets.
+	Lo, Hi float64
+	Counts []int
+}
+
+// Figure2 runs the random-disturbance experiment.
+func (s *Suite) Figure2() (*Figure2Result, error) {
+	out := &Figure2Result{PerDesign: map[string][]float64{}}
+	for _, spec := range s.specs {
+		k := s.randomTrials(spec)
+		s.logf("figure 2: %d random trials on %s", k, spec.Name)
+		_, tns, err := s.RandomMoves(spec.Name, k)
+		if err != nil {
+			return nil, err
+		}
+		out.PerDesign[spec.Name] = tns
+		out.All = append(out.All, tns...)
+	}
+	out.Lo, out.Hi = 0.9, 1.1
+	for _, v := range out.All {
+		if v < out.Lo {
+			out.Lo = v
+		}
+		if v > out.Hi {
+			out.Hi = v
+		}
+	}
+	out.Counts = metrics.Histogram(out.All, out.Lo, out.Hi, 12)
+	return out, nil
+}
+
+// Render writes the histogram plus summary stats.
+func (r *Figure2Result) Render(w io.Writer) error {
+	if err := report.Histogram(w, "FIGURE 2: sign-off TNS ratio under random Steiner disturbance", r.Lo, r.Hi, r.Counts); err != nil {
+		return err
+	}
+	t := report.Table{Header: []string{"stat", "value"}}
+	t.AddRow("trials", report.I(len(r.All)))
+	t.AddRow("mean ratio", report.F(metrics.Mean(r.All), 4))
+	t.AddRow("p10", report.F(metrics.Quantile(r.All, 0.10), 4))
+	t.AddRow("p90", report.F(metrics.Quantile(r.All, 0.90), 4))
+	return t.Render(w)
+}
+
+// ---------- Figure 5 ----------
+
+// Figure5Row compares TSteiner against the expected value of random moves
+// on one design.
+type Figure5Row struct {
+	Name string
+	// Ratios of the metric to the baseline flow (1.0 = unchanged; < 1 is
+	// better for negative metrics).
+	TSteinerWNS, TSteinerTNS float64
+	RandomWNS, RandomTNS     float64 // expected value over trials
+}
+
+// Figure5Result mirrors the paper's Fig. 5 comparison.
+type Figure5Result struct {
+	Rows []Figure5Row
+	// Averages over designs.
+	AvgTSteinerWNS, AvgTSteinerTNS float64
+	AvgRandomWNS, AvgRandomTNS     float64
+}
+
+// Figure5 runs TSteiner and the random-move expectation per design.
+func (s *Suite) Figure5() (*Figure5Result, error) {
+	out := &Figure5Result{}
+	for _, spec := range s.specs {
+		smp, err := s.Sample(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		_, rep, err := s.TSteiner(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		k := s.randomTrials(spec)
+		s.logf("figure 5: %d random trials on %s", k, spec.Name)
+		wns, tns, err := s.RandomMoves(spec.Name, k)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure5Row{
+			Name:        spec.Name,
+			TSteinerWNS: metrics.Ratio(rep.WNS, smp.Baseline.WNS),
+			TSteinerTNS: metrics.Ratio(rep.TNS, smp.Baseline.TNS),
+			RandomWNS:   metrics.Mean(wns),
+			RandomTNS:   metrics.Mean(tns),
+		}
+		out.Rows = append(out.Rows, row)
+		out.AvgTSteinerWNS += row.TSteinerWNS
+		out.AvgTSteinerTNS += row.TSteinerTNS
+		out.AvgRandomWNS += row.RandomWNS
+		out.AvgRandomTNS += row.RandomTNS
+	}
+	n := float64(len(out.Rows))
+	out.AvgTSteinerWNS /= n
+	out.AvgTSteinerTNS /= n
+	out.AvgRandomWNS /= n
+	out.AvgRandomTNS /= n
+	return out, nil
+}
+
+// Render writes the comparison table.
+func (r *Figure5Result) Render(w io.Writer) error {
+	t := report.Table{
+		Title:  "FIGURE 5: sign-off metric ratios — TSteiner vs expected random move",
+		Header: []string{"Benchmark", "TS WNS", "TS TNS", "Rand WNS", "Rand TNS"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, report.F(row.TSteinerWNS, 3), report.F(row.TSteinerTNS, 3),
+			report.F(row.RandomWNS, 3), report.F(row.RandomTNS, 3))
+	}
+	t.AddRow("— Average", report.F(r.AvgTSteinerWNS, 3), report.F(r.AvgTSteinerTNS, 3),
+		report.F(r.AvgRandomWNS, 3), report.F(r.AvgRandomTNS, 3))
+	return t.Render(w)
+}

@@ -1,0 +1,71 @@
+package gnn
+
+import (
+	"testing"
+
+	"tsteiner/internal/flow"
+	"tsteiner/internal/tensor"
+)
+
+func benchBatch(b *testing.B) (*Batch, *flow.Prepared) {
+	b.Helper()
+	p, err := flow.PrepareBenchmark("APU", 1.0, flow.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt, err := NewBatch(p.Design, p.Forest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bt, p
+}
+
+func BenchmarkForward(b *testing.B) {
+	bt, p := benchBatch(b)
+	m := NewModel(DefaultConfig(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := tensor.NewTape()
+		xs, ys, err := bt.SteinerLeaves(tp, p.Forest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Forward(tp, bt, xs, ys, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardBackward(b *testing.B) {
+	bt, p := benchBatch(b)
+	m := NewModel(DefaultConfig(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := tensor.NewTape()
+		xs, ys, err := bt.SteinerLeaves(tp, p.Forest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pred, err := m.Forward(tp, bt, xs, ys, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loss, err := tp.Sum(pred.EndpointArrival)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tp.Backward(loss); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewBatch(b *testing.B) {
+	_, p := benchBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewBatch(p.Design, p.Forest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

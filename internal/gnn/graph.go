@@ -1,0 +1,528 @@
+// Package gnn implements the paper's customized sign-off timing
+// evaluation model (Fig. 3): a two-stage message-passing network that
+// first fuses Steiner-tree geometry into pin embeddings (broadcast along
+// Steiner edges, reduce along net edges) and then propagates arrival-time
+// predictions over the netlist graph in topological order.
+//
+// The critical property is differentiability with respect to Steiner point
+// coordinates: every geometric quantity — edge lengths, per-sink path
+// lengths, a differentiable Elmore surrogate, net capacitance — is built
+// from tensor ops over the (X_s, Y_s) leaves, so backward propagation
+// yields the per-point timing gradients Algorithm 1 consumes.
+package gnn
+
+import (
+	"fmt"
+
+	"tsteiner/internal/geom"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/rc"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/sta"
+	"tsteiner/internal/tensor"
+)
+
+// Level groups the netlist-graph work of one topological rank.
+type Level struct {
+	// SinkIdx indexes the batch's global sink arrays: net sinks whose pin
+	// sits at this level.
+	SinkIdx []int32
+	// Cell arcs whose output pin sits at this level.
+	ArcIn  []int32 // input pin per arc
+	ArcOut []int32 // output pin per arc (repeated across arcs of a cell)
+	// ArcOutLocal maps each arc to a compact output index within the
+	// level; OutPins lists those outputs' pin ids.
+	ArcOutLocal []int32
+	OutPins     []int32
+	// ArcNet is the net driven by the arc's output (index into trees),
+	// or -1 when the output is unconnected.
+	ArcNet []int32
+	// ArcFeats are per-arc constant features [nArcs × 2]: nominal delay
+	// and load slope extracted from the library LUTs.
+	ArcFeats []float64
+}
+
+// Batch is the tensorized graph pair (Steiner graph + netlist graph) of
+// one design/forest, ready for Model.Forward.
+type Batch struct {
+	Design *netlist.Design
+
+	// ---- Steiner graph ----
+	NNodes int
+	// SrcIdx maps each global tree node to a row of the combined
+	// coordinate vector [steiner variables ; constant pin coords].
+	SrcIdx []int32
+	// NSteiner is the number of Steiner variables; SteinerIndex addresses
+	// them in the forest (same order as rsmt.SteinerPositions).
+	NSteiner     int
+	SteinerIndex []rsmt.SteinerRef
+	// ConstPinX/Y hold the fixed coordinates of pin nodes, in first-seen
+	// order (rows NSteiner.. of the combined vector).
+	ConstPinX, ConstPinY []float64
+	// NodeFeats [NNodes × 4]: isSteiner, isDriver, pinCap(norm), degree(norm).
+	NodeFeats []float64
+	// Tree edges oriented away from the driver.
+	EdgePar, EdgeChild, EdgeTree []int32
+	NTrees                       int
+	// PinCapBelowEdge[e] is the constant pin capacitance hanging below
+	// edge e (its child-side subtree).
+	PinCapBelowEdge []float64
+	// Subtree pairs: for each edge a, every strict descendant edge b.
+	SubPairAnchor, SubPairEdge []int32
+	// PinCapSumTree[t] is the total sink pin cap of tree t.
+	PinCapSumTree []float64
+	// NetHPWL[t] is the half-perimeter wirelength of net t's pins — the
+	// tree-free wirelength estimate used by the NoSteinerFeatures model
+	// variant.
+	NetHPWL []float64
+
+	// ---- global sink arrays (one entry per netlist net edge) ----
+	SinkDriverPin, SinkSinkPin []int32 // netlist pin ids
+	SinkTreeNode, SinkDrvNode  []int32 // global Steiner-graph node ids
+	SinkNet                    []int32
+	SinkDistDirect             []float64 // constant driver→sink Manhattan distance
+	// Path pairs: for each sink s, every tree edge on its driver path.
+	PathPairSink, PathPairEdge []int32
+
+	// ---- netlist propagation ----
+	Levels []Level
+	NPins  int
+	// Startpoint boundary conditions.
+	QPins, QNet   []int32 // register outputs and their nets
+	QFeats        []float64
+	PIPins, PINet []int32
+	// Endpoints and their required times.
+	Endpoints   []int32
+	EndpointReq []float64
+
+	// Feature normalization constants.
+	LenScale, CapScale, ElmScale float64
+	RAvg, CAvg                   float64
+}
+
+// NewBatch tensorizes a placed design and its Steiner forest. The forest's
+// topology is frozen into the batch; only Steiner coordinates vary between
+// Forward calls.
+func NewBatch(d *netlist.Design, f *rsmt.Forest) (*Batch, error) {
+	if len(f.Trees) != len(d.Nets) {
+		return nil, fmt.Errorf("gnn: forest/netlist mismatch")
+	}
+	b := &Batch{Design: d, NTrees: len(f.Trees), NPins: d.NumPins()}
+	l := d.Lib
+	b.RAvg, b.CAvg = rc.AvgLayerRC(l)
+	dieW := float64(d.Die.Width())
+	if dieW <= 0 {
+		return nil, fmt.Errorf("gnn: design has no die")
+	}
+	b.LenScale = 1 / dieW
+	b.CapScale = 1 / (b.CAvg*dieW + 1e-12)
+	b.ElmScale = 1 / (b.RAvg * b.CAvg * dieW * dieW / 2)
+
+	if err := b.buildSteinerGraph(d, f); err != nil {
+		return nil, err
+	}
+	if err := b.buildNetlistLevels(d); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// buildSteinerGraph assembles the global node/edge arrays and the
+// engineered-feature index pairs.
+func (b *Batch) buildSteinerGraph(d *netlist.Design, f *rsmt.Forest) error {
+	// First the Steiner variables, in forest order (matching
+	// rsmt.SteinerPositions).
+	_, _, index := f.SteinerPositions()
+	b.SteinerIndex = index
+	b.NSteiner = len(index)
+	varOf := map[[2]int32]int32{}
+	for i, ref := range index {
+		varOf[[2]int32{ref.Tree, ref.Node}] = int32(i)
+	}
+
+	// Global node ids.
+	nodeBase := make([]int32, len(f.Trees)+1)
+	total := 0
+	for ti, tr := range f.Trees {
+		nodeBase[ti] = int32(total)
+		total += len(tr.Nodes)
+	}
+	nodeBase[len(f.Trees)] = int32(total)
+	b.NNodes = total
+	b.SrcIdx = make([]int32, total)
+	b.NodeFeats = make([]float64, total*4)
+
+	// sinkNodeOf[pin] per net: filled while walking trees.
+	type sinkLoc struct{ node int32 }
+	sinkNode := map[[2]int32]int32{} // (net, pin) -> global node
+	_ = sinkLoc{}
+
+	for ti, tr := range f.Trees {
+		adjCount := make([]int, len(tr.Nodes))
+		for _, e := range tr.Edges {
+			adjCount[e.A]++
+			adjCount[e.B]++
+		}
+		for ni := range tr.Nodes {
+			g := nodeBase[ti] + int32(ni)
+			nd := &tr.Nodes[ni]
+			if nd.Kind == rsmt.SteinerNode {
+				b.SrcIdx[g] = varOf[[2]int32{int32(ti), int32(ni)}]
+				b.NodeFeats[g*4+0] = 1
+			} else {
+				b.SrcIdx[g] = int32(b.NSteiner + len(b.ConstPinX))
+				p := d.Pin(nd.Pin)
+				b.ConstPinX = append(b.ConstPinX, float64(p.Pos.X))
+				b.ConstPinY = append(b.ConstPinY, float64(p.Pos.Y))
+				if ni == 0 {
+					b.NodeFeats[g*4+1] = 1 // driver flag
+				} else {
+					sinkNode[[2]int32{int32(ti), int32(nd.Pin)}] = g
+				}
+				b.NodeFeats[g*4+2] = p.Cap * 100 // pF → O(1)
+			}
+			b.NodeFeats[g*4+3] = float64(adjCount[ni]) / 4
+		}
+
+		// Orient edges away from the driver (BFS from node 0) and record
+		// per-edge structural constants.
+		parent, parentEdge, order, err := orientTree(tr)
+		if err != nil {
+			return fmt.Errorf("gnn: net %d: %w", tr.Net, err)
+		}
+		base := nodeBase[ti]
+		// Per-node pin cap for subtree sums.
+		nodePinCap := make([]float64, len(tr.Nodes))
+		for ni := range tr.Nodes {
+			if tr.Nodes[ni].Kind == rsmt.PinNode && ni != 0 {
+				nodePinCap[ni] = d.Pin(tr.Nodes[ni].Pin).Cap
+			}
+		}
+		// Edge ids in batch order for this tree, indexed by tree edge idx.
+		edgeGlobal := make([]int32, len(tr.Edges))
+		for _, v := range order[1:] { // skip root
+			eIdx := parentEdge[v]
+			edgeGlobal[eIdx] = int32(len(b.EdgePar))
+			b.EdgePar = append(b.EdgePar, base+parent[v])
+			b.EdgeChild = append(b.EdgeChild, base+int32(v))
+			b.EdgeTree = append(b.EdgeTree, int32(ti))
+		}
+		// Subtree pin caps and descendant-edge pairs via reverse order.
+		subPinCap := make([]float64, len(tr.Nodes))
+		copy(subPinCap, nodePinCap)
+		for i := len(order) - 1; i >= 1; i-- {
+			v := order[i]
+			subPinCap[parent[v]] += subPinCap[v]
+		}
+		treeCap := 0.0
+		for ni := range tr.Nodes {
+			treeCap += nodePinCap[ni]
+		}
+		b.PinCapSumTree = append(b.PinCapSumTree, treeCap)
+		// Netlist-only wirelength estimate (no tree knowledge).
+		netOfTree := d.Net(tr.Net)
+		bb := geom.EmptyBBox()
+		bb = bb.Expand(d.Pin(netOfTree.Driver).Pos)
+		for _, sp := range netOfTree.Sinks {
+			bb = bb.Expand(d.Pin(sp).Pos)
+		}
+		b.NetHPWL = append(b.NetHPWL, float64(bb.HalfPerimeter()))
+		// PinCapBelowEdge: for edge (parent→v): subPinCap[v].
+		pinCapBelow := make([]float64, len(tr.Edges))
+		for _, v := range order[1:] {
+			pinCapBelow[parentEdge[v]] = subPinCap[v]
+		}
+		// Extend the global array for this tree's edges, then fill via the
+		// local→global edge map.
+		b.PinCapBelowEdge = append(b.PinCapBelowEdge, make([]float64, len(tr.Edges))...)
+		for ei := range tr.Edges {
+			b.PinCapBelowEdge[edgeGlobal[ei]] = pinCapBelow[ei]
+		}
+		// Descendant pairs: walk each node's path to root, adding
+		// (ancestorEdge, thisEdge) pairs (strict descendants).
+		for _, v := range order[1:] {
+			myEdge := edgeGlobal[parentEdge[v]]
+			for a := parent[v]; a > 0; a = parent[a] {
+				ancEdge := edgeGlobal[parentEdge[a]]
+				b.SubPairAnchor = append(b.SubPairAnchor, ancEdge)
+				b.SubPairEdge = append(b.SubPairEdge, myEdge)
+			}
+		}
+
+		// Sink arrays and path pairs.
+		net := d.Net(tr.Net)
+		drvNode := base // node 0
+		for _, spid := range net.Sinks {
+			g, ok := sinkNode[[2]int32{int32(ti), int32(spid)}]
+			if !ok {
+				return fmt.Errorf("gnn: net %s sink %d missing in tree", net.Name, spid)
+			}
+			sIdx := int32(len(b.SinkSinkPin))
+			b.SinkDriverPin = append(b.SinkDriverPin, int32(net.Driver))
+			b.SinkSinkPin = append(b.SinkSinkPin, int32(spid))
+			b.SinkTreeNode = append(b.SinkTreeNode, g)
+			b.SinkDrvNode = append(b.SinkDrvNode, drvNode)
+			b.SinkNet = append(b.SinkNet, int32(ti))
+			dd := d.Pin(net.Driver).Pos
+			sp := d.Pin(spid).Pos
+			dx := dd.X - sp.X
+			if dx < 0 {
+				dx = -dx
+			}
+			dy := dd.Y - sp.Y
+			if dy < 0 {
+				dy = -dy
+			}
+			b.SinkDistDirect = append(b.SinkDistDirect, float64(dx+dy))
+			// Path: walk v = sink node up to root.
+			v := g - base
+			for v != 0 {
+				b.PathPairSink = append(b.PathPairSink, sIdx)
+				b.PathPairEdge = append(b.PathPairEdge, edgeGlobal[parentEdge[v]])
+				v = parent[v]
+			}
+		}
+	}
+	return nil
+}
+
+// orientTree BFS-orients a tree from node 0, returning parent node,
+// parent edge index, and BFS order.
+func orientTree(tr *rsmt.Tree) (parent []int32, parentEdge []int32, order []int32, err error) {
+	n := len(tr.Nodes)
+	adj := make([][]int32, n)
+	adjEdge := make([][]int32, n)
+	for ei, e := range tr.Edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+		adjEdge[e.A] = append(adjEdge[e.A], int32(ei))
+		adjEdge[e.B] = append(adjEdge[e.B], int32(ei))
+	}
+	parent = make([]int32, n)
+	parentEdge = make([]int32, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[0] = -1
+	order = append(order, 0)
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		for k, v := range adj[u] {
+			if parent[v] == -2 {
+				parent[v] = u
+				parentEdge[v] = adjEdge[u][k]
+				order = append(order, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, nil, nil, fmt.Errorf("tree disconnected")
+	}
+	return parent, parentEdge, order, nil
+}
+
+// buildNetlistLevels computes topological pin levels and groups net edges
+// and cell arcs per level.
+func (b *Batch) buildNetlistLevels(d *netlist.Design) error {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return err
+	}
+	fanin := d.FaninEdges()
+	level := make([]int32, d.NumPins())
+	maxLevel := int32(0)
+	for _, pid := range order {
+		lv := int32(0)
+		for _, pred := range fanin[pid] {
+			if level[pred]+1 > lv {
+				lv = level[pred] + 1
+			}
+		}
+		level[pid] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	b.Levels = make([]Level, maxLevel+1)
+
+	// Net sinks by sink pin level.
+	for sIdx := range b.SinkSinkPin {
+		lv := level[b.SinkSinkPin[sIdx]]
+		b.Levels[lv].SinkIdx = append(b.Levels[lv].SinkIdx, int32(sIdx))
+	}
+
+	// Cell arcs by output pin level; startpoint boundary conditions.
+	for ci := range d.Cells {
+		inst := d.Cell(netlist.CellID(ci))
+		out := inst.OutputPin()
+		net := d.Pin(out).Net
+		if inst.Master.Sequential {
+			arc := inst.Master.ArcFrom("CK")
+			if arc == nil || net == netlist.NoID {
+				continue
+			}
+			b.QPins = append(b.QPins, int32(out))
+			b.QNet = append(b.QNet, int32(net))
+			d0, slope := arcConsts(arc)
+			b.QFeats = append(b.QFeats, d0, slope)
+			continue
+		}
+		lv := level[out]
+		L := &b.Levels[lv]
+		outLocal := int32(len(L.OutPins))
+		L.OutPins = append(L.OutPins, int32(out))
+		for i, in := range inst.InputPins() {
+			arc := inst.Master.ArcFrom(inst.Master.Inputs[i])
+			if arc == nil {
+				continue
+			}
+			L.ArcIn = append(L.ArcIn, int32(in))
+			L.ArcOut = append(L.ArcOut, int32(out))
+			L.ArcOutLocal = append(L.ArcOutLocal, outLocal)
+			if net == netlist.NoID {
+				L.ArcNet = append(L.ArcNet, -1)
+			} else {
+				L.ArcNet = append(L.ArcNet, int32(net))
+			}
+			d0, slope := arcConsts(arc)
+			L.ArcFeats = append(L.ArcFeats, d0, slope)
+		}
+	}
+	for _, pid := range d.PIs {
+		if net := d.Pin(pid).Net; net != netlist.NoID {
+			b.PIPins = append(b.PIPins, int32(pid))
+			b.PINet = append(b.PINet, int32(net))
+		}
+	}
+
+	// Endpoints.
+	for _, e := range d.Endpoints() {
+		req := d.ClockPeriod
+		p := d.Pin(e)
+		if !p.IsPort {
+			req -= d.Cell(p.Cell).Master.Setup
+		}
+		b.Endpoints = append(b.Endpoints, int32(e))
+		b.EndpointReq = append(b.EndpointReq, req)
+	}
+	return nil
+}
+
+// arcConsts summarizes a delay LUT by its nominal value and load slope —
+// the constant per-arc features the cell-delay head consumes.
+func arcConsts(arc *lib.Arc) (d0, slope float64) {
+	d0 = arc.Delay.Lookup(0.05, 0.01)
+	slope = (arc.Delay.Lookup(0.05, 0.20) - d0) / 0.19
+	return d0, slope
+}
+
+// Labels extracts per-pin ground-truth arrivals from a sign-off STA
+// result, the training target of the evaluator.
+func Labels(res *sta.Result) []float64 {
+	return append([]float64(nil), res.Arrival...)
+}
+
+// EngineeredFeatures evaluates the differentiable parasitic features the
+// model's heads consume — per-sink Elmore surrogate and driver→sink path
+// length (both from tree geometry), plus per-net capacitance — without
+// gradients. Sinks are indexed in the batch's global sink order; nets in
+// tree order. Exposed for analysis and validated against hand-computed
+// Elmore in tests.
+func (b *Batch) EngineeredFeatures(f *rsmt.Forest) (elm, pathLen, netCap []float64, err error) {
+	tp := tensor.NewTape()
+	xsv, ysv, idx := f.SteinerPositions()
+	if len(idx) != b.NSteiner {
+		return nil, nil, nil, fmt.Errorf("gnn: forest has %d Steiner vars, batch %d", len(idx), b.NSteiner)
+	}
+	xs, _ := tensor.FromSlice(len(xsv), 1, xsv)
+	ys, _ := tensor.FromSlice(len(ysv), 1, ysv)
+	tp.Constant(xs)
+	tp.Constant(ys)
+	pinX, _ := tensor.FromSlice(len(b.ConstPinX), 1, b.ConstPinX)
+	pinY, _ := tensor.FromSlice(len(b.ConstPinY), 1, b.ConstPinY)
+	tp.Constant(pinX)
+	tp.Constant(pinY)
+	combX, err := tp.ConcatRows(xs, pinX)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	combY, _ := tp.ConcatRows(ys, pinY)
+	nodeX, err := tp.GatherRows(combX, b.SrcIdx)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nodeY, _ := tp.GatherRows(combY, b.SrcIdx)
+
+	// Edge lengths.
+	ax, _ := tp.GatherRows(nodeX, b.EdgePar)
+	bx, _ := tp.GatherRows(nodeX, b.EdgeChild)
+	ay, _ := tp.GatherRows(nodeY, b.EdgePar)
+	by, _ := tp.GatherRows(nodeY, b.EdgeChild)
+	dx, _ := tp.Sub(ax, bx)
+	dy, _ := tp.Sub(ay, by)
+	adx, _ := tp.Abs(dx)
+	ady, _ := tp.Abs(dy)
+	lenE, err := tp.Add(adx, ady)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	gSub, _ := tp.GatherRows(lenE, b.SubPairEdge)
+	descLen, err := tp.SegmentSum(gSub, b.SubPairAnchor, len(b.EdgePar))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	subLen, _ := tp.Add(lenE, descLen)
+	wireCapDown, _ := tp.Scale(subLen, b.CAvg)
+	pinCapBelow, _ := tensor.FromSlice(len(b.PinCapBelowEdge), 1, b.PinCapBelowEdge)
+	tp.Constant(pinCapBelow)
+	capDown, _ := tp.Add(wireCapDown, pinCapBelow)
+	rE, _ := tp.Scale(lenE, b.RAvg)
+	elmE, err := tp.Mul(rE, capDown)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nSinks := len(b.SinkSinkPin)
+	gElm, _ := tp.GatherRows(elmE, b.PathPairEdge)
+	elmT, err := tp.SegmentSum(gElm, b.PathPairSink, nSinks)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	gLen, _ := tp.GatherRows(lenE, b.PathPairEdge)
+	pathT, _ := tp.SegmentSum(gLen, b.PathPairSink, nSinks)
+	treeLen, _ := tp.SegmentSum(lenE, b.EdgeTree, b.NTrees)
+	wireCapT, _ := tp.Scale(treeLen, b.CAvg)
+	pinCapT, _ := tensor.FromSlice(len(b.PinCapSumTree), 1, b.PinCapSumTree)
+	tp.Constant(pinCapT)
+	capT, err := tp.Add(wireCapT, pinCapT)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return append([]float64(nil), elmT.Data...),
+		append([]float64(nil), pathT.Data...),
+		append([]float64(nil), capT.Data...), nil
+}
+
+// SteinerLeaves creates the (X_s, Y_s) leaf tensors for a forest snapshot
+// on the given tape, in the batch's variable order.
+func (b *Batch) SteinerLeaves(tp *tensor.Tape, f *rsmt.Forest) (xs, ys *tensor.Tensor, err error) {
+	xsv, ysv, idx := f.SteinerPositions()
+	if len(idx) != b.NSteiner {
+		return nil, nil, fmt.Errorf("gnn: forest has %d Steiner vars, batch %d", len(idx), b.NSteiner)
+	}
+	for i := range idx {
+		if idx[i] != b.SteinerIndex[i] {
+			return nil, nil, fmt.Errorf("gnn: forest topology differs from batch at var %d", i)
+		}
+	}
+	xt, err := tensor.FromSlice(len(xsv), 1, xsv)
+	if err != nil {
+		return nil, nil, err
+	}
+	yt, err := tensor.FromSlice(len(ysv), 1, ysv)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tp.Leaf(xt), tp.Leaf(yt), nil
+}

@@ -1,0 +1,716 @@
+package gnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"tsteiner/internal/tensor"
+)
+
+// Config sizes the evaluator.
+type Config struct {
+	// Hidden is the Steiner-graph embedding width.
+	Hidden int
+	// WireHidden / CellHidden size the delay-head MLPs.
+	WireHidden, CellHidden int
+	// MPIters is the number of broadcast/reduce rounds (the paper uses 3;
+	// 0 disables Steiner-graph message passing entirely).
+	MPIters int
+	// ArcGamma is the LSE temperature (ns) smoothing the per-pin max over
+	// fanin arrivals during netlist propagation.
+	ArcGamma float64
+	// NoSteinerFeatures replaces every tree-geometry feature (Elmore
+	// surrogate, path lengths, tree capacitance) with netlist-only
+	// equivalents (HPWL-based), turning the model into the paper's
+	// reference [13] class of evaluator: pre-routing prediction with no
+	// Steiner awareness. Used to quantify the Steiner graph's value
+	// (and it removes all position gradients, so it cannot drive
+	// refinement).
+	NoSteinerFeatures bool
+}
+
+// DefaultConfig mirrors the paper's setup at a width that trains in
+// seconds on a single core.
+func DefaultConfig() Config {
+	return Config{Hidden: 8, WireHidden: 8, CellHidden: 8, MPIters: 3, ArcGamma: 0.05}
+}
+
+// Model holds the trainable parameters of the timing evaluator.
+type Model struct {
+	Cfg Config
+
+	// Steiner-graph stage.
+	WNode, BNode     *tensor.Tensor // node encoder: 6 → H
+	WBroad, BBroad   *tensor.Tensor // broadcast message: 2H+1 → H
+	WReduce, BReduce *tensor.Tensor // reduce message: 2H+2 → H
+
+	// Wire-delay head: H + 4 engineered features → WireHidden → 1.
+	WWire1, BWire1, WWire2, BWire2 *tensor.Tensor
+	// Cell-delay head: 3 features → CellHidden → 1.
+	WCell1, BCell1, WCell2, BCell2 *tensor.Tensor
+	// Register launch head (CK→Q): 3 features → 4 → 1.
+	WQ1, BQ1, WQ2, BQ2 *tensor.Tensor
+
+	// Physics anchors: learned non-negative gains (via softplus) on the
+	// differentiable first-order delay models. They guarantee that the
+	// dominant position gradient has the physical sign — more Elmore, more
+	// delay — while the MLP heads learn non-negative residual corrections.
+	PElm, PPath, PCell, PQ *tensor.Tensor
+}
+
+// NewModel initializes parameters deterministically from the seed.
+func NewModel(cfg Config, seed int64) *Model {
+	if cfg.Hidden <= 0 || cfg.WireHidden <= 0 || cfg.CellHidden <= 0 || cfg.MPIters < 0 || cfg.ArcGamma <= 0 {
+		noSteiner := cfg.NoSteinerFeatures
+		cfg = DefaultConfig()
+		cfg.NoSteinerFeatures = noSteiner
+	}
+	rng := rand.New(rand.NewSource(seed))
+	H := cfg.Hidden
+	mk := func(r, c int) *tensor.Tensor {
+		t := tensor.NewMatrix(r, c)
+		tensor.XavierInit(t, rng)
+		return t
+	}
+	vec := func(n int) *tensor.Tensor { return tensor.NewMatrix(1, n) }
+	// Delta heads end in Softplus; biasing their output layers negative
+	// makes initial predicted stage delays small (softplus(-3) ≈ 0.05 ns),
+	// the right order of magnitude, which cuts training time sharply.
+	negBias := func() *tensor.Tensor {
+		t := vec(1)
+		t.Data[0] = -3
+		return t
+	}
+	scalar := func(v float64) *tensor.Tensor {
+		t := vec(1)
+		t.Data[0] = v
+		return t
+	}
+	return &Model{
+		Cfg:   cfg,
+		WNode: mk(6, H), BNode: vec(H),
+		WBroad: mk(2*H+1, H), BBroad: vec(H),
+		WReduce: mk(2*H+2, H), BReduce: vec(H),
+		WWire1: mk(H+4, cfg.WireHidden), BWire1: vec(cfg.WireHidden),
+		WWire2: mk(cfg.WireHidden, 1), BWire2: negBias(),
+		WCell1: mk(3, cfg.CellHidden), BCell1: vec(cfg.CellHidden),
+		WCell2: mk(cfg.CellHidden, 1), BCell2: negBias(),
+		WQ1: mk(3, 4), BQ1: vec(4),
+		WQ2: mk(4, 1), BQ2: negBias(),
+		// softplus(0.5413) ≈ 1: anchors start at unit gain; the path-term
+		// gain starts tiny (it is a correction on top of Elmore).
+		PElm:  scalar(0.5413),
+		PPath: scalar(-3),
+		PCell: scalar(0.5413),
+		PQ:    scalar(0.5413),
+	}
+}
+
+// Params returns every trainable tensor.
+func (m *Model) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{
+		m.WNode, m.BNode, m.WBroad, m.BBroad, m.WReduce, m.BReduce,
+		m.WWire1, m.BWire1, m.WWire2, m.BWire2,
+		m.WCell1, m.BCell1, m.WCell2, m.BCell2,
+		m.WQ1, m.BQ1, m.WQ2, m.BQ2,
+		m.PElm, m.PPath, m.PCell, m.PQ,
+	}
+}
+
+// Prediction is the output of a forward pass.
+type Prediction struct {
+	// Arrival is the predicted arrival time per pin [NPins × 1].
+	Arrival *tensor.Tensor
+	// EndpointArrival gathers Arrival at the batch's endpoints.
+	EndpointArrival *tensor.Tensor
+	// Slack = required − arrival per endpoint.
+	Slack *tensor.Tensor
+}
+
+// Forward runs the two-stage evaluation. xs/ys are the Steiner coordinate
+// tensors (leaves when gradients are wanted, constants otherwise);
+// trainParams controls whether model parameters join the tape as leaves.
+func (m *Model) Forward(tp *tensor.Tape, b *Batch, xs, ys *tensor.Tensor, trainParams bool) (*Prediction, error) {
+	attach := tp.Constant
+	if trainParams {
+		attach = tp.Leaf
+	}
+	for _, p := range m.Params() {
+		attach(p)
+	}
+
+	// ---- coordinates & edge lengths ----
+	pinX, err := tensor.FromSlice(len(b.ConstPinX), 1, b.ConstPinX)
+	if err != nil {
+		return nil, err
+	}
+	pinY, _ := tensor.FromSlice(len(b.ConstPinY), 1, b.ConstPinY)
+	tp.Constant(pinX)
+	tp.Constant(pinY)
+	combX, err := tp.ConcatRows(xs, pinX)
+	if err != nil {
+		return nil, err
+	}
+	combY, err := tp.ConcatRows(ys, pinY)
+	if err != nil {
+		return nil, err
+	}
+	nodeX, err := tp.GatherRows(combX, b.SrcIdx)
+	if err != nil {
+		return nil, err
+	}
+	nodeY, err := tp.GatherRows(combY, b.SrcIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	lenE, err := m.edgeLengths(tp, b, nodeX, nodeY)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- engineered differentiable parasitics ----
+	// Subtree wire length per edge: own length plus descendants.
+	descLen, err := gatherSegSum(tp, lenE, b.SubPairEdge, b.SubPairAnchor, len(b.EdgePar))
+	if err != nil {
+		return nil, err
+	}
+	subLen, err := tp.Add(lenE, descLen)
+	if err != nil {
+		return nil, err
+	}
+	// Downstream cap per edge: c̄·subLen + pin cap below (const).
+	wireCapDown, err := tp.Scale(subLen, b.CAvg)
+	if err != nil {
+		return nil, err
+	}
+	pinCapBelow, _ := tensor.FromSlice(len(b.PinCapBelowEdge), 1, b.PinCapBelowEdge)
+	tp.Constant(pinCapBelow)
+	capDown, err := tp.Add(wireCapDown, pinCapBelow)
+	if err != nil {
+		return nil, err
+	}
+	// Elmore contribution per edge: r̄·len ⊙ capDown.
+	rE, err := tp.Scale(lenE, b.RAvg)
+	if err != nil {
+		return nil, err
+	}
+	elmE, err := tp.Mul(rE, capDown)
+	if err != nil {
+		return nil, err
+	}
+	// Per-sink Elmore and path length.
+	nSinks := len(b.SinkSinkPin)
+	elmS, err := gatherSegSum(tp, elmE, b.PathPairEdge, b.PathPairSink, nSinks)
+	if err != nil {
+		return nil, err
+	}
+	pathS, err := gatherSegSum(tp, lenE, b.PathPairEdge, b.PathPairSink, nSinks)
+	if err != nil {
+		return nil, err
+	}
+	// Net capacitance per tree: c̄·treeLen + Σ pin caps.
+	treeLen, err := tp.SegmentSum(lenE, b.EdgeTree, b.NTrees)
+	if err != nil {
+		return nil, err
+	}
+	wireCapT, err := tp.Scale(treeLen, b.CAvg)
+	if err != nil {
+		return nil, err
+	}
+	pinCapT, _ := tensor.FromSlice(len(b.PinCapSumTree), 1, b.PinCapSumTree)
+	tp.Constant(pinCapT)
+	netCap, err := tp.Add(wireCapT, pinCapT)
+	if err != nil {
+		return nil, err
+	}
+
+	// Netlist-only variant: strip every tree-derived feature, leaving the
+	// HPWL-based estimates a pre-routing predictor without Steiner
+	// awareness would use (paper reference [13] class). Combined with
+	// MPIters=0 the model becomes fully Steiner-blind.
+	if m.Cfg.NoSteinerFeatures {
+		nSinks := len(b.SinkSinkPin)
+		elmS = tp.Constant(tensor.NewMatrix(nSinks, 1))
+		pathS = tp.Constant(tensor.NewMatrix(nSinks, 1))
+		hp, err := tensor.FromSlice(len(b.NetHPWL), 1, b.NetHPWL)
+		if err != nil {
+			return nil, err
+		}
+		tp.Constant(hp)
+		hpCap, err := tp.Scale(hp, b.CAvg)
+		if err != nil {
+			return nil, err
+		}
+		pinCapT2, _ := tensor.FromSlice(len(b.PinCapSumTree), 1, b.PinCapSumTree)
+		tp.Constant(pinCapT2)
+		netCap, err = tp.Add(hpCap, pinCapT2)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Steiner-graph message passing ----
+	h, err := m.steinerMP(tp, b, nodeX, nodeY, lenE, elmS, pathS)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- netlist propagation ----
+	return m.propagate(tp, b, h, elmS, pathS, netCap)
+}
+
+// edgeLengths computes |Δx|+|Δy| per oriented tree edge.
+func (m *Model) edgeLengths(tp *tensor.Tape, b *Batch, nodeX, nodeY *tensor.Tensor) (*tensor.Tensor, error) {
+	ax, err := tp.GatherRows(nodeX, b.EdgePar)
+	if err != nil {
+		return nil, err
+	}
+	bx, _ := tp.GatherRows(nodeX, b.EdgeChild)
+	ay, _ := tp.GatherRows(nodeY, b.EdgePar)
+	by, _ := tp.GatherRows(nodeY, b.EdgeChild)
+	dx, err := tp.Sub(ax, bx)
+	if err != nil {
+		return nil, err
+	}
+	dy, _ := tp.Sub(ay, by)
+	adx, err := tp.Abs(dx)
+	if err != nil {
+		return nil, err
+	}
+	ady, _ := tp.Abs(dy)
+	return tp.Add(adx, ady)
+}
+
+// gatherSegSum is the sparse accumulate out[dst[i]] += src[idx[i]].
+func gatherSegSum(tp *tensor.Tape, src *tensor.Tensor, idx, dst []int32, nOut int) (*tensor.Tensor, error) {
+	g, err := tp.GatherRows(src, idx)
+	if err != nil {
+		return nil, err
+	}
+	return tp.SegmentSum(g, dst, nOut)
+}
+
+// steinerMP runs MPIters rounds of broadcast (tree edges, parent→child)
+// and reduce (net edges, sink→driver), the paper's bidirectional net
+// propagation on the Steiner graph.
+func (m *Model) steinerMP(tp *tensor.Tape, b *Batch, nodeX, nodeY, lenE, elmS, pathS *tensor.Tensor) (*tensor.Tensor, error) {
+	xn, err := tp.Scale(nodeX, b.LenScale)
+	if err != nil {
+		return nil, err
+	}
+	yn, _ := tp.Scale(nodeY, b.LenScale)
+	feats, _ := tensor.FromSlice(b.NNodes, 4, b.NodeFeats)
+	tp.Constant(feats)
+	f0, err := tp.ConcatCols(xn, yn, feats)
+	if err != nil {
+		return nil, err
+	}
+	lin, err := tp.Linear(f0, m.WNode, m.BNode)
+	if err != nil {
+		return nil, err
+	}
+	h, err := tp.Tanh(lin)
+	if err != nil {
+		return nil, err
+	}
+
+	lenEn, err := tp.Scale(lenE, b.LenScale)
+	if err != nil {
+		return nil, err
+	}
+	elmSn, _ := tp.Scale(elmS, b.ElmScale)
+	pathSn, _ := tp.Scale(pathS, b.LenScale)
+
+	for it := 0; it < m.Cfg.MPIters; it++ {
+		// Broadcast: message along each tree edge to its child node.
+		hp, err := tp.GatherRows(h, b.EdgePar)
+		if err != nil {
+			return nil, err
+		}
+		hc, _ := tp.GatherRows(h, b.EdgeChild)
+		bin, err := tp.ConcatCols(hp, hc, lenEn)
+		if err != nil {
+			return nil, err
+		}
+		blin, err := tp.Linear(bin, m.WBroad, m.BBroad)
+		if err != nil {
+			return nil, err
+		}
+		bmsg, err := tp.Tanh(blin)
+		if err != nil {
+			return nil, err
+		}
+		upd, err := tp.SegmentSum(bmsg, b.EdgeChild, b.NNodes)
+		if err != nil {
+			return nil, err
+		}
+		h, err = tp.Add(h, upd)
+		if err != nil {
+			return nil, err
+		}
+
+		// Reduce: messages from sink pin nodes back to their driver node.
+		hs, err := tp.GatherRows(h, b.SinkTreeNode)
+		if err != nil {
+			return nil, err
+		}
+		hd, _ := tp.GatherRows(h, b.SinkDrvNode)
+		rin, err := tp.ConcatCols(hs, hd, elmSn, pathSn)
+		if err != nil {
+			return nil, err
+		}
+		rlin, err := tp.Linear(rin, m.WReduce, m.BReduce)
+		if err != nil {
+			return nil, err
+		}
+		rmsg, err := tp.Tanh(rlin)
+		if err != nil {
+			return nil, err
+		}
+		rupd, err := tp.SegmentMean(rmsg, b.SinkDrvNode, b.NNodes)
+		if err != nil {
+			return nil, err
+		}
+		h, err = tp.Add(h, rupd)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// propagate walks netlist levels, predicting wire deltas for net sinks and
+// cell deltas (with a smooth max over fanin) for cell outputs.
+func (m *Model) propagate(tp *tensor.Tape, b *Batch, h, elmS, pathS, netCap *tensor.Tensor) (*Prediction, error) {
+	arr := tp.Constant(tensor.NewMatrix(b.NPins, 1))
+
+	// Register launches: arrival at Q = f(arc consts, net load).
+	if len(b.QPins) > 0 {
+		qf, err := tensor.FromSlice(len(b.QPins), 2, b.QFeats)
+		if err != nil {
+			return nil, err
+		}
+		tp.Constant(qf)
+		qcap, err := tp.GatherRows(netCap, b.QNet)
+		if err != nil {
+			return nil, err
+		}
+		qcapn, _ := tp.Scale(qcap, 20) // pF → O(1)
+		qin, err := tp.ConcatCols(qf, qcapn)
+		if err != nil {
+			return nil, err
+		}
+		ql1, err := tp.Linear(qin, m.WQ1, m.BQ1)
+		if err != nil {
+			return nil, err
+		}
+		qa, err := tp.Tanh(ql1)
+		if err != nil {
+			return nil, err
+		}
+		ql2, err := tp.Linear(qa, m.WQ2, m.BQ2)
+		if err != nil {
+			return nil, err
+		}
+		qres, err := tp.Softplus(ql2)
+		if err != nil {
+			return nil, err
+		}
+		// Anchor: CK→Q ≈ d0 + slope·load, with a learned unit-init gain.
+		qAnchor, err := m.anchoredDelay(tp, b.QFeats, qcap, m.PQ)
+		if err != nil {
+			return nil, err
+		}
+		qd, err := tp.Add(qAnchor, qres)
+		if err != nil {
+			return nil, err
+		}
+		upd, err := tp.SegmentSum(qd, b.QPins, b.NPins)
+		if err != nil {
+			return nil, err
+		}
+		arr, err = tp.Add(arr, upd)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	elmSn, err := tp.Scale(elmS, b.ElmScale)
+	if err != nil {
+		return nil, err
+	}
+	pathSn, _ := tp.Scale(pathS, b.LenScale)
+	distS, _ := tensor.FromSlice(len(b.SinkDistDirect), 1, b.SinkDistDirect)
+	tp.Constant(distS)
+	distSn, _ := tp.Scale(distS, b.LenScale)
+	capS, err := tp.GatherRows(netCap, b.SinkNet)
+	if err != nil {
+		return nil, err
+	}
+	capSn, _ := tp.Scale(capS, 20)
+
+	// Precompute full per-sink wire features once; levels gather rows.
+	hSink, err := tp.GatherRows(h, b.SinkTreeNode)
+	if err != nil {
+		return nil, err
+	}
+	wireFeat, err := tp.ConcatCols(hSink, elmSn, pathSn, distSn, capSn)
+	if err != nil {
+		return nil, err
+	}
+	wl1, err := tp.Linear(wireFeat, m.WWire1, m.BWire1)
+	if err != nil {
+		return nil, err
+	}
+	wa, err := tp.Tanh(wl1)
+	if err != nil {
+		return nil, err
+	}
+	wl2, err := tp.Linear(wa, m.WWire2, m.BWire2)
+	if err != nil {
+		return nil, err
+	}
+	wireRes, err := tp.Softplus(wl2) // [nSinks,1] ≥ 0 residual
+	if err != nil {
+		return nil, err
+	}
+	// Physics anchor: wire delay ≈ gain_e·Elmore + gain_p·pathLen, both
+	// gains non-negative, so ∂delay/∂position carries the Elmore sign.
+	spElm, err := tp.Softplus(m.PElm)
+	if err != nil {
+		return nil, err
+	}
+	elmTerm, err := tp.MulBroadcast(elmS, spElm)
+	if err != nil {
+		return nil, err
+	}
+	spPath, err := tp.Softplus(m.PPath)
+	if err != nil {
+		return nil, err
+	}
+	pathSmall, err := tp.Scale(pathS, 1e-4)
+	if err != nil {
+		return nil, err
+	}
+	pathTerm, err := tp.MulBroadcast(pathSmall, spPath)
+	if err != nil {
+		return nil, err
+	}
+	wireAnchor, err := tp.Add(elmTerm, pathTerm)
+	if err != nil {
+		return nil, err
+	}
+	wireDelta, err := tp.Add(wireAnchor, wireRes)
+	if err != nil {
+		return nil, err
+	}
+
+	for li := range b.Levels {
+		L := &b.Levels[li]
+		// Net sinks: arrival = driver arrival + wire delta.
+		if len(L.SinkIdx) > 0 {
+			drv := make([]int32, len(L.SinkIdx))
+			snk := make([]int32, len(L.SinkIdx))
+			for i, s := range L.SinkIdx {
+				drv[i] = b.SinkDriverPin[s]
+				snk[i] = b.SinkSinkPin[s]
+			}
+			aDrv, err := tp.GatherRows(arr, drv)
+			if err != nil {
+				return nil, err
+			}
+			dlt, err := tp.GatherRows(wireDelta, L.SinkIdx)
+			if err != nil {
+				return nil, err
+			}
+			aSnk, err := tp.Add(aDrv, dlt)
+			if err != nil {
+				return nil, err
+			}
+			upd, err := tp.SegmentSum(aSnk, snk, b.NPins)
+			if err != nil {
+				return nil, err
+			}
+			arr, err = tp.Add(arr, upd)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Cell arcs: out arrival = smoothmax over (in arrival + delta).
+		if len(L.ArcIn) > 0 {
+			af, err := tensor.FromSlice(len(L.ArcIn), 2, L.ArcFeats)
+			if err != nil {
+				return nil, err
+			}
+			tp.Constant(af)
+			// Load of the driven net (0 for unconnected outputs).
+			loads := make([]float64, len(L.ArcIn))
+			for i, nt := range L.ArcNet {
+				if nt >= 0 {
+					loads[i] = 1
+				}
+			}
+			netIdx := make([]int32, len(L.ArcIn))
+			for i, nt := range L.ArcNet {
+				if nt >= 0 {
+					netIdx[i] = nt
+				}
+			}
+			mask, _ := tensor.FromSlice(len(loads), 1, loads)
+			tp.Constant(mask)
+			capArc, err := tp.GatherRows(netCap, netIdx)
+			if err != nil {
+				return nil, err
+			}
+			capMasked, err := tp.Mul(capArc, mask)
+			if err != nil {
+				return nil, err
+			}
+			capN, _ := tp.Scale(capMasked, 20)
+			cin, err := tp.ConcatCols(af, capN)
+			if err != nil {
+				return nil, err
+			}
+			cl1, err := tp.Linear(cin, m.WCell1, m.BCell1)
+			if err != nil {
+				return nil, err
+			}
+			ca, err := tp.Tanh(cl1)
+			if err != nil {
+				return nil, err
+			}
+			cl2, err := tp.Linear(ca, m.WCell2, m.BCell2)
+			if err != nil {
+				return nil, err
+			}
+			cres, err := tp.Softplus(cl2)
+			if err != nil {
+				return nil, err
+			}
+			cAnchor, err := m.anchoredDelay(tp, L.ArcFeats, capMasked, m.PCell)
+			if err != nil {
+				return nil, err
+			}
+			cdlt, err := tp.Add(cAnchor, cres)
+			if err != nil {
+				return nil, err
+			}
+			aIn, err := tp.GatherRows(arr, L.ArcIn)
+			if err != nil {
+				return nil, err
+			}
+			cand, err := tp.Add(aIn, cdlt)
+			if err != nil {
+				return nil, err
+			}
+			aOut, err := tp.SegmentLSE(cand, L.ArcOutLocal, len(L.OutPins), m.Cfg.ArcGamma)
+			if err != nil {
+				return nil, err
+			}
+			upd, err := tp.SegmentSum(aOut, L.OutPins, b.NPins)
+			if err != nil {
+				return nil, err
+			}
+			arr, err = tp.Add(arr, upd)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	epArr, err := tp.GatherRows(arr, b.Endpoints)
+	if err != nil {
+		return nil, err
+	}
+	req, err := tensor.FromSlice(len(b.EndpointReq), 1, b.EndpointReq)
+	if err != nil {
+		return nil, err
+	}
+	tp.Constant(req)
+	slack, err := tp.Sub(req, epArr)
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{Arrival: arr, EndpointArrival: epArr, Slack: slack}, nil
+}
+
+// anchoredDelay computes softplus(gain)·(d0 + slope·load) for per-arc
+// constant features stored as [d0, slope] pairs and a differentiable load
+// column — the first-order LUT model that anchors each delay head.
+func (m *Model) anchoredDelay(tp *tensor.Tape, feats []float64, load *tensor.Tensor, gain *tensor.Tensor) (*tensor.Tensor, error) {
+	n := len(feats) / 2
+	d0 := make([]float64, n)
+	slope := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d0[i] = feats[2*i]
+		slope[i] = feats[2*i+1]
+	}
+	d0t, err := tensor.FromSlice(n, 1, d0)
+	if err != nil {
+		return nil, err
+	}
+	slopeT, _ := tensor.FromSlice(n, 1, slope)
+	tp.Constant(d0t)
+	tp.Constant(slopeT)
+	loadTerm, err := tp.Mul(slopeT, load)
+	if err != nil {
+		return nil, err
+	}
+	base, err := tp.Add(d0t, loadTerm)
+	if err != nil {
+		return nil, err
+	}
+	spGain, err := tp.Softplus(gain)
+	if err != nil {
+		return nil, err
+	}
+	return tp.MulBroadcast(base, spGain)
+}
+
+// modelJSON serializes parameters for Save/Load.
+type modelJSON struct {
+	Cfg    Config
+	Params [][]float64
+	Shapes [][2]int
+}
+
+// Save writes the model to path as JSON.
+func (m *Model) Save(path string) error {
+	js := modelJSON{Cfg: m.Cfg}
+	for _, p := range m.Params() {
+		js.Params = append(js.Params, p.Data)
+		js.Shapes = append(js.Shapes, [2]int{p.Rows, p.Cols})
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a model saved by Save.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var js modelJSON
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, err
+	}
+	m := NewModel(js.Cfg, 0)
+	ps := m.Params()
+	if len(js.Params) != len(ps) {
+		return nil, fmt.Errorf("gnn: saved model has %d tensors, want %d", len(js.Params), len(ps))
+	}
+	for i, p := range ps {
+		if js.Shapes[i] != [2]int{p.Rows, p.Cols} {
+			return nil, fmt.Errorf("gnn: tensor %d shape mismatch", i)
+		}
+		copy(p.Data, js.Params[i])
+	}
+	return m, nil
+}

@@ -1,0 +1,205 @@
+package lib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUTValidate(t *testing.T) {
+	good := NewLUTFromModel([]float64{0.1, 0.2}, []float64{0.01, 0.02}, 1, 0, 0, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid LUT rejected: %v", err)
+	}
+	bad := &LUT{SlewAxis: []float64{0.2, 0.1}, LoadAxis: []float64{0.01}, Values: [][]float64{{1}, {2}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("descending slew axis accepted")
+	}
+	empty := &LUT{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty LUT accepted")
+	}
+	ragged := &LUT{SlewAxis: []float64{0.1, 0.2}, LoadAxis: []float64{0.01, 0.02}, Values: [][]float64{{1, 2}, {3}}}
+	if err := ragged.Validate(); err == nil {
+		t.Fatal("ragged LUT accepted")
+	}
+}
+
+func TestLUTExactAtGridPoints(t *testing.T) {
+	slews := []float64{0.01, 0.05, 0.15}
+	loads := []float64{0.001, 0.01, 0.05}
+	lut := NewLUTFromModel(slews, loads, 0.02, 0.1, 2.0, 0.4)
+	for _, s := range slews {
+		for _, l := range loads {
+			want := 0.02 + 0.1*s + 2.0*l + 0.4*s*l
+			got := lut.Lookup(s, l)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("Lookup(%g,%g)=%g want %g", s, l, got, want)
+			}
+		}
+	}
+}
+
+func TestLUTInterpolationExactForModel(t *testing.T) {
+	// Bilinear interpolation is exact for base + kS·s + kL·l + kSL·s·l
+	// within a grid cell; verify at off-grid points.
+	lut := NewLUTFromModel([]float64{0.0, 1.0}, []float64{0.0, 1.0}, 1.0, 2.0, 3.0, 4.0)
+	f := func(sRaw, lRaw uint8) bool {
+		s := float64(sRaw) / 255.0
+		l := float64(lRaw) / 255.0
+		want := 1.0 + 2.0*s + 3.0*l + 4.0*s*l
+		return math.Abs(lut.Lookup(s, l)-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUTClampsOutsideGrid(t *testing.T) {
+	lut := NewLUTFromModel([]float64{0.1, 0.2}, []float64{0.01, 0.02}, 0, 1, 10, 0)
+	// Below the grid → corner value at (0.1, 0.01).
+	if got, want := lut.Lookup(0.0, 0.0), 0.1*1+0.01*10; math.Abs(got-want) > 1e-12 {
+		t.Errorf("below-grid lookup=%g want %g", got, want)
+	}
+	// Above the grid → corner value at (0.2, 0.02).
+	if got, want := lut.Lookup(9.0, 9.0), 0.2*1+0.02*10; math.Abs(got-want) > 1e-12 {
+		t.Errorf("above-grid lookup=%g want %g", got, want)
+	}
+}
+
+func TestLUTMonotoneInLoad(t *testing.T) {
+	// Delay tables in Default all have positive load slope: more load,
+	// more delay. Check monotonicity on a dense sweep.
+	l := Default()
+	for name, c := range l.Cells {
+		for _, arc := range c.Arcs {
+			prev := -math.MaxFloat64
+			for load := 0.0; load <= 0.5; load += 0.01 {
+				v := arc.Delay.Lookup(0.1, load)
+				if v < prev-1e-12 {
+					t.Errorf("%s arc %s: delay not monotone in load at %g", name, arc.From, load)
+					break
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+func TestDefaultLibraryStructure(t *testing.T) {
+	l := Default()
+	if len(l.Cells) < 10 {
+		t.Fatalf("library too small: %d cells", len(l.Cells))
+	}
+	if l.Layers() != 5 || len(l.LayerCap) != 5 {
+		t.Fatalf("expected 5 routing layers")
+	}
+	if l.ClockPeriod <= 0 {
+		t.Fatal("clock period must be positive")
+	}
+	dff := l.MustCell("DFF_X1")
+	if !dff.Sequential || dff.Setup <= 0 {
+		t.Fatal("DFF must be sequential with positive setup")
+	}
+	if dff.ArcFrom("D") != nil {
+		t.Fatal("DFF must not have a D→Q delay arc")
+	}
+	if dff.ArcFrom("CK") == nil {
+		t.Fatal("DFF must have a CK→Q arc")
+	}
+	for name, c := range l.Cells {
+		if c.Output == "" {
+			t.Errorf("%s: missing output pin", name)
+		}
+		for _, in := range c.Inputs {
+			if c.InputCap[in] <= 0 {
+				t.Errorf("%s: input %s has non-positive cap", name, in)
+			}
+		}
+		if c.DriveRes <= 0 {
+			t.Errorf("%s: non-positive drive resistance", name)
+		}
+		for _, arc := range c.Arcs {
+			if err := arc.Delay.Validate(); err != nil {
+				t.Errorf("%s delay LUT: %v", name, err)
+			}
+			if err := arc.Slew.Validate(); err != nil {
+				t.Errorf("%s slew LUT: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestCellLookupErrors(t *testing.T) {
+	l := Default()
+	if _, err := l.Cell("NO_SUCH_CELL"); err == nil {
+		t.Fatal("expected error for unknown cell")
+	}
+	if c, err := l.Cell("INV_X1"); err != nil || c.Name != "INV_X1" {
+		t.Fatalf("Cell(INV_X1)=%v,%v", c, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCell should panic on unknown name")
+		}
+	}()
+	l.MustCell("NO_SUCH_CELL")
+}
+
+func TestCombinationalNames(t *testing.T) {
+	l := Default()
+	names := l.CombinationalNames()
+	if len(names) == 0 {
+		t.Fatal("no combinational cells")
+	}
+	for _, n := range names {
+		if l.MustCell(n).Sequential {
+			t.Errorf("%s is sequential", n)
+		}
+	}
+	// Deterministic order across calls.
+	again := l.CombinationalNames()
+	for i := range names {
+		if names[i] != again[i] {
+			t.Fatal("CombinationalNames order not deterministic")
+		}
+	}
+}
+
+func TestDriveStrengthOrdering(t *testing.T) {
+	// A stronger buffer must have lower drive resistance and lower load
+	// slope than the weak one.
+	l := Default()
+	weak, strong := l.MustCell("BUF_X1"), l.MustCell("BUF_X4")
+	if strong.DriveRes >= weak.DriveRes {
+		t.Error("BUF_X4 should have lower drive resistance than BUF_X1")
+	}
+	load := 0.3
+	dWeak := weak.Arcs[0].Delay.Lookup(0.1, load)
+	dStrong := strong.Arcs[0].Delay.Lookup(0.1, load)
+	if dStrong >= dWeak {
+		t.Errorf("at heavy load, BUF_X4 (%.4f) should beat BUF_X1 (%.4f)", dStrong, dWeak)
+	}
+}
+
+func TestBracket(t *testing.T) {
+	axis := []float64{1, 2, 4}
+	cases := []struct {
+		v        float64
+		lo, hi   int
+		fracWant float64
+	}{
+		{0.5, 0, 0, 0},
+		{1, 0, 0, 0},
+		{1.5, 0, 1, 0.5},
+		{3, 1, 2, 0.5},
+		{4, 2, 2, 0},
+		{9, 2, 2, 0},
+	}
+	for _, c := range cases {
+		lo, hi, f := bracket(axis, c.v)
+		if lo != c.lo || hi != c.hi || math.Abs(f-c.fracWant) > 1e-12 {
+			t.Errorf("bracket(%g)=(%d,%d,%g) want (%d,%d,%g)", c.v, lo, hi, f, c.lo, c.hi, c.fracWant)
+		}
+	}
+}

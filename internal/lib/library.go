@@ -1,0 +1,230 @@
+package lib
+
+import "fmt"
+
+// Arc is a characterized timing arc from one input pin to the output pin of
+// a cell, carrying NLDM delay and output-slew tables.
+type Arc struct {
+	From  string // input pin name
+	Delay *LUT   // arc delay (ns)
+	Slew  *LUT   // output slew (ns)
+}
+
+// Cell describes one standard-cell master.
+type Cell struct {
+	Name       string
+	Inputs     []string // input pin names (for a DFF: D then CK)
+	Output     string   // single output pin name
+	Sequential bool     // true for registers (DFF)
+
+	// InputCap is the pin capacitance (pF) per input pin, keyed by name.
+	InputCap map[string]float64
+
+	// DriveRes is the equivalent output drive resistance (kΩ), used by the
+	// RC extractor as the source resistance of the net's RC tree.
+	DriveRes float64
+
+	// Arcs characterize input→output delay. For a DFF the only delay arc
+	// is CK→Q; the D input instead has a setup constraint.
+	Arcs []Arc
+
+	// Setup is the setup time (ns) required at the D pin of a register
+	// relative to the capturing clock edge. Zero for combinational cells.
+	Setup float64
+	// Hold is the hold time (ns) the D pin must remain stable after the
+	// clock edge. Zero for combinational cells.
+	Hold float64
+
+	// MaxCap is the largest output load (pF) the cell is characterized
+	// for; loads beyond it are legal but extrapolated (clamped).
+	MaxCap float64
+}
+
+// ArcFrom returns the timing arc from the named input, or nil if the input
+// has no delay arc (e.g. the D pin of a register).
+func (c *Cell) ArcFrom(input string) *Arc {
+	for i := range c.Arcs {
+		if c.Arcs[i].From == input {
+			return &c.Arcs[i]
+		}
+	}
+	return nil
+}
+
+// Library is a collection of cell masters plus the interconnect technology
+// parameters needed by RC extraction.
+type Library struct {
+	Cells map[string]*Cell
+
+	// Interconnect technology: per-DBU wire resistance (kΩ) and
+	// capacitance (pF) per routing layer, plus via resistance (kΩ).
+	// Layer 0 is the lowest metal; higher layers are progressively
+	// wider/faster, as in a real back-end stack.
+	LayerRes []float64
+	LayerCap []float64
+	ViaRes   float64
+
+	// ClockPeriod is the default timing constraint (ns) applied to all
+	// register-to-register and I/O paths.
+	ClockPeriod float64
+
+	// MaxSlew is the max-transition design rule (ns): pins whose slew
+	// exceeds it are reported as slew violations by STA. Unbuffered
+	// high-fanout nets routinely violate it, as in real sign-off.
+	MaxSlew float64
+}
+
+// Cell returns the named master or an error naming the missing cell.
+func (l *Library) Cell(name string) (*Cell, error) {
+	c, ok := l.Cells[name]
+	if !ok {
+		return nil, fmt.Errorf("lib: unknown cell %q", name)
+	}
+	return c, nil
+}
+
+// MustCell is Cell for callers that know the name is valid (tests,
+// generators that only emit library names).
+func (l *Library) MustCell(name string) *Cell {
+	c, err := l.Cell(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Layers returns the number of routing layers in the technology.
+func (l *Library) Layers() int { return len(l.LayerRes) }
+
+// Default characterization axes, spanning typical slews and loads for a
+// 130nm-class library.
+var (
+	defaultSlewAxis = []float64{0.01, 0.05, 0.15, 0.40, 1.00}
+	defaultLoadAxis = []float64{0.001, 0.01, 0.05, 0.15, 0.40}
+)
+
+// cellSpec captures the parametric characterization of one master used by
+// Default to synthesize its LUTs.
+type cellSpec struct {
+	name   string
+	inputs []string
+	seq    bool
+	// base intrinsic delay (ns), load slope (ns/pF), slew slope, cross term
+	d0, dL, dS, dSL float64
+	// output slew model
+	s0, sL, sS float64
+	inCap      float64 // pF per input
+	driveRes   float64 // kΩ
+	setup      float64 // ns, sequential only
+	hold       float64 // ns, sequential only
+}
+
+func (sp cellSpec) build() *Cell {
+	c := &Cell{
+		Name:       sp.name,
+		Inputs:     append([]string(nil), sp.inputs...),
+		Output:     outputName(sp.seq),
+		Sequential: sp.seq,
+		InputCap:   map[string]float64{},
+		DriveRes:   sp.driveRes,
+		Setup:      sp.setup,
+		Hold:       sp.hold,
+		MaxCap:     defaultLoadAxis[len(defaultLoadAxis)-1],
+	}
+	for _, in := range sp.inputs {
+		cap := sp.inCap
+		if sp.seq && in == "CK" {
+			cap = sp.inCap * 0.6 // clock pins are typically lighter
+		}
+		c.InputCap[in] = cap
+	}
+	arcsFrom := sp.inputs
+	if sp.seq {
+		arcsFrom = []string{"CK"} // the only delay arc of a DFF is CK→Q
+	}
+	for i, in := range arcsFrom {
+		// Later inputs of a multi-input gate are marginally slower, the
+		// usual stack-position effect.
+		skew := 1.0 + 0.06*float64(i)
+		c.Arcs = append(c.Arcs, Arc{
+			From:  in,
+			Delay: NewLUTFromModel(defaultSlewAxis, defaultLoadAxis, sp.d0*skew, sp.dS, sp.dL*skew, sp.dSL),
+			Slew:  NewLUTFromModel(defaultSlewAxis, defaultLoadAxis, sp.s0, sp.sS, sp.sL, 0),
+		})
+	}
+	return c
+}
+
+func outputName(seq bool) string {
+	if seq {
+		return "Q"
+	}
+	return "Z"
+}
+
+// Default builds the technology library used by every benchmark in this
+// repository: a compact 130nm-class cell set with three drive strengths of
+// buffering, the common two-input gates, and a D flip-flop, plus a
+// five-layer interconnect stack.
+func Default() *Library {
+	specs := []cellSpec{
+		{name: "INV_X1", inputs: []string{"A"}, d0: 0.018, dL: 1.95, dS: 0.11, dSL: 0.35, s0: 0.012, sL: 1.30, sS: 0.18, inCap: 0.0021, driveRes: 5.8},
+		{name: "INV_X2", inputs: []string{"A"}, d0: 0.016, dL: 1.02, dS: 0.10, dSL: 0.20, s0: 0.011, sL: 0.70, sS: 0.16, inCap: 0.0040, driveRes: 3.0},
+		{name: "BUF_X1", inputs: []string{"A"}, d0: 0.035, dL: 1.90, dS: 0.14, dSL: 0.30, s0: 0.013, sL: 1.25, sS: 0.10, inCap: 0.0022, driveRes: 5.6},
+		{name: "BUF_X4", inputs: []string{"A"}, d0: 0.040, dL: 0.55, dS: 0.12, dSL: 0.10, s0: 0.012, sL: 0.38, sS: 0.08, inCap: 0.0075, driveRes: 1.6},
+		{name: "NAND2_X1", inputs: []string{"A", "B"}, d0: 0.024, dL: 2.10, dS: 0.15, dSL: 0.40, s0: 0.014, sL: 1.45, sS: 0.20, inCap: 0.0025, driveRes: 6.2},
+		{name: "NOR2_X1", inputs: []string{"A", "B"}, d0: 0.028, dL: 2.45, dS: 0.17, dSL: 0.45, s0: 0.016, sL: 1.60, sS: 0.22, inCap: 0.0026, driveRes: 7.0},
+		{name: "AND2_X1", inputs: []string{"A", "B"}, d0: 0.047, dL: 2.00, dS: 0.16, dSL: 0.38, s0: 0.015, sL: 1.40, sS: 0.12, inCap: 0.0023, driveRes: 6.0},
+		{name: "OR2_X1", inputs: []string{"A", "B"}, d0: 0.051, dL: 2.05, dS: 0.17, dSL: 0.40, s0: 0.015, sL: 1.42, sS: 0.13, inCap: 0.0023, driveRes: 6.1},
+		{name: "XOR2_X1", inputs: []string{"A", "B"}, d0: 0.063, dL: 2.30, dS: 0.20, dSL: 0.50, s0: 0.018, sL: 1.55, sS: 0.16, inCap: 0.0041, driveRes: 6.5},
+		{name: "AOI21_X1", inputs: []string{"A", "B", "C"}, d0: 0.033, dL: 2.60, dS: 0.19, dSL: 0.52, s0: 0.017, sL: 1.70, sS: 0.24, inCap: 0.0027, driveRes: 7.4},
+		{name: "MUX2_X1", inputs: []string{"A", "B", "S"}, d0: 0.058, dL: 2.20, dS: 0.18, dSL: 0.42, s0: 0.016, sL: 1.48, sS: 0.14, inCap: 0.0030, driveRes: 6.3},
+		{name: "DFF_X1", inputs: []string{"D", "CK"}, seq: true, d0: 0.110, dL: 2.00, dS: 0.05, dSL: 0.10, s0: 0.016, sL: 1.35, sS: 0.04, inCap: 0.0024, driveRes: 5.9, setup: 0.055, hold: 0.015},
+		// Extended masters: available to hand-built designs and the
+		// buffering optimizer, deliberately NOT in CombinationalNames so
+		// the seeded benchmark generation (and its clock calibration)
+		// stays byte-identical.
+		{name: "INV_X4", inputs: []string{"A"}, d0: 0.015, dL: 0.52, dS: 0.09, dSL: 0.10, s0: 0.010, sL: 0.36, sS: 0.14, inCap: 0.0078, driveRes: 1.5},
+		{name: "BUF_X2", inputs: []string{"A"}, d0: 0.038, dL: 1.05, dS: 0.13, dSL: 0.18, s0: 0.012, sL: 0.72, sS: 0.09, inCap: 0.0041, driveRes: 3.0},
+		{name: "BUF_X8", inputs: []string{"A"}, d0: 0.044, dL: 0.30, dS: 0.11, dSL: 0.06, s0: 0.011, sL: 0.21, sS: 0.07, inCap: 0.0140, driveRes: 0.9},
+		{name: "NAND2_X2", inputs: []string{"A", "B"}, d0: 0.022, dL: 1.10, dS: 0.14, dSL: 0.22, s0: 0.013, sL: 0.78, sS: 0.18, inCap: 0.0047, driveRes: 3.2},
+		{name: "NAND3_X1", inputs: []string{"A", "B", "C"}, d0: 0.031, dL: 2.35, dS: 0.17, dSL: 0.48, s0: 0.016, sL: 1.62, sS: 0.23, inCap: 0.0027, driveRes: 6.9},
+		{name: "NOR3_X1", inputs: []string{"A", "B", "C"}, d0: 0.038, dL: 2.85, dS: 0.20, dSL: 0.55, s0: 0.018, sL: 1.85, sS: 0.26, inCap: 0.0028, driveRes: 7.8},
+		{name: "OAI21_X1", inputs: []string{"A", "B", "C"}, d0: 0.034, dL: 2.55, dS: 0.19, dSL: 0.50, s0: 0.017, sL: 1.68, sS: 0.24, inCap: 0.0027, driveRes: 7.2},
+		{name: "DFF_X2", inputs: []string{"D", "CK"}, seq: true, d0: 0.105, dL: 1.05, dS: 0.05, dSL: 0.06, s0: 0.015, sL: 0.72, sS: 0.04, inCap: 0.0045, driveRes: 3.1, setup: 0.050, hold: 0.012},
+	}
+	cells := make(map[string]*Cell, len(specs))
+	for _, sp := range specs {
+		cells[sp.name] = sp.build()
+	}
+	return &Library{
+		Cells: cells,
+		// Five-layer stack; low layers are resistive and capacitive, high
+		// layers fast. Values are per DBU (one track pitch ≈ 0.4µm at
+		// 130nm): R in kΩ/DBU, C in pF/DBU.
+		LayerRes:    []float64{0.00380, 0.00380, 0.00190, 0.00095, 0.00048},
+		LayerCap:    []float64{0.000085, 0.000085, 0.000092, 0.000100, 0.000110},
+		ViaRes:      0.0045,
+		ClockPeriod: 4.0,
+		MaxSlew:     1.5,
+	}
+}
+
+// CombinationalNames returns the names of the non-sequential cells in the
+// library in a deterministic order, for use by the synthetic netlist
+// generator.
+func (l *Library) CombinationalNames() []string {
+	// Deterministic order matters for reproducible generation; avoid map
+	// iteration order by listing explicitly from Default's spec order.
+	order := []string{
+		"INV_X1", "INV_X2", "BUF_X1", "BUF_X4", "NAND2_X1", "NOR2_X1",
+		"AND2_X1", "OR2_X1", "XOR2_X1", "AOI21_X1", "MUX2_X1",
+	}
+	out := make([]string, 0, len(order))
+	for _, n := range order {
+		if c, ok := l.Cells[n]; ok && !c.Sequential {
+			out = append(out, n)
+		}
+	}
+	return out
+}

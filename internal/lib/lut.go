@@ -1,0 +1,109 @@
+// Package lib models a standard-cell timing library in the style of a
+// Liberty NLDM characterization: each timing arc carries two-dimensional
+// lookup tables for delay and output slew indexed by input slew and output
+// load, plus pin capacitances.
+//
+// Units used throughout the repository:
+//
+//	time        nanoseconds (ns)
+//	capacitance picofarads (pF)
+//	resistance  kilo-ohms (kΩ)
+//
+// so that R·C products are directly in nanoseconds.
+package lib
+
+import "fmt"
+
+// LUT is a two-dimensional lookup table indexed by input slew (rows) and
+// output load capacitance (columns), as in a Liberty NLDM table. Lookups
+// bilinearly interpolate between grid points and clamp outside the grid,
+// which is the common sign-off tool behaviour for out-of-range indices.
+type LUT struct {
+	SlewAxis []float64 // ascending input-slew index values (ns)
+	LoadAxis []float64 // ascending output-load index values (pF)
+	// Values[i][j] is the table value at SlewAxis[i], LoadAxis[j].
+	Values [][]float64
+}
+
+// Validate checks structural invariants: both axes non-empty and strictly
+// ascending, and Values shaped SlewAxis x LoadAxis.
+func (t *LUT) Validate() error {
+	if len(t.SlewAxis) == 0 || len(t.LoadAxis) == 0 {
+		return fmt.Errorf("lib: LUT axes must be non-empty")
+	}
+	for i := 1; i < len(t.SlewAxis); i++ {
+		if t.SlewAxis[i] <= t.SlewAxis[i-1] {
+			return fmt.Errorf("lib: slew axis not strictly ascending at %d", i)
+		}
+	}
+	for j := 1; j < len(t.LoadAxis); j++ {
+		if t.LoadAxis[j] <= t.LoadAxis[j-1] {
+			return fmt.Errorf("lib: load axis not strictly ascending at %d", j)
+		}
+	}
+	if len(t.Values) != len(t.SlewAxis) {
+		return fmt.Errorf("lib: LUT has %d rows, want %d", len(t.Values), len(t.SlewAxis))
+	}
+	for i, row := range t.Values {
+		if len(row) != len(t.LoadAxis) {
+			return fmt.Errorf("lib: LUT row %d has %d cols, want %d", i, len(row), len(t.LoadAxis))
+		}
+	}
+	return nil
+}
+
+// Lookup returns the bilinearly interpolated table value at the given input
+// slew and output load. Indices outside the characterized grid are clamped
+// to the boundary before interpolation.
+func (t *LUT) Lookup(slew, load float64) float64 {
+	i0, i1, fi := bracket(t.SlewAxis, slew)
+	j0, j1, fj := bracket(t.LoadAxis, load)
+	v00 := t.Values[i0][j0]
+	v01 := t.Values[i0][j1]
+	v10 := t.Values[i1][j0]
+	v11 := t.Values[i1][j1]
+	v0 := v00 + (v01-v00)*fj
+	v1 := v10 + (v11-v10)*fj
+	return v0 + (v1-v0)*fi
+}
+
+// bracket locates v within ascending axis values, returning the two
+// surrounding indices and the interpolation fraction in [0,1].
+func bracket(axis []float64, v float64) (lo, hi int, frac float64) {
+	n := len(axis)
+	if n == 1 || v <= axis[0] {
+		return 0, 0, 0
+	}
+	if v >= axis[n-1] {
+		return n - 1, n - 1, 0
+	}
+	// Axes are short (a handful of entries); linear scan beats binary
+	// search bookkeeping here.
+	for i := 1; i < n; i++ {
+		if v <= axis[i] {
+			f := (v - axis[i-1]) / (axis[i] - axis[i-1])
+			return i - 1, i, f
+		}
+	}
+	return n - 1, n - 1, 0
+}
+
+// NewLUTFromModel builds a LUT by sampling the affine-plus-cross model
+//
+//	value(slew, load) = base + kS·slew + kL·load + kSL·slew·load
+//
+// on the given axes. The model is the classic first-order fit used to
+// synthesize characterization data; because bilinear interpolation is exact
+// for this family within each grid cell, lookups reproduce the model
+// exactly inside the characterized region.
+func NewLUTFromModel(slewAxis, loadAxis []float64, base, kS, kL, kSL float64) *LUT {
+	vals := make([][]float64, len(slewAxis))
+	for i, s := range slewAxis {
+		row := make([]float64, len(loadAxis))
+		for j, l := range loadAxis {
+			row[j] = base + kS*s + kL*l + kSL*s*l
+		}
+		vals[i] = row
+	}
+	return &LUT{SlewAxis: slewAxis, LoadAxis: loadAxis, Values: vals}
+}

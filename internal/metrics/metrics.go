@@ -1,0 +1,127 @@
+// Package metrics provides the statistical helpers the experiments report:
+// the R² coefficient of determination (paper Eq. 10), ratio aggregation for
+// the normalized table rows, and simple distribution summaries for the
+// random-disturbance figure.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// R2 computes the coefficient of determination between ground truth g and
+// predictions y (paper Eq. 10). Returns an error for mismatched or empty
+// inputs; a constant ground truth yields R² = −Inf unless predictions are
+// exact, mirroring the standard definition.
+func R2(g, y []float64) (float64, error) {
+	if len(g) != len(y) {
+		return 0, fmt.Errorf("metrics: %d truths vs %d predictions", len(g), len(y))
+	}
+	if len(g) == 0 {
+		return 0, fmt.Errorf("metrics: empty input")
+	}
+	var mean float64
+	for _, v := range g {
+		mean += v
+	}
+	mean /= float64(len(g))
+	var ssRes, ssTot float64
+	for i := range g {
+		d := g[i] - y[i]
+		ssRes += d * d
+		t := g[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return math.Inf(-1), nil
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// Pearson computes the Pearson correlation coefficient of two equal-length
+// series. Returns an error on mismatched/short input; 0 when either series
+// is constant.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("metrics: %d vs %d points", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("metrics: need at least 2 points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Ratio returns value/base, guarding the base==0 case with 1 (no change),
+// the convention the paper's normalized "Average" rows use.
+func Ratio(value, base float64) float64 {
+	if base == 0 {
+		return 1
+	}
+	return value / base
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank on a copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Histogram buckets xs into n equal-width bins over [lo, hi], the shape
+// behind the Fig. 2 distribution plot.
+func Histogram(xs []float64, lo, hi float64, n int) []int {
+	counts := make([]int, n)
+	if n == 0 || hi <= lo {
+		return counts
+	}
+	w := (hi - lo) / float64(n)
+	for _, v := range xs {
+		b := int((v - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestR2Perfect(t *testing.T) {
+	g := []float64{1, 2, 3, 4}
+	r, err := R2(g, g)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("R2(identity)=%g err=%v", r, err)
+	}
+}
+
+func TestR2MeanPredictorIsZero(t *testing.T) {
+	g := []float64{1, 2, 3, 4}
+	y := []float64{2.5, 2.5, 2.5, 2.5}
+	r, err := R2(g, y)
+	if err != nil || math.Abs(r) > 1e-12 {
+		t.Fatalf("R2(mean)=%g err=%v", r, err)
+	}
+}
+
+func TestR2WorseThanMeanNegative(t *testing.T) {
+	g := []float64{1, 2, 3, 4}
+	y := []float64{4, 3, 2, 1}
+	r, err := R2(g, y)
+	if err != nil || r >= 0 {
+		t.Fatalf("anti-correlated R2=%g", r)
+	}
+}
+
+func TestR2AtMostOne(t *testing.T) {
+	f := func(pairs []struct{ G, Y int16 }) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		var g, y []float64
+		for _, p := range pairs {
+			g = append(g, float64(p.G))
+			y = append(y, float64(p.Y))
+		}
+		r, err := R2(g, y)
+		if err != nil {
+			return false
+		}
+		return r <= 1+1e-9 || math.IsInf(r, -1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestR2Errors(t *testing.T) {
+	if _, err := R2([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := R2(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Constant truth, exact prediction.
+	r, err := R2([]float64{2, 2}, []float64{2, 2})
+	if err != nil || r != 1 {
+		t.Fatalf("constant exact R2=%g", r)
+	}
+	// Constant truth, wrong prediction.
+	r, _ = R2([]float64{2, 2}, []float64{3, 3})
+	if !math.IsInf(r, -1) {
+		t.Fatalf("constant wrong R2=%g want -Inf", r)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if r, err := Pearson(x, x); err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("self correlation %g err=%v", r, err)
+	}
+	y := []float64{4, 3, 2, 1}
+	if r, _ := Pearson(x, y); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("anti correlation %g", r)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if r, err := Pearson(x, flat); err != nil || r != 0 {
+		t.Fatalf("constant series correlation %g err=%v", r, err)
+	}
+	if _, err := Pearson(x, x[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	// Scale/shift invariance.
+	var x2, y2 []float64
+	for i := range x {
+		x2 = append(x2, 3*x[i]+7)
+		y2 = append(y2, -2*x[i]+1)
+	}
+	if r, _ := Pearson(x2, y2); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("affine anti correlation %g", r)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != 1.5 {
+		t.Fatal("ratio broken")
+	}
+	if Ratio(5, 0) != 1 {
+		t.Fatal("zero base must yield 1")
+	}
+}
+
+func TestMeanQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	if Mean(xs) != 3 {
+		t.Fatalf("mean=%g", Mean(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("quantile extremes broken")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatalf("median=%g", Quantile(xs, 0.5))
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	// Original slice untouched.
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.9, 1.5, -0.5}
+	h := Histogram(xs, 0, 1, 2)
+	// -0.5 and 1.5 clamp into the edge bins.
+	if h[0] != 3 || h[1] != 2 {
+		t.Fatalf("histogram=%v", h)
+	}
+	if got := Histogram(xs, 1, 0, 3); got[0] != 0 {
+		t.Fatal("inverted range should count nothing")
+	}
+	if got := Histogram(xs, 0, 1, 0); len(got) != 0 {
+		t.Fatal("zero bins should be empty")
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatal("histogram loses samples")
+	}
+}

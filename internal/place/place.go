@@ -1,0 +1,295 @@
+// Package place assigns physical locations to cells and ports. It stands
+// in for the commercial placement step of the paper's flow (Innovus): a
+// connectivity-ordered serpentine seed placement followed by greedy
+// HPWL-driven swap refinement. The result is legal by construction (one
+// cell per site) and deterministic given the seed.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tsteiner/internal/geom"
+	"tsteiner/internal/netlist"
+)
+
+// Options tunes the placer.
+type Options struct {
+	// Utilization is the fraction of sites occupied (0,1]; lower values
+	// leave routing room.
+	Utilization float64
+	// SitePitch is the DBU spacing between adjacent sites in both axes.
+	SitePitch int
+	// SwapsPerCell scales the greedy refinement budget.
+	SwapsPerCell int
+	// Seed drives the refinement's randomness.
+	Seed int64
+}
+
+// DefaultOptions returns placement settings used by all benchmarks.
+func DefaultOptions() Options {
+	return Options{Utilization: 0.55, SitePitch: 4, SwapsPerCell: 12, Seed: 1}
+}
+
+// Result reports placement quality.
+type Result struct {
+	Die       geom.BBox
+	HPWLStart int64
+	HPWLEnd   int64
+	Sites     int // sites per side of the square site grid
+}
+
+// Place assigns positions to every cell and port of d in place and
+// returns the placement report. The die is sized as a square site grid
+// holding all cells at the requested utilization.
+func Place(d *netlist.Design, opt Options) (*Result, error) {
+	if opt.Utilization <= 0 || opt.Utilization > 1 {
+		return nil, fmt.Errorf("place: utilization %g out of (0,1]", opt.Utilization)
+	}
+	if opt.SitePitch < 1 {
+		return nil, fmt.Errorf("place: site pitch %d < 1", opt.SitePitch)
+	}
+	n := len(d.Cells)
+	if n == 0 {
+		return nil, fmt.Errorf("place: empty design")
+	}
+	side := int(math.Ceil(math.Sqrt(float64(n) / opt.Utilization)))
+	if side < 2 {
+		side = 2
+	}
+	die := geom.BBox{XLo: 0, YLo: 0, XHi: side * opt.SitePitch, YHi: side * opt.SitePitch}
+	d.Die = die
+
+	p := &placer{d: d, opt: opt, side: side, rng: rand.New(rand.NewSource(opt.Seed))}
+	p.seed()
+	start := p.totalHPWL()
+	p.refine()
+	end := p.totalHPWL()
+	p.placePorts()
+	p.commitPinPositions()
+	return &Result{Die: die, HPWLStart: start, HPWLEnd: end, Sites: side}, nil
+}
+
+type placer struct {
+	d    *netlist.Design
+	opt  Options
+	side int
+	rng  *rand.Rand
+
+	// siteOf[c] is the linear site index of cell c; cellAt is the inverse
+	// (netlist.NoID for empty sites).
+	siteOf []int
+	cellAt []netlist.CellID
+	// netsOf[c] lists the nets incident to cell c.
+	netsOf [][]netlist.NetID
+}
+
+func (p *placer) sitePos(site int) geom.Point {
+	return geom.Point{
+		X: (site % p.side) * p.opt.SitePitch,
+		Y: (site / p.side) * p.opt.SitePitch,
+	}
+}
+
+// seed orders cells by BFS over the net adjacency so connected cells are
+// adjacent in the serpentine fill, then assigns sites row by row.
+func (p *placer) seed() {
+	d := p.d
+	n := len(d.Cells)
+	p.siteOf = make([]int, n)
+	p.cellAt = make([]netlist.CellID, p.side*p.side)
+	for i := range p.cellAt {
+		p.cellAt[i] = netlist.NoID
+	}
+	p.netsOf = make([][]netlist.NetID, n)
+	for ni := range d.Nets {
+		net := d.Net(netlist.NetID(ni))
+		touch := func(pid netlist.PinID) {
+			if c := d.Pin(pid).Cell; c != netlist.NoID {
+				p.netsOf[c] = append(p.netsOf[c], netlist.NetID(ni))
+			}
+		}
+		touch(net.Driver)
+		for _, s := range net.Sinks {
+			touch(s)
+		}
+	}
+
+	order := p.bfsOrder()
+	for i, c := range order {
+		row := i / p.side
+		col := i % p.side
+		if row%2 == 1 {
+			col = p.side - 1 - col // serpentine keeps neighbours close
+		}
+		site := row*p.side + col
+		p.siteOf[c] = site
+		p.cellAt[site] = c
+	}
+}
+
+// bfsOrder returns all cells in BFS order over net connectivity.
+func (p *placer) bfsOrder() []netlist.CellID {
+	d := p.d
+	n := len(d.Cells)
+	visited := make([]bool, n)
+	order := make([]netlist.CellID, 0, n)
+	var queue []netlist.CellID
+	enqueue := func(c netlist.CellID) {
+		if !visited[c] {
+			visited[c] = true
+			queue = append(queue, c)
+		}
+	}
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		enqueue(netlist.CellID(start))
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			order = append(order, c)
+			for _, ni := range p.netsOf[c] {
+				net := d.Net(ni)
+				if oc := d.Pin(net.Driver).Cell; oc != netlist.NoID {
+					enqueue(oc)
+				}
+				for _, s := range net.Sinks {
+					if oc := d.Pin(s).Cell; oc != netlist.NoID {
+						enqueue(oc)
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+// netHPWL computes a net's half-perimeter wirelength from current cell
+// sites; port pins are not yet placed during refinement, so only cell pins
+// contribute (ports are boundary-placed afterwards).
+func (p *placer) netHPWL(ni netlist.NetID) int64 {
+	d := p.d
+	net := d.Net(ni)
+	bb := geom.EmptyBBox()
+	add := func(pid netlist.PinID) {
+		if c := d.Pin(pid).Cell; c != netlist.NoID {
+			bb = bb.Expand(p.sitePos(p.siteOf[c]))
+		}
+	}
+	add(net.Driver)
+	for _, s := range net.Sinks {
+		add(s)
+	}
+	return int64(bb.HalfPerimeter())
+}
+
+func (p *placer) totalHPWL() int64 {
+	var sum int64
+	for ni := range p.d.Nets {
+		sum += p.netHPWL(netlist.NetID(ni))
+	}
+	return sum
+}
+
+// refine performs greedy randomized swaps/moves accepted when the HPWL of
+// incident nets improves.
+func (p *placer) refine() {
+	n := len(p.d.Cells)
+	budget := n * p.opt.SwapsPerCell
+	sites := p.side * p.side
+	for it := 0; it < budget; it++ {
+		c := netlist.CellID(p.rng.Intn(n))
+		target := p.rng.Intn(sites)
+		p.trySwap(c, target)
+	}
+}
+
+// trySwap moves cell c to the target site (swapping with any occupant) if
+// that does not increase the summed HPWL of affected nets.
+func (p *placer) trySwap(c netlist.CellID, target int) {
+	from := p.siteOf[c]
+	if from == target {
+		return
+	}
+	other := p.cellAt[target]
+
+	affected := p.netsOf[c]
+	if other != netlist.NoID {
+		affected = append(append([]netlist.NetID(nil), affected...), p.netsOf[other]...)
+	}
+	before := p.hpwlOf(affected)
+
+	p.apply(c, other, from, target)
+	after := p.hpwlOf(affected)
+	if after > before {
+		p.apply(c, other, target, from) // revert
+	}
+}
+
+// apply moves c to site `to`; if other is a cell it takes site `fromSite`.
+func (p *placer) apply(c, other netlist.CellID, fromSite, to int) {
+	p.siteOf[c] = to
+	p.cellAt[to] = c
+	p.cellAt[fromSite] = other
+	if other != netlist.NoID {
+		p.siteOf[other] = fromSite
+	}
+}
+
+func (p *placer) hpwlOf(nets []netlist.NetID) int64 {
+	var sum int64
+	seen := map[netlist.NetID]bool{}
+	for _, ni := range nets {
+		if seen[ni] {
+			continue
+		}
+		seen[ni] = true
+		sum += p.netHPWL(ni)
+	}
+	return sum
+}
+
+// placePorts spreads PI pins along the left/top edges and PO pins along
+// the right/bottom edges, in port order.
+func (p *placer) placePorts() {
+	d := p.d
+	die := d.Die
+	spread := func(pins []netlist.PinID, edgeA, edgeB func(i, n int) geom.Point) {
+		n := len(pins)
+		for i, pid := range pins {
+			var pt geom.Point
+			if i%2 == 0 {
+				pt = edgeA(i, n)
+			} else {
+				pt = edgeB(i, n)
+			}
+			d.Pin(pid).Pos = die.Clamp(pt)
+		}
+	}
+	w, h := die.Width(), die.Height()
+	spread(d.PIs,
+		func(i, n int) geom.Point { return geom.Point{X: die.XLo, Y: die.YLo + (i+1)*h/(n+1)} },
+		func(i, n int) geom.Point { return geom.Point{X: die.XLo + (i+1)*w/(n+1), Y: die.YHi} },
+	)
+	spread(d.POs,
+		func(i, n int) geom.Point { return geom.Point{X: die.XHi, Y: die.YLo + (i+1)*h/(n+1)} },
+		func(i, n int) geom.Point { return geom.Point{X: die.XLo + (i+1)*w/(n+1), Y: die.YLo} },
+	)
+}
+
+// commitPinPositions writes final cell positions to instances and their
+// pins.
+func (p *placer) commitPinPositions() {
+	d := p.d
+	for ci := range d.Cells {
+		inst := d.Cell(netlist.CellID(ci))
+		pos := p.sitePos(p.siteOf[ci])
+		inst.Pos = pos
+		for _, pid := range inst.Pins {
+			d.Pin(pid).Pos = pos
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package place
+
+import (
+	"testing"
+
+	"tsteiner/internal/geom"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/synth"
+)
+
+func genDesign(t *testing.T, name string, scale float64) *netlist.Design {
+	t.Helper()
+	spec, err := synth.BenchmarkByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := synth.Generate(spec.Scale(scale), lib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPlaceBasics(t *testing.T) {
+	d := genDesign(t, "spm", 1.0)
+	res, err := Place(d, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if res.Die.Empty() {
+		t.Fatal("die not set")
+	}
+	if d.Die != res.Die {
+		t.Fatal("design die not updated")
+	}
+	// Every cell and port inside the die; pins co-located with cells.
+	for ci := range d.Cells {
+		inst := d.Cell(netlist.CellID(ci))
+		if !d.Die.Contains(inst.Pos) {
+			t.Fatalf("cell %s placed outside die at %v", inst.Name, inst.Pos)
+		}
+		for _, pid := range inst.Pins {
+			if d.Pin(pid).Pos != inst.Pos {
+				t.Fatalf("pin %s not co-located with cell", d.Pin(pid).Name)
+			}
+		}
+	}
+	for _, pid := range append(append([]netlist.PinID{}, d.PIs...), d.POs...) {
+		if !d.Die.Contains(d.Pin(pid).Pos) {
+			t.Fatalf("port %s outside die", d.Pin(pid).Name)
+		}
+	}
+}
+
+func TestPlaceLegality(t *testing.T) {
+	d := genDesign(t, "cic_decimator", 1.0)
+	if _, err := Place(d, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[geom.Point]string{}
+	for ci := range d.Cells {
+		inst := d.Cell(netlist.CellID(ci))
+		if prev, ok := seen[inst.Pos]; ok {
+			t.Fatalf("cells %s and %s overlap at %v", prev, inst.Name, inst.Pos)
+		}
+		seen[inst.Pos] = inst.Name
+	}
+}
+
+func TestPlaceImprovesHPWL(t *testing.T) {
+	d := genDesign(t, "APU", 0.3)
+	res, err := Place(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWLEnd > res.HPWLStart {
+		t.Fatalf("refinement worsened HPWL: %d -> %d", res.HPWLStart, res.HPWLEnd)
+	}
+	if res.HPWLEnd <= 0 {
+		t.Fatal("final HPWL should be positive")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	d1 := genDesign(t, "spm", 1.0)
+	d2 := genDesign(t, "spm", 1.0)
+	if _, err := Place(d1, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(d2, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	for ci := range d1.Cells {
+		if d1.Cells[ci].Pos != d2.Cells[ci].Pos {
+			t.Fatalf("cell %d placed differently across runs", ci)
+		}
+	}
+}
+
+func TestPlaceOptionValidation(t *testing.T) {
+	d := genDesign(t, "spm", 1.0)
+	bad := DefaultOptions()
+	bad.Utilization = 0
+	if _, err := Place(d, bad); err == nil {
+		t.Fatal("zero utilization accepted")
+	}
+	bad = DefaultOptions()
+	bad.Utilization = 1.5
+	if _, err := Place(d, bad); err == nil {
+		t.Fatal("utilization > 1 accepted")
+	}
+	bad = DefaultOptions()
+	bad.SitePitch = 0
+	if _, err := Place(d, bad); err == nil {
+		t.Fatal("zero pitch accepted")
+	}
+}
+
+func TestPlaceEmptyDesign(t *testing.T) {
+	b := netlist.NewBuilder("empty", lib.Default())
+	pi := b.AddPI("i")
+	po := b.AddPO("o", 0.01)
+	b.Connect(pi, po)
+	d, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(d, DefaultOptions()); err == nil {
+		t.Fatal("cell-less design should be rejected")
+	}
+}
+
+func TestPortsOnBoundary(t *testing.T) {
+	d := genDesign(t, "usb_cdc_core", 0.3)
+	if _, err := Place(d, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	die := d.Die
+	onEdge := func(p geom.Point) bool {
+		return p.X == die.XLo || p.X == die.XHi || p.Y == die.YLo || p.Y == die.YHi
+	}
+	for _, pid := range append(append([]netlist.PinID{}, d.PIs...), d.POs...) {
+		if !onEdge(d.Pin(pid).Pos) {
+			t.Fatalf("port %s at %v not on die edge", d.Pin(pid).Name, d.Pin(pid).Pos)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package rc extracts RC networks for routed (or pre-routing) nets and
+// evaluates Elmore wire delays and PERI-style slew degradation. Together
+// with internal/sta it forms the "sign-off" oracle of this repository:
+// timing measured on the post-routing interconnect, the role Cadence
+// Innovus plays in the paper.
+package rc
+
+import (
+	"fmt"
+	"math"
+
+	"tsteiner/internal/geom"
+	"tsteiner/internal/grid"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/route"
+	"tsteiner/internal/rsmt"
+)
+
+// ln9 converts an Elmore time constant into a 10–90% slew estimate.
+const ln9 = 2.1972245773362196
+
+// NetRC is the extracted timing view of one net.
+type NetRC struct {
+	Net netlist.NetID
+	// TotalCap is the capacitance the driver sees: all wire plus all sink
+	// pin caps (pF).
+	TotalCap float64
+	// SinkDelay[i] is the Elmore delay (ns) from driver to net.Sinks[i],
+	// excluding the driver cell's own delay.
+	SinkDelay []float64
+	// SinkSlewAdd[i] is the additional slew (ns) accumulated across the
+	// wire to net.Sinks[i].
+	SinkSlewAdd []float64
+	// WireCap and WireRes summarize the net's interconnect (pF, kΩ).
+	WireCap, WireRes float64
+}
+
+// Extract computes RC views for every net from the routed topology: each
+// tree edge's resistance/capacitance follows its global-routing path
+// (per-layer unit R/C times routed length, plus via resistance), giving
+// the post-routing "sign-off" parasitics.
+func Extract(d *netlist.Design, f *rsmt.Forest, g *grid.Grid, routes *route.Result, tech *lib.Library) ([]NetRC, error) {
+	if len(f.Trees) != len(d.Nets) || len(routes.Routes) != len(d.Nets) {
+		return nil, fmt.Errorf("rc: forest/routes/netlist size mismatch")
+	}
+	out := make([]NetRC, len(d.Nets))
+	for ni := range d.Nets {
+		tr := f.Trees[ni]
+		edgeRC := make([]rcPair, len(tr.Edges))
+		for _, er := range routes.Routes[ni].Edges {
+			e := tr.Edges[er.TreeEdge]
+			from := tr.Nodes[e.A].Pos.Round()
+			to := tr.Nodes[e.B].Pos.Round()
+			edgeRC[er.TreeEdge] = routedEdgeRC(g, &er, from, to, tech)
+		}
+		nrc, err := evalTree(d, tr, edgeRC, tech)
+		if err != nil {
+			return nil, err
+		}
+		out[ni] = nrc
+	}
+	return out, nil
+}
+
+// ExtractFromTrees computes pre-routing RC views straight from Steiner
+// tree geometry with an average layer mix — the early estimate available
+// before global routing (used for baselines and tests).
+func ExtractFromTrees(d *netlist.Design, f *rsmt.Forest, tech *lib.Library) ([]NetRC, error) {
+	if len(f.Trees) != len(d.Nets) {
+		return nil, fmt.Errorf("rc: forest/netlist size mismatch")
+	}
+	rAvg, cAvg := AvgLayerRC(tech)
+	out := make([]NetRC, len(d.Nets))
+	for ni := range d.Nets {
+		tr := f.Trees[ni]
+		edgeRC := make([]rcPair, len(tr.Edges))
+		for ei, e := range tr.Edges {
+			l := geom.ManhattanDistF(tr.Nodes[e.A].Pos, tr.Nodes[e.B].Pos)
+			edgeRC[ei] = rcPair{R: l*rAvg + 2*tech.ViaRes, C: l * cAvg}
+		}
+		nrc, err := evalTree(d, tr, edgeRC, tech)
+		if err != nil {
+			return nil, err
+		}
+		out[ni] = nrc
+	}
+	return out, nil
+}
+
+// AvgLayerRC returns the mean unit resistance and capacitance over the
+// routing layers (layer 0 excluded), the layer mix assumed before layer
+// assignment exists.
+func AvgLayerRC(tech *lib.Library) (r, c float64) {
+	n := 0
+	for l := 1; l < tech.Layers(); l++ {
+		r += tech.LayerRes[l]
+		c += tech.LayerCap[l]
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return r / float64(n), c / float64(n)
+}
+
+type rcPair struct {
+	R, C float64
+}
+
+// routedEdgeRC accumulates R/C along a routed edge's geometric path using
+// the per-step layer assignment.
+func routedEdgeRC(g *grid.Grid, er *route.EdgeRoute, from, to geom.Point, tech *lib.Library) rcPair {
+	pts := route.GeomPathDBU(g, er, from, to)
+	var rc rcPair
+	rAvg, cAvg := AvgLayerRC(tech)
+	for i := 0; i+1 < len(pts); i++ {
+		l := float64(geom.ManhattanDist(pts[i], pts[i+1]))
+		layer := -1
+		if i < len(er.Layers) {
+			layer = er.Layers[i]
+		}
+		if layer >= 1 && layer < tech.Layers() {
+			rc.R += l * tech.LayerRes[layer]
+			rc.C += l * tech.LayerCap[layer]
+		} else {
+			rc.R += l * rAvg
+			rc.C += l * cAvg
+		}
+	}
+	rc.R += float64(er.Vias) * tech.ViaRes
+	return rc
+}
+
+// evalTree runs Elmore analysis on one tree given per-edge RC.
+func evalTree(d *netlist.Design, tr *rsmt.Tree, edgeRC []rcPair, tech *lib.Library) (NetRC, error) {
+	net := d.Net(tr.Net)
+	n := len(tr.Nodes)
+
+	// nodeCap: half of each incident edge's wire cap, plus sink pin cap.
+	nodeCap := make([]float64, n)
+	adj := make([][]int32, n) // neighbor via edge index
+	edgeOf := make([][]int32, n)
+	var wireCap, wireRes float64
+	for ei, e := range tr.Edges {
+		rc := edgeRC[ei]
+		nodeCap[e.A] += rc.C / 2
+		nodeCap[e.B] += rc.C / 2
+		wireCap += rc.C
+		wireRes += rc.R
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+		edgeOf[e.A] = append(edgeOf[e.A], int32(ei))
+		edgeOf[e.B] = append(edgeOf[e.B], int32(ei))
+	}
+	for i := range tr.Nodes {
+		nd := &tr.Nodes[i]
+		if nd.Kind == rsmt.PinNode && nd.Pin != net.Driver {
+			nodeCap[i] += d.Pin(nd.Pin).Cap
+		}
+	}
+
+	// Post-order subtree capacitance and pre-order delays, iteratively
+	// (trees can be deep on large nets).
+	parent := make([]int32, n)
+	parentEdge := make([]int32, n)
+	order := make([]int32, 0, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	stack := []int32{0}
+	parent[0] = -1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		for k, v := range adj[u] {
+			if parent[v] == -2 {
+				parent[v] = u
+				parentEdge[v] = edgeOf[u][k]
+				stack = append(stack, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return NetRC{}, fmt.Errorf("rc: net %s tree disconnected", net.Name)
+	}
+
+	subCap := make([]float64, n)
+	copy(subCap, nodeCap)
+	for i := n - 1; i >= 1; i-- {
+		u := order[i]
+		subCap[parent[u]] += subCap[u]
+	}
+
+	delay := make([]float64, n)
+	for i := 1; i < n; i++ {
+		u := order[i]
+		delay[u] = delay[parent[u]] + edgeRC[parentEdge[u]].R*subCap[u]
+	}
+
+	// Collect per-sink results in net.Sinks order.
+	sinkIdx := make(map[netlist.PinID]int32, len(net.Sinks))
+	for i := range tr.Nodes {
+		nd := &tr.Nodes[i]
+		if nd.Kind == rsmt.PinNode && nd.Pin != net.Driver {
+			sinkIdx[nd.Pin] = int32(i)
+		}
+	}
+	out := NetRC{
+		Net:      tr.Net,
+		TotalCap: subCap[0],
+		WireCap:  wireCap,
+		WireRes:  wireRes,
+	}
+	out.SinkDelay = make([]float64, len(net.Sinks))
+	out.SinkSlewAdd = make([]float64, len(net.Sinks))
+	for si, pid := range net.Sinks {
+		node, ok := sinkIdx[pid]
+		if !ok {
+			return NetRC{}, fmt.Errorf("rc: net %s sink %d missing from tree", net.Name, pid)
+		}
+		out.SinkDelay[si] = delay[node]
+		out.SinkSlewAdd[si] = ln9 * delay[node]
+	}
+	return out, nil
+}
+
+// CombineSlew merges a driver output slew with the wire slew contribution
+// using the root-sum-square (PERI) rule.
+func CombineSlew(driverSlew, wireSlewAdd float64) float64 {
+	return math.Sqrt(driverSlew*driverSlew + wireSlewAdd*wireSlewAdd)
+}

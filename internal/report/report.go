@@ -1,0 +1,105 @@
+// Package report renders experiment results as aligned ASCII tables in
+// the layout of the paper's Tables I–IV and textual summaries of the
+// figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple titled grid.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with column alignment and a separator line
+// before any row whose first cell begins with '—' (used for summary rows).
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(widths)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		if len(row) > 0 && strings.HasPrefix(row[0], "—") {
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+		}
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// Histogram renders a textual histogram: one line per bucket with a bar
+// proportional to the count (the Fig. 2 distribution view).
+func Histogram(w io.Writer, title string, lo, hi float64, counts []int) error {
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	n := len(counts)
+	for i, c := range counts {
+		bl := lo + (hi-lo)*float64(i)/float64(n)
+		bh := lo + (hi-lo)*float64(i+1)/float64(n)
+		bar := ""
+		if maxC > 0 {
+			bar = strings.Repeat("#", c*40/maxC)
+		}
+		fmt.Fprintf(&b, "[%6.3f, %6.3f) %4d %s\n", bl, bh, c, bar)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-long-name", "22")
+	tbl.AddRow("— Average", "11.5")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows + separator-before-summary + summary.
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header line %q", lines[1])
+	}
+	// Column alignment: "value" column starts at the same offset in all rows.
+	col := strings.Index(lines[1], "value")
+	if got := strings.Index(lines[3], "1"); got != col {
+		t.Fatalf("misaligned value column: %d vs %d\n%s", got, col, out)
+	}
+	// Separator emitted before the summary row.
+	if !strings.HasPrefix(lines[5], "---") {
+		t.Fatalf("missing summary separator:\n%s", out)
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tbl := Table{Header: []string{"a"}}
+	tbl.AddRow("x")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Fatal("empty title should not emit a blank line")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatalf("F=%q", F(1.23456, 2))
+	}
+	if F(-0.5, 3) != "-0.500" {
+		t.Fatalf("F=%q", F(-0.5, 3))
+	}
+	if I(42) != "42" {
+		t.Fatalf("I=%q", I(42))
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Histogram(&buf, "dist", 0, 1, []int{1, 4, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "dist\n") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+	// The largest bucket gets the longest bar.
+	if strings.Count(lines[2], "#") != 40 {
+		t.Fatalf("max bucket bar length wrong:\n%s", out)
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("proportional bar wrong:\n%s", out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Histogram(&buf, "empty", 0, 1, []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#") {
+		t.Fatal("empty histogram should have no bars")
+	}
+}

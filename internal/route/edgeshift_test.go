@@ -1,0 +1,100 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"tsteiner/internal/geom"
+	"tsteiner/internal/grid"
+)
+
+func demandFixture(t *testing.T) (*grid.Grid, *demandMap) {
+	t.Helper()
+	g, err := grid.New(geom.BBox{XLo: 0, YLo: 0, XHi: 160, YHi: 160}, 8, []int{0, 4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, newDemandMap(g)
+}
+
+func TestDemandMapLShapeConservation(t *testing.T) {
+	_, m := demandFixture(t)
+	a, b := GP{2, 3}, GP{7, 9}
+	m.addLShapes(a, b, 1)
+	// Total demand added = full weight × Manhattan length: half on each L.
+	var total float64
+	for _, v := range m.h {
+		total += v
+	}
+	for _, v := range m.v {
+		total += v
+	}
+	man := float64(absInt(a.X-b.X) + absInt(a.Y-b.Y))
+	if math.Abs(total-man) > 1e-9 {
+		t.Fatalf("total demand %g want %g", total, man)
+	}
+	// Negative add cancels exactly.
+	m.addLShapes(a, b, -1)
+	for i, v := range m.h {
+		if v != 0 {
+			t.Fatalf("h[%d]=%g after cancel", i, v)
+		}
+	}
+	for i, v := range m.v {
+		if v != 0 {
+			t.Fatalf("v[%d]=%g after cancel", i, v)
+		}
+	}
+}
+
+func TestDemandMapOutOfRangeIgnored(t *testing.T) {
+	g, m := demandFixture(t)
+	m.addH(-1, 0, 5)
+	m.addH(g.W-1, 0, 5) // no H edge leaves the last column
+	m.addV(0, g.H-1, 5)
+	if m.demandH(-1, 0) != 0 || m.demandH(g.W-1, 0) != 0 || m.demandV(0, g.H-1) != 0 {
+		t.Fatal("out-of-range demand leaked")
+	}
+}
+
+func TestExpectedCostGrowsWithDemand(t *testing.T) {
+	_, m := demandFixture(t)
+	a, b := GP{1, 1}, GP{6, 1}
+	base := m.expectedCost(a, b)
+	// Load the straight row heavily.
+	for x := 1; x < 6; x++ {
+		m.addH(x, 1, 30)
+	}
+	loaded := m.expectedCost(a, b)
+	if loaded <= base {
+		t.Fatalf("expected cost did not grow: %g -> %g", base, loaded)
+	}
+}
+
+func TestExpectedCostSymmetric(t *testing.T) {
+	_, m := demandFixture(t)
+	m.addLShapes(GP{3, 3}, GP{8, 8}, 2)
+	a, b := GP{2, 5}, GP{9, 1}
+	if math.Abs(m.expectedCost(a, b)-m.expectedCost(b, a)) > 1e-9 {
+		t.Fatal("expected cost not symmetric")
+	}
+}
+
+func TestShiftDeltas(t *testing.T) {
+	ds := shiftDeltas(2)
+	if len(ds) != 8 {
+		t.Fatalf("deltas=%d want 8", len(ds))
+	}
+	seen := map[[2]int]bool{}
+	for _, d := range ds {
+		if d[0] != 0 && d[1] != 0 {
+			t.Fatal("diagonal delta generated")
+		}
+		seen[d] = true
+	}
+	for _, want := range [][2]int{{1, 0}, {-2, 0}, {0, 2}, {0, -1}} {
+		if !seen[want] {
+			t.Fatalf("missing delta %v", want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package route
+
+import (
+	"fmt"
+
+	"tsteiner/internal/grid"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/rsmt"
+)
+
+// Incremental routing: after Steiner refinement, most nets' trees are
+// unchanged at GCell granularity — only the nets whose nodes crossed a
+// GCell boundary need new routes. Incremental rips up exactly those nets
+// from the previous routing state and re-routes them under the current
+// congestion, reusing everything else. This is the routing-side
+// counterpart of TSteiner's "small runtime overhead" story: a refinement
+// pass does not force a full re-route.
+
+// Incremental updates prev (computed for oldF on g) into a routing of
+// newF. The two forests must share topology (same trees, nodes and
+// edges); only positions may differ. g must still hold prev's usage.
+// Returns the new result and the number of re-routed nets.
+func Incremental(d *netlist.Design, oldF, newF *rsmt.Forest, g *grid.Grid, prev *Result, opt Options) (*Result, int, error) {
+	if len(oldF.Trees) != len(newF.Trees) || len(prev.Routes) != len(oldF.Trees) {
+		return nil, 0, fmt.Errorf("route: incremental input size mismatch")
+	}
+	r := &router{d: d, g: g, opt: opt}
+
+	changed := make([]bool, len(newF.Trees))
+	nChanged := 0
+	for ti := range newF.Trees {
+		ot, nt := oldF.Trees[ti], newF.Trees[ti]
+		if len(ot.Nodes) != len(nt.Nodes) || len(ot.Edges) != len(nt.Edges) {
+			return nil, 0, fmt.Errorf("route: net %d topology differs", ti)
+		}
+		for ni := range nt.Nodes {
+			ox, oy := g.GCellOf(ot.Nodes[ni].Pos.Round())
+			nx, ny := g.GCellOf(nt.Nodes[ni].Pos.Round())
+			if ox != nx || oy != ny {
+				changed[ti] = true
+				break
+			}
+		}
+		if changed[ti] {
+			nChanged++
+		}
+	}
+
+	res := &Result{Routes: make([]NetRoute, len(newF.Trees)), MazeReroutes: prev.MazeReroutes}
+
+	// Rip up changed nets: release 2D usage and per-layer bookings.
+	for ti, tr := range newF.Trees {
+		if !changed[ti] {
+			res.Routes[ti] = prev.Routes[ti]
+			continue
+		}
+		for ei := range prev.Routes[ti].Edges {
+			er := &prev.Routes[ti].Edges[ei]
+			r.commit(er.Cells, -1)
+			r.unassignLayers(er)
+		}
+		_ = tr
+	}
+
+	// Re-route changed nets under current congestion and re-assign layers.
+	for ti, tr := range newF.Trees {
+		if !changed[ti] {
+			continue
+		}
+		nr := NetRoute{Net: tr.Net}
+		for ei, e := range tr.Edges {
+			a := r.gcellOfNode(tr, int(e.A))
+			b := r.gcellOfNode(tr, int(e.B))
+			path := r.patternRoute(a, b)
+			if r.pathOverflow(path) > 0 {
+				if mp := r.mazeRoute(a, b); mp != nil {
+					path = mp
+					res.MazeReroutes++
+				}
+			}
+			r.commit(path, +1)
+			er := EdgeRoute{TreeEdge: ei, Cells: path}
+			r.assignLayers(&er)
+			nr.Edges = append(nr.Edges, er)
+		}
+		res.Routes[ti] = nr
+	}
+
+	// Recompute tallies over the merged result.
+	for ni := range res.Routes {
+		for ei := range res.Routes[ni].Edges {
+			er := &res.Routes[ni].Edges[ei]
+			res.WirelengthDBU += int64(er.StepsDBU(g.GCellSize))
+			res.Vias += er.Vias
+		}
+	}
+	res.Overflow = g.TotalOverflow()
+	return res, nChanged, nil
+}
+
+// unassignLayers releases the per-layer bookings of a routed edge.
+func (r *router) unassignLayers(er *EdgeRoute) {
+	for i, l := range er.Layers {
+		a, b := er.Cells[i], er.Cells[i+1]
+		if a.Y == b.Y {
+			r.g.UnassignLayerH(l, min(a.X, b.X), a.Y)
+		} else {
+			r.g.UnassignLayerV(l, a.X, min(a.Y, b.Y))
+		}
+	}
+}

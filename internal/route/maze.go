@@ -1,0 +1,144 @@
+package route
+
+import (
+	"container/heap"
+)
+
+// Maze routing: congestion-aware A* over the GCell grid, restricted to a
+// window around the endpoints so reroutes stay cheap even on large dies.
+// Returns nil when no path exists inside the window (caller falls back to
+// pattern routing).
+
+type mazeNode struct {
+	gp    GP
+	cost  float64 // g-cost
+	est   float64 // g + heuristic
+	index int     // heap bookkeeping
+}
+
+type mazeHeap []*mazeNode
+
+func (h mazeHeap) Len() int            { return len(h) }
+func (h mazeHeap) Less(i, j int) bool  { return h[i].est < h[j].est }
+func (h mazeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *mazeHeap) Push(x interface{}) { n := x.(*mazeNode); n.index = len(*h); *h = append(*h, n) }
+func (h *mazeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return item
+}
+
+// mazeRoute searches for the cheapest path from start to goal within the
+// inflated bounding window.
+func (r *router) mazeRoute(start, goal GP) []GP {
+	m := r.opt.MazeMargin
+	xlo := min(start.X, goal.X) - m
+	xhi := maxi(start.X, goal.X) + m
+	ylo := min(start.Y, goal.Y) - m
+	yhi := maxi(start.Y, goal.Y) + m
+	if xlo < 0 {
+		xlo = 0
+	}
+	if ylo < 0 {
+		ylo = 0
+	}
+	if xhi > r.g.W-1 {
+		xhi = r.g.W - 1
+	}
+	if yhi > r.g.H-1 {
+		yhi = r.g.H - 1
+	}
+	w := xhi - xlo + 1
+	h := yhi - ylo + 1
+	idx := func(p GP) int { return (p.Y-ylo)*w + (p.X - xlo) }
+
+	const unvisited = -1
+	dist := make([]float64, w*h)
+	parent := make([]int32, w*h)
+	closed := make([]bool, w*h)
+	for i := range parent {
+		parent[i] = unvisited
+		dist[i] = -1
+	}
+	heur := func(p GP) float64 {
+		dx := p.X - goal.X
+		if dx < 0 {
+			dx = -dx
+		}
+		dy := p.Y - goal.Y
+		if dy < 0 {
+			dy = -dy
+		}
+		return float64(dx + dy) // admissible: min edge cost > 1
+	}
+
+	open := &mazeHeap{}
+	heap.Init(open)
+	si := idx(start)
+	dist[si] = 0
+	parent[si] = int32(si)
+	heap.Push(open, &mazeNode{gp: start, cost: 0, est: heur(start)})
+
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(*mazeNode)
+		ci := idx(cur.gp)
+		if closed[ci] {
+			continue
+		}
+		closed[ci] = true
+		if cur.gp == goal {
+			return reconstruct(parent, w, xlo, ylo, start, goal)
+		}
+		// Expand 4-neighbours inside the window.
+		tryStep := func(np GP, edgeCost float64) {
+			if np.X < xlo || np.X > xhi || np.Y < ylo || np.Y > yhi {
+				return
+			}
+			ni := idx(np)
+			if closed[ni] {
+				return
+			}
+			nc := cur.cost + edgeCost
+			if dist[ni] < 0 || nc < dist[ni] {
+				dist[ni] = nc
+				parent[ni] = int32(ci)
+				heap.Push(open, &mazeNode{gp: np, cost: nc, est: nc + heur(np)})
+			}
+		}
+		p := cur.gp
+		tryStep(GP{p.X + 1, p.Y}, r.g.CostH(p.X, p.Y))
+		tryStep(GP{p.X - 1, p.Y}, r.g.CostH(p.X-1, p.Y))
+		tryStep(GP{p.X, p.Y + 1}, r.g.CostV(p.X, p.Y))
+		tryStep(GP{p.X, p.Y - 1}, r.g.CostV(p.X, p.Y-1))
+	}
+	return nil
+}
+
+func reconstruct(parent []int32, w, xlo, ylo int, start, goal GP) []GP {
+	toGP := func(i int32) GP { return GP{X: int(i)%w + xlo, Y: int(i)/w + ylo} }
+	idx := func(p GP) int32 { return int32((p.Y-ylo)*w + (p.X - xlo)) }
+	var rev []GP
+	cur := idx(goal)
+	for {
+		rev = append(rev, toGP(cur))
+		if toGP(cur) == start {
+			break
+		}
+		cur = parent[cur]
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package route
+
+// Pattern routing: candidate paths between two GCells restricted to L
+// (one bend) and Z (two bends) shapes, evaluated against the current
+// congestion costs. Always succeeds; used both for initial routing and as
+// the fallback when maze search is window-limited.
+
+// patternRoute returns the cheapest L/Z path from a to b under current
+// grid costs.
+func (r *router) patternRoute(a, b GP) []GP {
+	if a == b {
+		return []GP{a}
+	}
+	if a.X == b.X || a.Y == b.Y {
+		return straight(a, b)
+	}
+	best := lPath(a, b, true) // horizontal first
+	bestCost := r.pathCost(best)
+	if alt := lPath(a, b, false); true {
+		if c := r.pathCost(alt); c < bestCost {
+			best, bestCost = alt, c
+		}
+	}
+	// Z patterns: intermediate column (HVH) or row (VHV).
+	k := r.opt.ZCandidates
+	for i := 1; i <= k; i++ {
+		if xm := a.X + (b.X-a.X)*i/(k+1); xm != a.X && xm != b.X {
+			if p := zPathHVH(a, b, xm); p != nil {
+				if c := r.pathCost(p); c < bestCost {
+					best, bestCost = p, c
+				}
+			}
+		}
+		if ym := a.Y + (b.Y-a.Y)*i/(k+1); ym != a.Y && ym != b.Y {
+			if p := zPathVHV(a, b, ym); p != nil {
+				if c := r.pathCost(p); c < bestCost {
+					best, bestCost = p, c
+				}
+			}
+		}
+	}
+	return best
+}
+
+// straight returns the unit-step path along a shared row or column.
+func straight(a, b GP) []GP {
+	path := []GP{a}
+	cur := a
+	for cur != b {
+		cur = stepToward(cur, b)
+		path = append(path, cur)
+	}
+	return path
+}
+
+func stepToward(cur, goal GP) GP {
+	switch {
+	case cur.X < goal.X:
+		cur.X++
+	case cur.X > goal.X:
+		cur.X--
+	case cur.Y < goal.Y:
+		cur.Y++
+	case cur.Y > goal.Y:
+		cur.Y--
+	}
+	return cur
+}
+
+// lPath routes via corner (b.X, a.Y) when horizFirst, else (a.X, b.Y).
+func lPath(a, b GP, horizFirst bool) []GP {
+	var corner GP
+	if horizFirst {
+		corner = GP{b.X, a.Y}
+	} else {
+		corner = GP{a.X, b.Y}
+	}
+	path := straight(a, corner)
+	rest := straight(corner, b)
+	return append(path, rest[1:]...)
+}
+
+// zPathHVH routes a→(xm,a.Y)→(xm,b.Y)→b.
+func zPathHVH(a, b GP, xm int) []GP {
+	p1 := GP{xm, a.Y}
+	p2 := GP{xm, b.Y}
+	path := straight(a, p1)
+	path = append(path, straight(p1, p2)[1:]...)
+	path = append(path, straight(p2, b)[1:]...)
+	return path
+}
+
+// zPathVHV routes a→(a.X,ym)→(b.X,ym)→b.
+func zPathVHV(a, b GP, ym int) []GP {
+	p1 := GP{a.X, ym}
+	p2 := GP{b.X, ym}
+	path := straight(a, p1)
+	path = append(path, straight(p1, p2)[1:]...)
+	path = append(path, straight(p2, b)[1:]...)
+	return path
+}

@@ -1,0 +1,47 @@
+package rsmt
+
+import (
+	"testing"
+
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/place"
+	"tsteiner/internal/synth"
+)
+
+// benchAPU builds the placed APU benchmark once per bench.
+func benchAPU(b *testing.B) *netlist.Design {
+	b.Helper()
+	spec, err := synth.BenchmarkByName("APU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := synth.Generate(spec, lib.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := place.Place(d, place.DefaultOptions()); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkBuildAllRSMT(b *testing.B) {
+	d := benchAPU(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildAll(d, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildAllPD(b *testing.B) {
+	d := benchAPU(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildAllPD(d, 0.5, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

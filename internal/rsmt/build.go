@@ -1,0 +1,381 @@
+package rsmt
+
+import (
+	"math/rand"
+	"sort"
+
+	"tsteiner/internal/geom"
+	"tsteiner/internal/netlist"
+)
+
+// Options tunes tree construction.
+type Options struct {
+	// I1SLimit is the largest distinct-terminal count handled by iterated
+	// 1-Steiner; larger nets use MST + median Steinerization.
+	I1SLimit int
+}
+
+// DefaultOptions returns the construction settings used by all flows.
+func DefaultOptions() Options { return Options{I1SLimit: 10} }
+
+// BuildAll constructs one Steiner tree per net from the placed design.
+func BuildAll(d *netlist.Design, opt Options) (*Forest, error) {
+	if opt.I1SLimit < 3 {
+		opt.I1SLimit = 3
+	}
+	f := &Forest{Trees: make([]*Tree, len(d.Nets))}
+	for ni := range d.Nets {
+		t := buildNet(d, netlist.NetID(ni), opt)
+		f.Trees[ni] = t
+	}
+	if err := f.Validate(d); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// buildNet constructs the tree for one net.
+func buildNet(d *netlist.Design, ni netlist.NetID, opt Options) *Tree {
+	net := d.Net(ni)
+	pins := make([]netlist.PinID, 0, net.NumPins())
+	pins = append(pins, net.Driver)
+	pins = append(pins, net.Sinks...)
+
+	// Unique geometric terminals; representative pin per position, driver
+	// first so the driver's position is geo terminal 0.
+	posIndex := map[geom.Point]int{}
+	var terms []geom.Point
+	repPin := []netlist.PinID{}
+	extra := map[int][]netlist.PinID{} // geo index -> co-located pins
+	for _, pid := range pins {
+		p := d.Pin(pid).Pos
+		if gi, ok := posIndex[p]; ok {
+			extra[gi] = append(extra[gi], pid)
+			continue
+		}
+		posIndex[p] = len(terms)
+		terms = append(terms, p)
+		repPin = append(repPin, pid)
+	}
+
+	var topo *topology
+	switch {
+	case len(terms) == 1:
+		topo = &topology{pts: terms}
+	case len(terms) == 2:
+		topo = &topology{pts: terms, edges: [][2]int{{0, 1}}}
+	case len(terms) <= opt.I1SLimit:
+		topo = iterated1Steiner(terms)
+	default:
+		topo = medianSteinerize(terms)
+	}
+	topo.prune(len(terms))
+
+	// Assemble the Tree: pin nodes first (driver at 0), then Steiner
+	// nodes, then zero-length attachments for co-located pins.
+	t := &Tree{Net: ni}
+	geoToNode := make([]int32, len(topo.pts))
+	for gi := 0; gi < len(terms); gi++ {
+		geoToNode[gi] = int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, Node{Kind: PinNode, Pin: repPin[gi], Pos: topo.pts[gi].ToF()})
+	}
+	for gi := len(terms); gi < len(topo.pts); gi++ {
+		geoToNode[gi] = int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, Node{Kind: SteinerNode, Pos: topo.pts[gi].ToF()})
+	}
+	for _, e := range topo.edges {
+		t.Edges = append(t.Edges, Edge{A: geoToNode[e[0]], B: geoToNode[e[1]]})
+	}
+	// Iterate geo indices in order (not map order) for determinism.
+	for gi := 0; gi < len(terms); gi++ {
+		for _, pid := range extra[gi] {
+			id := int32(len(t.Nodes))
+			t.Nodes = append(t.Nodes, Node{Kind: PinNode, Pin: pid, Pos: terms[gi].ToF()})
+			t.Edges = append(t.Edges, Edge{A: geoToNode[gi], B: id})
+		}
+	}
+	// Deterministic edge order regardless of map iteration above.
+	sort.Slice(t.Edges, func(i, j int) bool {
+		if t.Edges[i].A != t.Edges[j].A {
+			return t.Edges[i].A < t.Edges[j].A
+		}
+		return t.Edges[i].B < t.Edges[j].B
+	})
+	return t
+}
+
+// topology is the geometric tree under construction: the first k points
+// are terminals; later points are Steiner candidates.
+type topology struct {
+	pts   []geom.Point
+	edges [][2]int
+}
+
+func (tp *topology) wirelength() int {
+	sum := 0
+	for _, e := range tp.edges {
+		sum += geom.ManhattanDist(tp.pts[e[0]], tp.pts[e[1]])
+	}
+	return sum
+}
+
+// prune repeatedly removes Steiner leaves and splices degree-2 Steiner
+// nodes (replacing a–s–b with a–b, which never lengthens a Manhattan
+// tree), then compacts node indices. Terminal nodes (< nTerms) are kept.
+func (tp *topology) prune(nTerms int) {
+	for {
+		deg := make([]int, len(tp.pts))
+		for _, e := range tp.edges {
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		changed := false
+		for v := nTerms; v < len(tp.pts); v++ {
+			switch deg[v] {
+			case 0:
+				continue // already detached; compaction removes it
+			case 1:
+				tp.removeEdgesOf(v)
+				changed = true
+			case 2:
+				var nb []int
+				for _, e := range tp.edges {
+					if e[0] == v {
+						nb = append(nb, e[1])
+					} else if e[1] == v {
+						nb = append(nb, e[0])
+					}
+				}
+				tp.removeEdgesOf(v)
+				tp.edges = append(tp.edges, [2]int{nb[0], nb[1]})
+				changed = true
+			}
+			if changed {
+				break // degrees are stale; restart the scan
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	tp.compact(nTerms)
+}
+
+func (tp *topology) removeEdgesOf(v int) {
+	out := tp.edges[:0]
+	for _, e := range tp.edges {
+		if e[0] != v && e[1] != v {
+			out = append(out, e)
+		}
+	}
+	tp.edges = out
+}
+
+// compact drops Steiner points with no incident edge.
+func (tp *topology) compact(nTerms int) {
+	used := make([]bool, len(tp.pts))
+	for i := 0; i < nTerms; i++ {
+		used[i] = true
+	}
+	for _, e := range tp.edges {
+		used[e[0]] = true
+		used[e[1]] = true
+	}
+	remap := make([]int, len(tp.pts))
+	var pts []geom.Point
+	for i, p := range tp.pts {
+		if used[i] {
+			remap[i] = len(pts)
+			pts = append(pts, p)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for i := range tp.edges {
+		tp.edges[i][0] = remap[tp.edges[i][0]]
+		tp.edges[i][1] = remap[tp.edges[i][1]]
+	}
+	tp.pts = pts
+}
+
+// mstEdges computes a Manhattan-metric minimum spanning tree over pts with
+// Prim's algorithm, returning edge list and total cost.
+func mstEdges(pts []geom.Point) ([][2]int, int) {
+	n := len(pts)
+	if n <= 1 {
+		return nil, 0
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+	parent := make([]int, n)
+	inTree := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+		parent[i] = -1
+	}
+	dist[0] = 0
+	total := 0
+	edges := make([][2]int, 0, n-1)
+	for iter := 0; iter < n; iter++ {
+		best, bestD := -1, inf
+		for v := 0; v < n; v++ {
+			if !inTree[v] && dist[v] < bestD {
+				best, bestD = v, dist[v]
+			}
+		}
+		inTree[best] = true
+		if parent[best] >= 0 {
+			edges = append(edges, [2]int{parent[best], best})
+			total += bestD
+		}
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if dd := geom.ManhattanDist(pts[best], pts[v]); dd < dist[v] {
+					dist[v] = dd
+					parent[v] = best
+				}
+			}
+		}
+	}
+	return edges, total
+}
+
+// iterated1Steiner runs the Kahng–Robins heuristic: repeatedly add the
+// Hanan-grid point whose inclusion most reduces the MST cost.
+func iterated1Steiner(terms []geom.Point) *topology {
+	pts := append([]geom.Point(nil), terms...)
+	_, baseCost := mstEdges(pts)
+	maxSteiner := len(terms) - 2
+	for s := 0; s < maxSteiner; s++ {
+		cands := geom.HananGrid(pts)
+		existing := map[geom.Point]bool{}
+		for _, p := range pts {
+			existing[p] = true
+		}
+		bestGain := 0
+		var bestPt geom.Point
+		for _, c := range cands {
+			if existing[c] {
+				continue
+			}
+			trial := append(pts, c)
+			_, cost := mstEdges(trial)
+			if gain := baseCost - cost; gain > bestGain {
+				bestGain = gain
+				bestPt = c
+			}
+		}
+		if bestGain <= 0 {
+			break
+		}
+		pts = append(pts, bestPt)
+		baseCost -= bestGain
+	}
+	edges, _ := mstEdges(pts)
+	return &topology{pts: pts, edges: edges}
+}
+
+// medianSteinerize computes the MST and then repeatedly inserts the median
+// point of (node, neighbor, neighbor) triples when it shortens the tree —
+// a linear-time-per-pass local refinement suitable for high-fanout nets.
+func medianSteinerize(terms []geom.Point) *topology {
+	pts := append([]geom.Point(nil), terms...)
+	edges, _ := mstEdges(pts)
+	tp := &topology{pts: pts, edges: edges}
+	// Each successful pass inserts one Steiner point; cap insertions so
+	// pathological high-fanout nets stay cheap.
+	maxInsert := len(terms) - 2
+	if maxInsert > 64 {
+		maxInsert = 64
+	}
+	for i := 0; i < maxInsert; i++ {
+		if !tp.medianPass() {
+			break
+		}
+	}
+	return tp
+}
+
+// medianPass tries one insertion round; reports whether any gain was
+// realized.
+func (tp *topology) medianPass() bool {
+	adj := make([][]int, len(tp.pts))
+	for ei, e := range tp.edges {
+		adj[e[0]] = append(adj[e[0]], ei)
+		adj[e[1]] = append(adj[e[1]], ei)
+	}
+	improved := false
+	for u := 0; u < len(tp.pts); u++ {
+		if len(adj[u]) < 2 {
+			continue
+		}
+		// Find the best neighbor pair for u. Cap the pairs examined so a
+		// hub node with hundreds of neighbors stays affordable.
+		nn := len(adj[u])
+		if nn > 16 {
+			nn = 16
+		}
+		bestGain := 0
+		var bestA, bestB int
+		var bestS geom.Point
+		for i := 0; i < nn; i++ {
+			for j := i + 1; j < nn; j++ {
+				a := other(tp.edges[adj[u][i]], u)
+				b := other(tp.edges[adj[u][j]], u)
+				s := geom.Median([]geom.Point{tp.pts[u], tp.pts[a], tp.pts[b]})
+				if s == tp.pts[u] || s == tp.pts[a] || s == tp.pts[b] {
+					continue
+				}
+				before := geom.ManhattanDist(tp.pts[u], tp.pts[a]) + geom.ManhattanDist(tp.pts[u], tp.pts[b])
+				after := geom.ManhattanDist(tp.pts[u], s) + geom.ManhattanDist(s, tp.pts[a]) + geom.ManhattanDist(s, tp.pts[b])
+				if gain := before - after; gain > bestGain {
+					bestGain, bestA, bestB, bestS = gain, a, b, s
+				}
+			}
+		}
+		if bestGain > 0 {
+			sIdx := len(tp.pts)
+			tp.pts = append(tp.pts, bestS)
+			tp.removeEdge(u, bestA)
+			tp.removeEdge(u, bestB)
+			tp.edges = append(tp.edges, [2]int{u, sIdx}, [2]int{sIdx, bestA}, [2]int{sIdx, bestB})
+			improved = true
+			// Adjacency is stale; handle remaining nodes next pass.
+			return true
+		}
+	}
+	return improved
+}
+
+func other(e [2]int, u int) int {
+	if e[0] == u {
+		return e[1]
+	}
+	return e[0]
+}
+
+func (tp *topology) removeEdge(a, b int) {
+	for i, e := range tp.edges {
+		if (e[0] == a && e[1] == b) || (e[0] == b && e[1] == a) {
+			tp.edges = append(tp.edges[:i], tp.edges[i+1:]...)
+			return
+		}
+	}
+}
+
+// Perturb randomly displaces every Steiner node by up to maxDist DBU in
+// each axis, clamped to bound — the random-disturbance experiment of the
+// paper's Fig. 2.
+func Perturb(f *Forest, rng *rand.Rand, maxDist float64, bound geom.BBox) {
+	for _, t := range f.Trees {
+		for i := range t.Nodes {
+			if t.Nodes[i].Kind != SteinerNode {
+				continue
+			}
+			dx := (rng.Float64()*2 - 1) * maxDist
+			dy := (rng.Float64()*2 - 1) * maxDist
+			p := t.Nodes[i].Pos
+			t.Nodes[i].Pos = bound.ClampF(geom.FPoint{X: p.X + dx, Y: p.Y + dy})
+		}
+	}
+}

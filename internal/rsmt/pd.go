@@ -1,0 +1,147 @@
+package rsmt
+
+import (
+	"tsteiner/internal/geom"
+	"tsteiner/internal/netlist"
+)
+
+// Prim–Dijkstra construction (Alpert et al., "Prim-Dijkstra revisited" —
+// the paper's reference [4]): the classic *pre-learning* timing-driven
+// Steiner approach that TSteiner is positioned against. The tree grows
+// from the driver; attaching node v to tree node u costs
+//
+//	cost(u, v) = α·pathLen(u) + dist(u, v)
+//
+// α = 0 reduces to Prim (minimum wirelength), α = 1 to Dijkstra (shortest
+// source–sink paths, longer total wire). Intermediate α trades wirelength
+// for source-to-sink path length — the "path-length early metric" the
+// paper's introduction argues is insufficient for sign-off timing.
+
+// BuildAllPD constructs one PD tree per net with trade-off alpha ∈ [0,1],
+// then applies the same local median Steinerization and pruning as the
+// default constructor.
+func BuildAllPD(d *netlist.Design, alpha float64, opt Options) (*Forest, error) {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	f := &Forest{Trees: make([]*Tree, len(d.Nets))}
+	for ni := range d.Nets {
+		f.Trees[ni] = buildNetPD(d, netlist.NetID(ni), alpha)
+	}
+	if err := f.Validate(d); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func buildNetPD(d *netlist.Design, ni netlist.NetID, alpha float64) *Tree {
+	net := d.Net(ni)
+	pins := make([]netlist.PinID, 0, net.NumPins())
+	pins = append(pins, net.Driver)
+	pins = append(pins, net.Sinks...)
+
+	// Unique geometric terminals, driver first (same convention as the
+	// default constructor).
+	posIndex := map[geom.Point]int{}
+	var terms []geom.Point
+	var repPin []netlist.PinID
+	extra := map[int][]netlist.PinID{}
+	for _, pid := range pins {
+		p := d.Pin(pid).Pos
+		if gi, ok := posIndex[p]; ok {
+			extra[gi] = append(extra[gi], pid)
+			continue
+		}
+		posIndex[p] = len(terms)
+		terms = append(terms, p)
+		repPin = append(repPin, pid)
+	}
+
+	edges := pdTopology(terms, alpha)
+	tp := &topology{pts: terms, edges: edges}
+	if len(terms) > 2 {
+		// Same local Steinerization as the large-net default path.
+		maxInsert := len(terms) - 2
+		if maxInsert > 64 {
+			maxInsert = 64
+		}
+		for i := 0; i < maxInsert; i++ {
+			if !tp.medianPass() {
+				break
+			}
+		}
+	}
+	tp.prune(len(terms))
+
+	t := &Tree{Net: ni}
+	geoToNode := make([]int32, len(tp.pts))
+	for gi := 0; gi < len(terms); gi++ {
+		geoToNode[gi] = int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, Node{Kind: PinNode, Pin: repPin[gi], Pos: tp.pts[gi].ToF()})
+	}
+	for gi := len(terms); gi < len(tp.pts); gi++ {
+		geoToNode[gi] = int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, Node{Kind: SteinerNode, Pos: tp.pts[gi].ToF()})
+	}
+	for _, e := range tp.edges {
+		t.Edges = append(t.Edges, Edge{A: geoToNode[e[0]], B: geoToNode[e[1]]})
+	}
+	for gi := 0; gi < len(terms); gi++ {
+		for _, pid := range extra[gi] {
+			id := int32(len(t.Nodes))
+			t.Nodes = append(t.Nodes, Node{Kind: PinNode, Pin: pid, Pos: terms[gi].ToF()})
+			t.Edges = append(t.Edges, Edge{A: geoToNode[gi], B: id})
+		}
+	}
+	return t
+}
+
+// pdTopology runs the PD greedy growth over the terminals (index 0 is the
+// source) and returns the spanning edge list.
+func pdTopology(terms []geom.Point, alpha float64) [][2]int {
+	n := len(terms)
+	if n <= 1 {
+		return nil
+	}
+	const inf = int(^uint(0) >> 1)
+	inTree := make([]bool, n)
+	pathLen := make([]int, n) // source→node path length once attached
+	bestCost := make([]float64, n)
+	bestPar := make([]int, n)
+	for v := 1; v < n; v++ {
+		bestCost[v] = float64(inf)
+		bestPar[v] = 0
+	}
+	inTree[0] = true
+	update := func(u int) {
+		for v := 1; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			c := alpha*float64(pathLen[u]) + float64(geom.ManhattanDist(terms[u], terms[v]))
+			if c < bestCost[v] {
+				bestCost[v] = c
+				bestPar[v] = u
+			}
+		}
+	}
+	update(0)
+	edges := make([][2]int, 0, n-1)
+	for k := 1; k < n; k++ {
+		best := -1
+		for v := 1; v < n; v++ {
+			if !inTree[v] && (best < 0 || bestCost[v] < bestCost[best]) {
+				best = v
+			}
+		}
+		u := bestPar[best]
+		inTree[best] = true
+		pathLen[best] = pathLen[u] + geom.ManhattanDist(terms[u], terms[best])
+		edges = append(edges, [2]int{u, best})
+		update(best)
+	}
+	return edges
+}

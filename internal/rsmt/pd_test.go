@@ -1,0 +1,201 @@
+package rsmt
+
+import (
+	"testing"
+
+	"tsteiner/internal/geom"
+)
+
+func TestPDAlphaZeroMatchesMSTCost(t *testing.T) {
+	terms := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 2}, {X: 4, Y: 9}, {X: 12, Y: 12}, {X: 2, Y: 6}}
+	edges := pdTopology(terms, 0)
+	if len(edges) != len(terms)-1 {
+		t.Fatalf("edge count %d", len(edges))
+	}
+	cost := 0
+	for _, e := range edges {
+		cost += geom.ManhattanDist(terms[e[0]], terms[e[1]])
+	}
+	_, mstCost := mstEdges(terms)
+	if cost != mstCost {
+		t.Fatalf("PD(α=0) cost %d != MST cost %d", cost, mstCost)
+	}
+}
+
+func TestPDAlphaOneIsShortestPathsStar(t *testing.T) {
+	// With α=1 the attach cost is the full source path, so every node
+	// whose direct source distance is shortest attaches directly; path
+	// lengths equal the source Manhattan distance when the geometry is
+	// "star-friendly".
+	terms := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}, {X: -8, Y: 1}}
+	edges := pdTopology(terms, 1)
+	// Reconstruct path lengths from source.
+	adj := map[int][]int{}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	pathLen := map[int]int{0: 0}
+	stack := []int{0}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if _, ok := pathLen[v]; !ok {
+				pathLen[v] = pathLen[u] + geom.ManhattanDist(terms[u], terms[v])
+				stack = append(stack, v)
+			}
+		}
+	}
+	for v := 1; v < len(terms); v++ {
+		direct := geom.ManhattanDist(terms[0], terms[v])
+		if pathLen[v] != direct {
+			t.Fatalf("α=1 path to %d is %d, direct %d", v, pathLen[v], direct)
+		}
+	}
+}
+
+func TestPDPathLengthMonotoneInAlpha(t *testing.T) {
+	// Higher α must not lengthen total source→sink path lengths; total
+	// wirelength must not shrink. (Statistical property; use a spread of
+	// geometries.)
+	geoms := [][]geom.Point{
+		{{X: 0, Y: 0}, {X: 20, Y: 0}, {X: 20, Y: 20}, {X: 0, Y: 20}, {X: 35, Y: 10}},
+		{{X: 0, Y: 0}, {X: 5, Y: 30}, {X: 10, Y: 60}, {X: 15, Y: 90}, {X: 40, Y: 45}},
+		{{X: 50, Y: 50}, {X: 0, Y: 0}, {X: 100, Y: 0}, {X: 0, Y: 100}, {X: 100, Y: 100}},
+	}
+	for gi, terms := range geoms {
+		sumPath := func(alpha float64) (wl int, paths int) {
+			edges := pdTopology(terms, alpha)
+			adj := map[int][]int{}
+			for _, e := range edges {
+				wl += geom.ManhattanDist(terms[e[0]], terms[e[1]])
+				adj[e[0]] = append(adj[e[0]], e[1])
+				adj[e[1]] = append(adj[e[1]], e[0])
+			}
+			pl := map[int]int{0: 0}
+			stack := []int{0}
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, v := range adj[u] {
+					if _, ok := pl[v]; !ok {
+						pl[v] = pl[u] + geom.ManhattanDist(terms[u], terms[v])
+						stack = append(stack, v)
+					}
+				}
+			}
+			for v := 1; v < len(terms); v++ {
+				paths += pl[v]
+			}
+			return wl, paths
+		}
+		wl0, p0 := sumPath(0)
+		wl1, p1 := sumPath(1)
+		if p1 > p0 {
+			t.Errorf("geometry %d: α=1 total path %d exceeds α=0 %d", gi, p1, p0)
+		}
+		if wl1 < wl0 {
+			t.Errorf("geometry %d: α=1 wirelength %d below α=0 %d", gi, wl1, wl0)
+		}
+	}
+}
+
+func TestBuildAllPDValidates(t *testing.T) {
+	d := placedDesign(t, "cic_decimator", 1.0)
+	for _, alpha := range []float64{0, 0.3, 0.7, 1} {
+		f, err := BuildAllPD(d, alpha, DefaultOptions())
+		if err != nil {
+			t.Fatalf("alpha %g: %v", alpha, err)
+		}
+		if err := f.Validate(d); err != nil {
+			t.Fatalf("alpha %g: %v", alpha, err)
+		}
+	}
+	// Out-of-range alphas clamp instead of failing.
+	if _, err := BuildAllPD(d, -1, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildAllPD(d, 2, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathLengthsAndRadius(t *testing.T) {
+	d := placedDesign(t, "spm", 1.0)
+	f, err := BuildAll(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range f.Trees {
+		pl := tr.PathLengths()
+		if pl[0] != 0 {
+			t.Fatal("driver path length must be zero")
+		}
+		r := tr.Radius()
+		wl := tr.WirelengthF()
+		for i, v := range pl {
+			if v < 0 {
+				t.Fatal("negative path length")
+			}
+			if v > wl+1e-9 {
+				t.Fatalf("node %d path %g exceeds total WL %g", i, v, wl)
+			}
+		}
+		if r > wl+1e-9 {
+			t.Fatalf("radius %g exceeds WL %g", r, wl)
+		}
+		// Radius must reach at least the farthest direct pin distance /
+		// always at least 0; and equal max pin path length by definition.
+		maxPin := 0.0
+		for i := range tr.Nodes {
+			if tr.Nodes[i].Kind == PinNode && pl[i] > maxPin {
+				maxPin = pl[i]
+			}
+		}
+		if r != maxPin {
+			t.Fatalf("Radius %g != max pin path %g", r, maxPin)
+		}
+	}
+}
+
+func TestPDReducesTotalRadius(t *testing.T) {
+	// Aggregate over a design: α=1 (shortest-path) trees must have total
+	// radius no larger than α=0 (MST) trees.
+	d := placedDesign(t, "APU", 0.3)
+	sumRadius := func(f *Forest) float64 {
+		s := 0.0
+		for _, tr := range f.Trees {
+			s += tr.Radius()
+		}
+		return s
+	}
+	f0, err := BuildAllPD(d, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := BuildAllPD(d, 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumRadius(f1) > sumRadius(f0)*1.001 {
+		t.Fatalf("α=1 total radius %g exceeds α=0 %g", sumRadius(f1), sumRadius(f0))
+	}
+}
+
+func TestPDTradeoffOnDesign(t *testing.T) {
+	// Across a real design: α=0.7 trees should have total WL ≥ α=0 trees.
+	d := placedDesign(t, "APU", 0.3)
+	f0, err := BuildAllPD(d, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := BuildAllPD(d, 0.7, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.TotalWirelengthF() < f0.TotalWirelengthF()*0.999 {
+		t.Fatalf("α=0.7 WL %.0f below α=0 WL %.0f",
+			f7.TotalWirelengthF(), f0.TotalWirelengthF())
+	}
+}

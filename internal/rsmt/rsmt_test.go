@@ -1,0 +1,371 @@
+package rsmt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tsteiner/internal/geom"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/place"
+	"tsteiner/internal/synth"
+)
+
+func placedDesign(t *testing.T, name string, scale float64) *netlist.Design {
+	t.Helper()
+	spec, err := synth.BenchmarkByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := synth.Generate(spec.Scale(scale), lib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := place.Place(d, place.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildAllValidates(t *testing.T) {
+	d := placedDesign(t, "spm", 1.0)
+	f, err := BuildAll(d, DefaultOptions())
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	if len(f.Trees) != len(d.Nets) {
+		t.Fatalf("tree count %d != net count %d", len(f.Trees), len(d.Nets))
+	}
+	if err := f.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSteinerNodesHaveDegreeAtLeast3(t *testing.T) {
+	d := placedDesign(t, "APU", 0.3)
+	f, err := BuildAll(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range f.Trees {
+		adj := tr.Adjacency()
+		for i := range tr.Nodes {
+			if tr.Nodes[i].Kind == SteinerNode && len(adj[i]) < 3 {
+				t.Fatalf("net %d: Steiner node %d has degree %d", tr.Net, i, len(adj[i]))
+			}
+		}
+	}
+}
+
+func TestTreeWirelengthVsHPWL(t *testing.T) {
+	// HPWL is a lower bound for any connecting tree; the Steiner tree
+	// must also be no longer than a star from the driver.
+	d := placedDesign(t, "cic_decimator", 1.0)
+	f, err := BuildAll(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range f.Trees {
+		net := d.Net(tr.Net)
+		pts := []geom.Point{d.Pin(net.Driver).Pos}
+		star := 0.0
+		for _, s := range net.Sinks {
+			pts = append(pts, d.Pin(s).Pos)
+			star += float64(geom.ManhattanDist(d.Pin(net.Driver).Pos, d.Pin(s).Pos))
+		}
+		hpwl := float64(geom.BBoxOf(pts).HalfPerimeter())
+		wl := tr.WirelengthF()
+		if wl < hpwl-1e-9 {
+			t.Fatalf("net %s: tree WL %.1f below HPWL %.1f", net.Name, wl, hpwl)
+		}
+		if wl > star+1e-9 {
+			t.Fatalf("net %s: tree WL %.1f exceeds star WL %.1f", net.Name, wl, star)
+		}
+	}
+}
+
+func TestIterated1SteinerCross(t *testing.T) {
+	// Four terminals in a cross: the optimal RSMT uses the center point
+	// and total length 4r; the plain MST costs 6r.
+	terms := []geom.Point{{X: 0, Y: 10}, {X: 20, Y: 10}, {X: 10, Y: 0}, {X: 10, Y: 20}}
+	tp := iterated1Steiner(terms)
+	tp.prune(len(terms))
+	if got := tp.wirelength(); got != 40 {
+		t.Fatalf("cross RSMT wirelength=%d want 40", got)
+	}
+	if len(tp.pts) != 5 {
+		t.Fatalf("expected exactly one Steiner point, got %d extra", len(tp.pts)-4)
+	}
+}
+
+func TestIterated1SteinerNeverWorseThanMST(t *testing.T) {
+	f := func(raw []struct{ X, Y uint8 }) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		seen := map[geom.Point]bool{}
+		var terms []geom.Point
+		for _, r := range raw {
+			p := geom.Point{X: int(r.X), Y: int(r.Y)}
+			if !seen[p] {
+				seen[p] = true
+				terms = append(terms, p)
+			}
+		}
+		if len(terms) < 3 {
+			return true
+		}
+		_, mstCost := mstEdges(terms)
+		tp := iterated1Steiner(terms)
+		tp.prune(len(terms))
+		return tp.wirelength() <= mstCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianSteinerizeNeverWorseThanMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 15 + rng.Intn(40)
+		seen := map[geom.Point]bool{}
+		var terms []geom.Point
+		for len(terms) < n {
+			p := geom.Point{X: rng.Intn(200), Y: rng.Intn(200)}
+			if !seen[p] {
+				seen[p] = true
+				terms = append(terms, p)
+			}
+		}
+		_, mstCost := mstEdges(terms)
+		tp := medianSteinerize(terms)
+		tp.prune(len(terms))
+		if tp.wirelength() > mstCost {
+			t.Fatalf("trial %d: steinerized WL %d > MST %d", trial, tp.wirelength(), mstCost)
+		}
+	}
+}
+
+func TestMSTProperties(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}, {X: 5, Y: 5}}
+	edges, cost := mstEdges(pts)
+	if len(edges) != len(pts)-1 {
+		t.Fatalf("MST edge count %d", len(edges))
+	}
+	if cost <= 0 {
+		t.Fatal("MST cost must be positive")
+	}
+	// Spanning: union-find check.
+	parent := make([]int, len(pts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range edges {
+		parent[find(e[0])] = find(e[1])
+	}
+	root := find(0)
+	for i := range pts {
+		if find(i) != root {
+			t.Fatal("MST does not span")
+		}
+	}
+}
+
+func TestColocatedPinsGetZeroLengthEdges(t *testing.T) {
+	// Two input pins of the same cell are at the same point; the tree
+	// must still contain one node per pin.
+	l := lib.Default()
+	b := netlist.NewBuilder("x", l)
+	pi := b.AddPI("i")
+	g := b.AddCell("u1", "NAND2_X1")
+	po := b.AddPO("o", 0.01)
+	d := b.Design()
+	b.Connect(pi, d.Cell(g).InputPins()[0], d.Cell(g).InputPins()[1])
+	b.Connect(d.Cell(g).OutputPin(), po)
+	dd, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := place.Place(dd, place.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := BuildAll(dd, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := f.Trees[0]
+	if got := len(tr.Nodes); got != 3 { // driver + 2 sinks, no Steiner
+		t.Fatalf("tree nodes=%d want 3", got)
+	}
+	if err := tr.Validate(dd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSteinerPositionsRoundTrip(t *testing.T) {
+	d := placedDesign(t, "spm", 1.0)
+	f, err := BuildAll(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys, idx := f.SteinerPositions()
+	if len(xs) != len(ys) || len(xs) != len(idx) {
+		t.Fatal("length mismatch")
+	}
+	if len(xs) != f.Stats().SteinerNodes {
+		t.Fatalf("extracted %d positions for %d Steiner nodes", len(xs), f.Stats().SteinerNodes)
+	}
+	// Shift all by +1.5 then write back and re-read.
+	for i := range xs {
+		xs[i] += 1.5
+		ys[i] -= 2.5
+	}
+	if err := f.SetSteinerPositions(xs, ys, idx, d.Die); err != nil {
+		t.Fatal(err)
+	}
+	xs2, ys2, _ := f.SteinerPositions()
+	for i := range xs2 {
+		want := d.Die.ClampF(geom.FPoint{X: xs[i], Y: ys[i]})
+		if xs2[i] != want.X || ys2[i] != want.Y {
+			t.Fatalf("position %d round-trip mismatch", i)
+		}
+	}
+}
+
+func TestSetSteinerPositionsErrors(t *testing.T) {
+	d := placedDesign(t, "spm", 1.0)
+	f, _ := BuildAll(d, DefaultOptions())
+	xs, ys, idx := f.SteinerPositions()
+	if len(idx) == 0 {
+		t.Skip("no Steiner nodes in this design")
+	}
+	if err := f.SetSteinerPositions(xs[:len(xs)-1], ys, idx, d.Die); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	badIdx := append([]SteinerRef(nil), idx...)
+	badIdx[0].Node = 0 // node 0 is the driver pin
+	if err := f.SetSteinerPositions(xs, ys, badIdx, d.Die); err == nil {
+		t.Fatal("non-Steiner ref accepted")
+	}
+}
+
+func TestRoundPositions(t *testing.T) {
+	d := placedDesign(t, "spm", 1.0)
+	f, _ := BuildAll(d, DefaultOptions())
+	xs, ys, idx := f.SteinerPositions()
+	for i := range xs {
+		xs[i] += 0.3
+		ys[i] += 0.7
+	}
+	if err := f.SetSteinerPositions(xs, ys, idx, d.Die); err != nil {
+		t.Fatal(err)
+	}
+	f.RoundPositions()
+	xs2, ys2, _ := f.SteinerPositions()
+	for i := range xs2 {
+		if xs2[i] != float64(int(xs2[i])) || ys2[i] != float64(int(ys2[i])) {
+			t.Fatalf("position %d not integral after rounding", i)
+		}
+	}
+}
+
+func TestPerturbStaysInBounds(t *testing.T) {
+	d := placedDesign(t, "cic_decimator", 1.0)
+	f, _ := BuildAll(d, DefaultOptions())
+	before := f.Clone()
+	rng := rand.New(rand.NewSource(3))
+	Perturb(f, rng, 50, d.Die)
+	moved := false
+	for ti, tr := range f.Trees {
+		for ni := range tr.Nodes {
+			n := &tr.Nodes[ni]
+			if n.Kind == PinNode {
+				if n.Pos != before.Trees[ti].Nodes[ni].Pos {
+					t.Fatal("pin node moved by Perturb")
+				}
+				continue
+			}
+			if n.Pos != before.Trees[ti].Nodes[ni].Pos {
+				moved = true
+			}
+			p := n.Pos
+			if p.X < float64(d.Die.XLo) || p.X > float64(d.Die.XHi) ||
+				p.Y < float64(d.Die.YLo) || p.Y > float64(d.Die.YHi) {
+				t.Fatalf("Steiner node escaped die: %v", p)
+			}
+		}
+	}
+	if !moved && f.Stats().SteinerNodes > 0 {
+		t.Fatal("Perturb moved nothing")
+	}
+}
+
+func TestForestCloneIndependent(t *testing.T) {
+	d := placedDesign(t, "spm", 1.0)
+	f, _ := BuildAll(d, DefaultOptions())
+	c := f.Clone()
+	xs, ys, idx := f.SteinerPositions()
+	if len(idx) == 0 {
+		t.Skip("no Steiner nodes")
+	}
+	for i := range xs {
+		xs[i] += 10
+	}
+	if err := f.SetSteinerPositions(xs, ys, idx, d.Die); err != nil {
+		t.Fatal(err)
+	}
+	cx, _, _ := c.SteinerPositions()
+	if cx[0] == xs[0] {
+		t.Fatal("clone aliases original positions")
+	}
+}
+
+func TestStatsCountsMatch(t *testing.T) {
+	d := placedDesign(t, "usb_cdc_core", 0.3)
+	f, _ := BuildAll(d, DefaultOptions())
+	st := f.Stats()
+	manualSteiner, manualEdges := 0, 0
+	for _, tr := range f.Trees {
+		manualSteiner += tr.SteinerCount()
+		manualEdges += len(tr.Edges)
+	}
+	if st.SteinerNodes != manualSteiner || st.TreeEdges != manualEdges {
+		t.Fatalf("Stats=%+v manual=(%d,%d)", st, manualSteiner, manualEdges)
+	}
+	if st.SteinerNodes == 0 {
+		t.Fatal("expected some Steiner nodes in a multi-pin design")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	d1 := placedDesign(t, "spm", 1.0)
+	d2 := placedDesign(t, "spm", 1.0)
+	f1, _ := BuildAll(d1, DefaultOptions())
+	f2, _ := BuildAll(d2, DefaultOptions())
+	if len(f1.Trees) != len(f2.Trees) {
+		t.Fatal("tree counts differ")
+	}
+	for i := range f1.Trees {
+		a, b := f1.Trees[i], f2.Trees[i]
+		if len(a.Nodes) != len(b.Nodes) || len(a.Edges) != len(b.Edges) {
+			t.Fatalf("tree %d differs structurally", i)
+		}
+		for j := range a.Nodes {
+			if a.Nodes[j].Pos != b.Nodes[j].Pos {
+				t.Fatalf("tree %d node %d position differs", i, j)
+			}
+		}
+	}
+}

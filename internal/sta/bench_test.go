@@ -1,0 +1,50 @@
+package sta
+
+import (
+	"testing"
+
+	"tsteiner/internal/grid"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/place"
+	"tsteiner/internal/rc"
+	"tsteiner/internal/route"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/synth"
+)
+
+func BenchmarkSTARun(b *testing.B) {
+	l := lib.Default()
+	spec, err := synth.BenchmarkByName("APU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := synth.Generate(spec, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := place.Place(d, place.DefaultOptions()); err != nil {
+		b.Fatal(err)
+	}
+	f, err := rsmt.BuildAll(d, rsmt.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := grid.New(d.Die, 8, []int{0, 12, 12, 10, 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr, err := route.Route(d, f, g, route.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rcs, err := rc.Extract(d, f, g, gr, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(d, rcs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package synth
+
+import (
+	"testing"
+	"tsteiner/internal/lib"
+)
+
+func TestGenUnchangedByLibExtension(t *testing.T) {
+	d, err := Generate(mustSpec(t, "spm"), lib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.CellNodes != 238 || st.Endpoints != 129 {
+		t.Fatalf("generation drifted: %+v", st)
+	}
+}
+func mustSpec(t *testing.T, n string) Spec {
+	s, err := BenchmarkByName(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,370 @@
+// Package synth generates synthetic gate-level benchmarks that stand in
+// for the paper's ten OpenCores designs. Real netlists are unavailable in
+// this environment, so the generator reproduces the *statistics that drive
+// the experiments*: cell counts, timing-endpoint counts, register density,
+// fanout distribution with a heavy tail, and logic depths deep enough to
+// create negative slack under the default clock. Generation is fully
+// deterministic given the spec's seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+)
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	Name      string
+	Seed      int64
+	Cells     int     // total instance target (registers + combinational)
+	Endpoints int     // timing endpoints target (register D pins + POs)
+	PIs       int     // primary inputs
+	Depth     int     // maximum logic depth between register stages
+	ClockNS   float64 // clock period constraint (ns)
+	Train     bool    // membership in the paper's training split
+}
+
+// Benchmarks returns the ten specs mirroring Table I of the paper: the
+// upper six form the training set and the lower four the testing set.
+// Cell and endpoint counts match the paper's "# Nodes Cell" and
+// "# Endpoints" columns.
+func Benchmarks() []Spec {
+	return []Spec{
+		{Name: "chacha", Seed: 101, Cells: 15700, Endpoints: 1972, PIs: 96, Depth: 26, ClockNS: 6.5, Train: true},
+		{Name: "cic_decimator", Seed: 102, Cells: 781, Endpoints: 130, PIs: 24, Depth: 18, ClockNS: 1.55, Train: true},
+		{Name: "APU", Seed: 103, Cells: 2897, Endpoints: 427, PIs: 40, Depth: 22, ClockNS: 2.9, Train: true},
+		{Name: "des", Seed: 104, Cells: 14652, Endpoints: 2048, PIs: 128, Depth: 24, ClockNS: 6.5, Train: true},
+		{Name: "jpeg_encoder", Seed: 105, Cells: 55264, Endpoints: 4420, PIs: 160, Depth: 30, ClockNS: 27.0, Train: true},
+		{Name: "spm", Seed: 106, Cells: 238, Endpoints: 129, PIs: 16, Depth: 10, ClockNS: 0.3, Train: true},
+		{Name: "aes_cipher", Seed: 107, Cells: 11532, Endpoints: 659, PIs: 128, Depth: 32, ClockNS: 11.0, Train: false},
+		{Name: "picorv32a", Seed: 108, Cells: 13622, Endpoints: 1879, PIs: 64, Depth: 28, ClockNS: 7.0, Train: false},
+		{Name: "usb_cdc_core", Seed: 109, Cells: 1642, Endpoints: 626, PIs: 32, Depth: 14, ClockNS: 0.7, Train: false},
+		{Name: "des3", Seed: 110, Cells: 47410, Endpoints: 8872, PIs: 128, Depth: 26, ClockNS: 7.5, Train: false},
+	}
+}
+
+// BenchmarkByName returns the spec with the given name.
+func BenchmarkByName(name string) (Spec, error) {
+	for _, s := range Benchmarks() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("synth: unknown benchmark %q", name)
+}
+
+// Scale returns a copy of the spec with cell/endpoint/PI counts multiplied
+// by f (floored at small minimums), for fast tests and benches that keep
+// the full experiment shape at reduced size.
+func (s Spec) Scale(f float64) Spec {
+	scale := func(v int, min int) int {
+		n := int(float64(v) * f)
+		if n < min {
+			n = min
+		}
+		return n
+	}
+	s.Cells = scale(s.Cells, 40)
+	s.Endpoints = scale(s.Endpoints, 8)
+	s.PIs = scale(s.PIs, 4)
+	return s
+}
+
+// Generate builds the benchmark described by the spec against the given
+// library. The returned design is validated and acyclic; cell positions
+// are not yet assigned (see internal/place).
+func Generate(spec Spec, l *lib.Library) (*netlist.Design, error) {
+	if spec.Cells < 4 || spec.Endpoints < 2 || spec.PIs < 1 {
+		return nil, fmt.Errorf("synth: degenerate spec %+v", spec)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := netlist.NewBuilder(spec.Name, l)
+	if spec.ClockNS > 0 {
+		b.SetClockPeriod(spec.ClockNS)
+	} else {
+		b.SetClockPeriod(l.ClockPeriod)
+	}
+
+	// Split endpoints between PO ports and register D pins. A modest PO
+	// count keeps most endpoints register-bound, like the real designs.
+	pos := spec.Endpoints / 8
+	if pos < 2 {
+		pos = 2
+	}
+	if pos > 64 {
+		pos = 64
+	}
+	dffs := spec.Endpoints - pos
+	comb := spec.Cells - dffs
+	if comb < 2 {
+		return nil, fmt.Errorf("synth: spec %q leaves %d combinational cells", spec.Name, comb)
+	}
+
+	// Ports and registers.
+	piPins := make([]netlist.PinID, spec.PIs)
+	for i := range piPins {
+		piPins[i] = b.AddPI(fmt.Sprintf("pi_%d", i))
+	}
+	poPins := make([]netlist.PinID, pos)
+	for i := range poPins {
+		poPins[i] = b.AddPO(fmt.Sprintf("po_%d", i), 0.008)
+	}
+	dffIDs := make([]netlist.CellID, dffs)
+	for i := range dffIDs {
+		dffIDs[i] = b.AddCell(fmt.Sprintf("r_%d", i), "DFF_X1")
+	}
+
+	g := &generator{
+		rng:     rng,
+		b:       b,
+		spec:    spec,
+		combNms: l.CombinationalNames(),
+		lib:     l,
+	}
+	g.buildLogic(piPins, dffIDs, comb)
+	g.wireEndpoints(poPins, dffIDs)
+
+	return b.Finish()
+}
+
+// signal is a driven output awaiting consumers.
+type signal struct {
+	pin    netlist.PinID
+	fanout int
+	depth  int // logic depth from the nearest startpoint
+}
+
+type generator struct {
+	rng     *rand.Rand
+	b       *netlist.Builder
+	spec    Spec
+	combNms []string
+	lib     *lib.Library
+
+	// signals in creation order; index order respects the DAG.
+	signals []signal
+	// hubs are designated high-fanout signal indices (reset/enable-like).
+	hubs []int
+	// pending maps each driver signal index to the sink pins collected so
+	// far; nets are emitted once all consumers are known.
+	pending map[int][]netlist.PinID
+	// nStart is the count of startpoint signals (PIs + register outputs)
+	// at the head of the signals slice.
+	nStart int
+}
+
+// buildLogic creates the combinational cloud. Cells are created in
+// sequence and each input consumes an earlier signal, so the result is a
+// DAG by construction.
+func (g *generator) buildLogic(piPins []netlist.PinID, dffIDs []netlist.CellID, comb int) {
+	g.pending = make(map[int][]netlist.PinID)
+	for _, p := range piPins {
+		g.signals = append(g.signals, signal{pin: p})
+	}
+	for _, id := range dffIDs {
+		g.signals = append(g.signals, signal{pin: g.cellOut(id)})
+	}
+	g.nStart = len(g.signals)
+	// A few startpoints become hubs: broadcast-style signals with large
+	// fanout, giving the heavy-tailed net-degree distribution that makes
+	// Steiner construction non-trivial.
+	nHubs := 2 + len(g.signals)/200
+	for i := 0; i < nHubs; i++ {
+		g.hubs = append(g.hubs, g.rng.Intn(len(g.signals)))
+	}
+
+	for i := 0; i < comb; i++ {
+		master := g.combNms[g.rng.Intn(len(g.combNms))]
+		cid := g.b.AddCell(fmt.Sprintf("u_%d", i), master)
+		inputs := g.cellInputs(cid)
+		depth := 0
+		for _, in := range inputs {
+			src := g.pickSource()
+			g.consume(src, in)
+			if d := g.signals[src].depth; d > depth {
+				depth = d
+			}
+		}
+		g.signals = append(g.signals, signal{pin: g.cellOut(cid), depth: depth + 1})
+	}
+}
+
+// pickSource chooses which existing signal feeds a new input pin. The
+// candidate's logic depth is capped at spec.Depth−1 so the deepest cell
+// output reaches exactly spec.Depth, keeping path depth independent of
+// design size (real designs pipeline; depth does not grow with area).
+func (g *generator) pickSource() int {
+	n := len(g.signals)
+	// Drain stale zero-fanout signals first so every output finds a
+	// consumer and the leftover pool stays below the endpoint count.
+	if idx, ok := g.oldestUnused(8); ok {
+		return idx
+	}
+	for attempt := 0; attempt < 6; attempt++ {
+		idx := g.pickCandidate(n)
+		d := g.signals[idx].depth
+		if d >= g.spec.Depth {
+			continue // hard cap
+		}
+		// Soft governor: acceptance falls off past half of the depth
+		// budget so chains taper and few signals get stuck at the cap
+		// (stuck signals can only be absorbed by endpoints).
+		soft := float64(g.spec.Depth) * 0.5
+		if fd := float64(d); fd > soft {
+			rejectP := 1.15 * (fd - soft) / (float64(g.spec.Depth) - soft)
+			if g.rng.Float64() < rejectP {
+				continue
+			}
+		}
+		return idx
+	}
+	// Depth budget exhausted in the recent window: restart the cone from
+	// a startpoint (a register output or PI), as a new pipeline stage.
+	return g.rng.Intn(g.nStart)
+}
+
+func (g *generator) pickCandidate(n int) int {
+	r := g.rng.Float64()
+	switch {
+	case r < 0.10 && len(g.hubs) > 0:
+		// Hub broadcast.
+		return g.hubs[g.rng.Intn(len(g.hubs))]
+	case r < 0.25:
+		// Uniform over history: long reconvergent fanout.
+		return g.rng.Intn(n)
+	default:
+		// Recent window with geometric bias toward the newest signal,
+		// building chains up to the depth cap.
+		w := g.spec.Depth
+		if w > n {
+			w = n
+		}
+		off := int(g.rng.ExpFloat64() * float64(w) / 3.0)
+		if off >= w {
+			off = w - 1
+		}
+		return n - 1 - off
+	}
+}
+
+// oldestUnused returns the oldest *shallow* signal with zero fanout if
+// the count of such signals exceeds the threshold; this bounds the
+// unconsumed pool. Signals already at the depth cap are deliberately
+// skipped — feeding them into more logic would chain past the cap — and
+// are instead absorbed by the endpoints in wireEndpoints.
+func (g *generator) oldestUnused(threshold int) (int, bool) {
+	count := 0
+	first := -1
+	// Only scan a bounded suffix; a full scan per pick would be
+	// quadratic. Unconsumed shallow outputs accumulate in the most recent
+	// window.
+	lo := len(g.signals) - 8*threshold
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < len(g.signals); i++ {
+		s := &g.signals[i]
+		if s.fanout == 0 && s.depth < g.spec.Depth {
+			if first < 0 {
+				first = i
+			}
+			count++
+			if count > threshold {
+				return first, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (g *generator) consume(srcIdx int, sink netlist.PinID) {
+	g.signals[srcIdx].fanout++
+	g.pending[srcIdx] = append(g.pending[srcIdx], sink)
+}
+
+// wireEndpoints connects register D pins and POs, preferring unconsumed
+// signals so that every driven signal ends up with a net, then flushes all
+// pending connections as nets.
+func (g *generator) wireEndpoints(poPins []netlist.PinID, dffIDs []netlist.CellID) {
+	endpoints := make([]netlist.PinID, 0, len(poPins)+len(dffIDs))
+	for _, id := range dffIDs {
+		endpoints = append(endpoints, g.dInput(id))
+	}
+	endpoints = append(endpoints, poPins...)
+	g.rng.Shuffle(len(endpoints), func(i, j int) {
+		endpoints[i], endpoints[j] = endpoints[j], endpoints[i]
+	})
+
+	// Collect unconsumed combinational outputs (ports may legally dangle;
+	// register outputs that dangle become unused state bits, also legal in
+	// the model but wasteful, so consume them too when possible).
+	var unused []int
+	for i, s := range g.signals {
+		if s.fanout == 0 && !g.isPort(s.pin) {
+			unused = append(unused, i)
+		}
+	}
+	ei := 0
+	for _, idx := range unused {
+		if ei >= len(endpoints) {
+			break
+		}
+		g.consume(idx, endpoints[ei])
+		ei++
+	}
+	// Remaining endpoints sample late signals (deep paths reach the
+	// registers, as in real pipelines).
+	n := len(g.signals)
+	for ; ei < len(endpoints); ei++ {
+		tail := n / 3
+		if tail < 1 {
+			tail = 1
+		}
+		idx := n - 1 - g.rng.Intn(tail)
+		// Never route a register's own Q straight back to its D through
+		// zero logic by construction order; idx may still be a
+		// startpoint, which is fine (a path of pure wire).
+		g.consume(idx, endpoints[ei])
+	}
+
+	// Any still-unconsumed outputs (possible when unused > endpoints)
+	// become extra test points so validation passes; this keeps the
+	// endpoint count within a few of the target.
+	extra := 0
+	for i, s := range g.signals {
+		if s.fanout == 0 && !g.isPort(s.pin) {
+			po := g.b.AddPO(fmt.Sprintf("tp_%d", extra), 0.004)
+			extra++
+			g.consume(i, po)
+		}
+	}
+
+	// Flush nets in deterministic signal order.
+	for i := range g.signals {
+		sinks := g.pending[i]
+		if len(sinks) == 0 {
+			continue
+		}
+		g.b.Connect(g.signals[i].pin, sinks...)
+	}
+}
+
+func (g *generator) cellOut(id netlist.CellID) netlist.PinID {
+	return g.b.Design().Cell(id).OutputPin()
+}
+
+func (g *generator) cellInputs(id netlist.CellID) []netlist.PinID {
+	return g.b.Design().Cell(id).InputPins()
+}
+
+// dInput returns the D pin of a register instance.
+func (g *generator) dInput(id netlist.CellID) netlist.PinID {
+	return g.b.Design().Cell(id).InputPins()[0]
+}
+
+func (g *generator) isPort(p netlist.PinID) bool {
+	return g.b.Design().Pin(p).IsPort
+}

@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Adam implements the Adam stochastic optimizer over a set of parameter
+// tensors (used to train the timing evaluator; the Steiner refinement loop
+// uses its own single-step variant per paper Eq. 7).
+type Adam struct {
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	params       []*Tensor
+	m, v         [][]float64
+	step         int
+}
+
+// NewAdam builds an optimizer over params with the given learning rate.
+func NewAdam(lr float64, params []*Tensor) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, p.Len())
+		a.v[i] = make([]float64, p.Len())
+	}
+	return a
+}
+
+// Step applies one Adam update from the accumulated gradients.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		if p.Grad == nil {
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			g := p.Grad[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// ZeroGrad clears the gradients of every parameter.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// XavierInit fills t with Xavier/Glorot-uniform values for a fanIn×fanOut
+// weight matrix, using the supplied RNG for determinism.
+func XavierInit(t *Tensor, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(t.Rows+t.Cols))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// GradCheck compares the analytic gradient of loss w.r.t. x against
+// central finite differences. build must recompute the loss from scratch
+// on a fresh tape each call (x's Data may be perturbed between calls).
+// Returns the max absolute deviation over sampled elements.
+func GradCheck(x *Tensor, build func() (*Tensor, *Tape, error), eps float64, samples int) (float64, error) {
+	loss, tape, err := build()
+	if err != nil {
+		return 0, err
+	}
+	if err := tape.Backward(loss); err != nil {
+		return 0, err
+	}
+	analytic := append([]float64(nil), x.Grad...)
+
+	n := x.Len()
+	if samples > n || samples <= 0 {
+		samples = n
+	}
+	worst := 0.0
+	for s := 0; s < samples; s++ {
+		i := s * n / samples
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp, _, err := build()
+		if err != nil {
+			return 0, err
+		}
+		x.Data[i] = orig - eps
+		lm, _, err := build()
+		if err != nil {
+			return 0, err
+		}
+		x.Data[i] = orig
+		numeric := (lp.Data[0] - lm.Data[0]) / (2 * eps)
+		if d := math.Abs(numeric - analytic[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// CheckFinite returns an error if any element is NaN or Inf — a guard the
+// training loop runs on losses.
+func CheckFinite(t *Tensor) error {
+	for i, v := range t.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("tensor: non-finite value %g at %d", v, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,749 @@
+// Package tensor is a reverse-mode automatic-differentiation engine built
+// for this repository's graph-learning stack (the role PyTorch plays in
+// the paper). It provides dense float64 tensors (vectors and matrices), a
+// tape that records operations in execution order, elementwise and linear-
+// algebra ops, the gather/scatter primitives message passing needs, and
+// the Log-Sum-Exp / Softplus smoothings the paper uses for WNS/TNS.
+//
+// Gradients are validated against finite differences by property tests in
+// this package; every op's backward rule is exercised there.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major tensor of rank 1 or 2.
+type Tensor struct {
+	// Rows and Cols give the shape; a vector has Cols == 1.
+	Rows, Cols int
+	Data       []float64
+	Grad       []float64
+
+	requiresGrad bool
+	tape         *Tape
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return t.Rows * t.Cols }
+
+// RequiresGrad reports whether gradients flow into this tensor.
+func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
+
+// At returns element (r, c).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// Set writes element (r, c).
+func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
+
+// GradAt returns the gradient of element (r, c), zero before Backward.
+func (t *Tensor) GradAt(r, c int) float64 {
+	if t.Grad == nil {
+		return 0
+	}
+	return t.Grad[r*t.Cols+c]
+}
+
+// ensureGrad allocates the gradient buffer on demand.
+func (t *Tensor) ensureGrad() {
+	if t.Grad == nil {
+		t.Grad = make([]float64, t.Len())
+	}
+}
+
+// ZeroGrad clears accumulated gradients.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// Clone returns a detached copy of values (no tape, no grad flow).
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Rows: t.Rows, Cols: t.Cols, Data: append([]float64(nil), t.Data...)}
+	return c
+}
+
+// Tape records operations for reverse-mode differentiation.
+type Tape struct {
+	backwards []func()
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset drops all recorded operations (reuse between iterations).
+func (tp *Tape) Reset() { tp.backwards = tp.backwards[:0] }
+
+// record appends a backward step.
+func (tp *Tape) record(fn func()) { tp.backwards = append(tp.backwards, fn) }
+
+// Backward seeds d(loss)/d(loss) = 1 and propagates gradients to every
+// recorded tensor. loss must be a 1×1 tensor produced on this tape.
+func (tp *Tape) Backward(loss *Tensor) error {
+	if loss.Len() != 1 {
+		return fmt.Errorf("tensor: Backward needs a scalar, got %dx%d", loss.Rows, loss.Cols)
+	}
+	if loss.tape != tp {
+		return fmt.Errorf("tensor: loss was not computed on this tape")
+	}
+	loss.ensureGrad()
+	loss.Grad[0] = 1
+	for i := len(tp.backwards) - 1; i >= 0; i-- {
+		tp.backwards[i]()
+	}
+	return nil
+}
+
+// NewVector creates a non-differentiable vector (length n).
+func NewVector(n int) *Tensor { return &Tensor{Rows: n, Cols: 1, Data: make([]float64, n)} }
+
+// NewMatrix creates a non-differentiable matrix.
+func NewMatrix(rows, cols int) *Tensor {
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (copied) as an r×c constant tensor.
+func FromSlice(rows, cols int, data []float64) (*Tensor, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("tensor: %d values for %dx%d", len(data), rows, cols)
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: append([]float64(nil), data...)}, nil
+}
+
+// Leaf attaches a tensor to the tape as a differentiable leaf (a trainable
+// parameter or an input we need gradients for, like Steiner coordinates).
+func (tp *Tape) Leaf(t *Tensor) *Tensor {
+	t.requiresGrad = true
+	t.tape = tp
+	t.ensureGrad()
+	return t
+}
+
+// Constant attaches a tensor to the tape without gradient tracking.
+func (tp *Tape) Constant(t *Tensor) *Tensor {
+	t.tape = tp
+	return t
+}
+
+// result builds the output tensor of an op.
+func (tp *Tape) result(rows, cols int, reqGrad bool) *Tensor {
+	out := &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols), tape: tp, requiresGrad: reqGrad}
+	if reqGrad {
+		out.ensureGrad()
+	}
+	return out
+}
+
+func sameShape(a, b *Tensor) error {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return fmt.Errorf("tensor: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	return nil
+}
+
+// Add returns a + b (same shape).
+func (tp *Tape) Add(a, b *Tensor) (*Tensor, error) {
+	if err := sameShape(a, b); err != nil {
+		return nil, err
+	}
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad || b.requiresGrad)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for i := range out.Grad {
+					b.Grad[i] += out.Grad[i]
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// Sub returns a - b (same shape).
+func (tp *Tape) Sub(a, b *Tensor) (*Tensor, error) {
+	nb, err := tp.Scale(b, -1)
+	if err != nil {
+		return nil, err
+	}
+	return tp.Add(a, nb)
+}
+
+// Mul returns the elementwise product a ⊙ b.
+func (tp *Tape) Mul(a, b *Tensor) (*Tensor, error) {
+	if err := sameShape(a, b); err != nil {
+		return nil, err
+	}
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad || b.requiresGrad)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i] * b.Data[i]
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for i := range out.Grad {
+					b.Grad[i] += out.Grad[i] * a.Data[i]
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// Scale returns s·a.
+func (tp *Tape) Scale(a *Tensor, s float64) (*Tensor, error) {
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i] * s
+			}
+		})
+	}
+	return out, nil
+}
+
+// AddScalar returns a + s (elementwise).
+func (tp *Tape) AddScalar(a *Tensor, s float64) (*Tensor, error) {
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + s
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i]
+			}
+		})
+	}
+	return out, nil
+}
+
+// MulBroadcast returns a scaled elementwise by the 1×1 tensor s, with
+// gradients flowing to both operands (used for learned scalar gains).
+func (tp *Tape) MulBroadcast(a, s *Tensor) (*Tensor, error) {
+	if s.Len() != 1 {
+		return nil, fmt.Errorf("tensor: MulBroadcast scale must be 1x1, got %dx%d", s.Rows, s.Cols)
+	}
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad || s.requiresGrad)
+	sv := s.Data[0]
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * sv
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i] * sv
+				}
+			}
+			if s.requiresGrad {
+				s.ensureGrad()
+				var g float64
+				for i := range out.Grad {
+					g += out.Grad[i] * a.Data[i]
+				}
+				s.Grad[0] += g
+			}
+		})
+	}
+	return out, nil
+}
+
+// MatMul returns a·b for a [m×k] and b [k×n].
+func (tp *Tape) MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("tensor: matmul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	out := tp.result(m, n, a.requiresGrad || b.requiresGrad)
+	for i := 0; i < m; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		or := out.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := ar[kk]
+			if av == 0 {
+				continue
+			}
+			br := b.Data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				or[j] += av * br[j]
+			}
+		}
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				// dA = dOut · Bᵀ
+				for i := 0; i < m; i++ {
+					gr := out.Grad[i*n : (i+1)*n]
+					agr := a.Grad[i*k : (i+1)*k]
+					for kk := 0; kk < k; kk++ {
+						br := b.Data[kk*n : (kk+1)*n]
+						var s float64
+						for j := 0; j < n; j++ {
+							s += gr[j] * br[j]
+						}
+						agr[kk] += s
+					}
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				// dB = Aᵀ · dOut
+				for kk := 0; kk < k; kk++ {
+					bgr := b.Grad[kk*n : (kk+1)*n]
+					for i := 0; i < m; i++ {
+						av := a.Data[i*k+kk]
+						if av == 0 {
+							continue
+						}
+						gr := out.Grad[i*n : (i+1)*n]
+						for j := 0; j < n; j++ {
+							bgr[j] += av * gr[j]
+						}
+					}
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// AddRowVector returns a + broadcast(v) where v is a 1×n (or n×1) bias
+// added to every row of the m×n matrix a.
+func (tp *Tape) AddRowVector(a, v *Tensor) (*Tensor, error) {
+	if v.Len() != a.Cols {
+		return nil, fmt.Errorf("tensor: bias of %d for %d cols", v.Len(), a.Cols)
+	}
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad || v.requiresGrad)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[i*a.Cols+j] = a.Data[i*a.Cols+j] + v.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if v.requiresGrad {
+				v.ensureGrad()
+				for i := 0; i < a.Rows; i++ {
+					for j := 0; j < a.Cols; j++ {
+						v.Grad[j] += out.Grad[i*a.Cols+j]
+					}
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// ReLU returns max(0, a) elementwise.
+func (tp *Tape) ReLU(a *Tensor) (*Tensor, error) {
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				if a.Data[i] > 0 {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// Tanh returns tanh(a) elementwise.
+func (tp *Tape) Tanh(a *Tensor) (*Tensor, error) {
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	for i, v := range a.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				y := out.Data[i]
+				a.Grad[i] += out.Grad[i] * (1 - y*y)
+			}
+		})
+	}
+	return out, nil
+}
+
+// Sigmoid returns 1/(1+e^-a) elementwise.
+func (tp *Tape) Sigmoid(a *Tensor) (*Tensor, error) {
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	for i, v := range a.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				y := out.Data[i]
+				a.Grad[i] += out.Grad[i] * y * (1 - y)
+			}
+		})
+	}
+	return out, nil
+}
+
+// Softplus returns log(1+e^a) elementwise, computed stably.
+func (tp *Tape) Softplus(a *Tensor) (*Tensor, error) {
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	for i, v := range a.Data {
+		out.Data[i] = softplus(v)
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i] / (1 + math.Exp(-a.Data[i]))
+			}
+		})
+	}
+	return out, nil
+}
+
+func softplus(v float64) float64 {
+	if v > 30 {
+		return v
+	}
+	if v < -30 {
+		return math.Exp(v)
+	}
+	return math.Log1p(math.Exp(v))
+}
+
+// Abs returns |a| elementwise (subgradient 0 at 0).
+func (tp *Tape) Abs(a *Tensor) (*Tensor, error) {
+	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	for i, v := range a.Data {
+		out.Data[i] = math.Abs(v)
+	}
+	if out.requiresGrad {
+		tp.record(func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				switch {
+				case a.Data[i] > 0:
+					a.Grad[i] += out.Grad[i]
+				case a.Data[i] < 0:
+					a.Grad[i] -= out.Grad[i]
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// ConcatCols concatenates matrices with equal row counts along columns.
+func (tp *Tape) ConcatCols(ts ...*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("tensor: empty concat")
+	}
+	rows := ts[0].Rows
+	cols := 0
+	req := false
+	for _, t := range ts {
+		if t.Rows != rows {
+			return nil, fmt.Errorf("tensor: concat rows %d vs %d", t.Rows, rows)
+		}
+		cols += t.Cols
+		req = req || t.requiresGrad
+	}
+	out := tp.result(rows, cols, req)
+	off := 0
+	for _, t := range ts {
+		for i := 0; i < rows; i++ {
+			copy(out.Data[i*cols+off:i*cols+off+t.Cols], t.Data[i*t.Cols:(i+1)*t.Cols])
+		}
+		off += t.Cols
+	}
+	if req {
+		parts := append([]*Tensor(nil), ts...)
+		tp.record(func() {
+			off := 0
+			for _, t := range parts {
+				if t.requiresGrad {
+					t.ensureGrad()
+					for i := 0; i < rows; i++ {
+						for j := 0; j < t.Cols; j++ {
+							t.Grad[i*t.Cols+j] += out.Grad[i*cols+off+j]
+						}
+					}
+				}
+				off += t.Cols
+			}
+		})
+	}
+	return out, nil
+}
+
+// ConcatRows stacks matrices with equal column counts along rows.
+func (tp *Tape) ConcatRows(ts ...*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("tensor: empty row concat")
+	}
+	cols := ts[0].Cols
+	rows := 0
+	req := false
+	for _, t := range ts {
+		if t.Cols != cols {
+			return nil, fmt.Errorf("tensor: concat cols %d vs %d", t.Cols, cols)
+		}
+		rows += t.Rows
+		req = req || t.requiresGrad
+	}
+	out := tp.result(rows, cols, req)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:off+t.Len()], t.Data)
+		off += t.Len()
+	}
+	if req {
+		parts := append([]*Tensor(nil), ts...)
+		tp.record(func() {
+			off := 0
+			for _, t := range parts {
+				if t.requiresGrad {
+					t.ensureGrad()
+					for i := 0; i < t.Len(); i++ {
+						t.Grad[i] += out.Grad[off+i]
+					}
+				}
+				off += t.Len()
+			}
+		})
+	}
+	return out, nil
+}
+
+// GatherRows returns a matrix whose i-th row is a's row idx[i].
+func (tp *Tape) GatherRows(a *Tensor, idx []int32) (*Tensor, error) {
+	for _, r := range idx {
+		if r < 0 || int(r) >= a.Rows {
+			return nil, fmt.Errorf("tensor: gather row %d of %d", r, a.Rows)
+		}
+	}
+	out := tp.result(len(idx), a.Cols, a.requiresGrad)
+	for i, r := range idx {
+		copy(out.Data[i*a.Cols:(i+1)*a.Cols], a.Data[int(r)*a.Cols:(int(r)+1)*a.Cols])
+	}
+	if out.requiresGrad {
+		rows := append([]int32(nil), idx...)
+		tp.record(func() {
+			a.ensureGrad()
+			for i, r := range rows {
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[int(r)*a.Cols+j] += out.Grad[i*a.Cols+j]
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// SegmentSum sums rows of a into nOut buckets: out[seg[i]] += a[i].
+func (tp *Tape) SegmentSum(a *Tensor, seg []int32, nOut int) (*Tensor, error) {
+	if len(seg) != a.Rows {
+		return nil, fmt.Errorf("tensor: %d segment ids for %d rows", len(seg), a.Rows)
+	}
+	for _, s := range seg {
+		if s < 0 || int(s) >= nOut {
+			return nil, fmt.Errorf("tensor: segment id %d of %d", s, nOut)
+		}
+	}
+	out := tp.result(nOut, a.Cols, a.requiresGrad)
+	for i, s := range seg {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[int(s)*a.Cols+j] += a.Data[i*a.Cols+j]
+		}
+	}
+	if out.requiresGrad {
+		ids := append([]int32(nil), seg...)
+		tp.record(func() {
+			a.ensureGrad()
+			for i, s := range ids {
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[i*a.Cols+j] += out.Grad[int(s)*a.Cols+j]
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// SegmentMean averages rows of a into nOut buckets; empty buckets stay 0.
+func (tp *Tape) SegmentMean(a *Tensor, seg []int32, nOut int) (*Tensor, error) {
+	sum, err := tp.SegmentSum(a, seg, nOut)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, nOut)
+	for _, s := range seg {
+		counts[s]++
+	}
+	inv := tp.result(nOut, a.Cols, false)
+	for r := 0; r < nOut; r++ {
+		c := counts[r]
+		if c == 0 {
+			c = 1
+		}
+		for j := 0; j < a.Cols; j++ {
+			inv.Data[r*a.Cols+j] = 1 / c
+		}
+	}
+	return tp.Mul(sum, inv)
+}
+
+// Sum reduces all elements to a scalar.
+func (tp *Tape) Sum(a *Tensor) (*Tensor, error) {
+	out := tp.result(1, 1, a.requiresGrad)
+	var s float64
+	for _, v := range a.Data {
+		s += v
+	}
+	out.Data[0] = s
+	if out.requiresGrad {
+		tp.record(func() {
+			a.ensureGrad()
+			g := out.Grad[0]
+			for i := range a.Grad {
+				a.Grad[i] += g
+			}
+		})
+	}
+	return out, nil
+}
+
+// LSE computes the Log-Sum-Exp smooth maximum of a vector with
+// temperature gamma (paper Eq. 5):
+//
+//	LSE(x) = γ·log Σ exp(x_i/γ)
+//
+// Computed with the usual max-shift for stability.
+func (tp *Tape) LSE(a *Tensor, gamma float64) (*Tensor, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("tensor: LSE gamma %g <= 0", gamma)
+	}
+	if a.Len() == 0 {
+		return nil, fmt.Errorf("tensor: LSE of empty tensor")
+	}
+	out := tp.result(1, 1, a.requiresGrad)
+	maxV := a.Data[0]
+	for _, v := range a.Data {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var s float64
+	for _, v := range a.Data {
+		s += math.Exp((v - maxV) / gamma)
+	}
+	out.Data[0] = maxV + gamma*math.Log(s)
+	if out.requiresGrad {
+		tp.record(func() {
+			a.ensureGrad()
+			g := out.Grad[0]
+			for i, v := range a.Data {
+				a.Grad[i] += g * math.Exp((v-maxV)/gamma) / s
+			}
+		})
+	}
+	return out, nil
+}
+
+// SegmentLSE computes, per segment, the Log-Sum-Exp smooth maximum of a
+// column vector: out[s] = γ·log Σ_{i: seg[i]=s} exp(a_i/γ). Segments with
+// no members yield 0. This is the smooth replacement for the per-pin max
+// over fanin arrivals in the timing evaluator.
+func (tp *Tape) SegmentLSE(a *Tensor, seg []int32, nOut int, gamma float64) (*Tensor, error) {
+	if a.Cols != 1 {
+		return nil, fmt.Errorf("tensor: SegmentLSE needs a column vector")
+	}
+	if gamma <= 0 {
+		return nil, fmt.Errorf("tensor: SegmentLSE gamma %g <= 0", gamma)
+	}
+	if len(seg) != a.Rows {
+		return nil, fmt.Errorf("tensor: %d segment ids for %d rows", len(seg), a.Rows)
+	}
+	maxV := make([]float64, nOut)
+	seen := make([]bool, nOut)
+	for i, s := range seg {
+		if s < 0 || int(s) >= nOut {
+			return nil, fmt.Errorf("tensor: segment id %d of %d", s, nOut)
+		}
+		if !seen[s] || a.Data[i] > maxV[s] {
+			maxV[s] = a.Data[i]
+			seen[s] = true
+		}
+	}
+	sums := make([]float64, nOut)
+	for i, s := range seg {
+		sums[s] += math.Exp((a.Data[i] - maxV[s]) / gamma)
+	}
+	out := tp.result(nOut, 1, a.requiresGrad)
+	for s := 0; s < nOut; s++ {
+		if seen[s] {
+			out.Data[s] = maxV[s] + gamma*math.Log(sums[s])
+		}
+	}
+	if out.requiresGrad {
+		ids := append([]int32(nil), seg...)
+		tp.record(func() {
+			a.ensureGrad()
+			for i, s := range ids {
+				w := math.Exp((a.Data[i]-maxV[s])/gamma) / sums[s]
+				a.Grad[i] += out.Grad[s] * w
+			}
+		})
+	}
+	return out, nil
+}
+
+// Linear is the composite x·W + b over the tape.
+func (tp *Tape) Linear(x, w, b *Tensor) (*Tensor, error) {
+	y, err := tp.MatMul(x, w)
+	if err != nil {
+		return nil, err
+	}
+	return tp.AddRowVector(y, b)
+}
