@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	runflow -design mydesign.json [-replace] [-buffer] [-svg out.svg]
+//	runflow -design mydesign.json [-replace] [-buffer] [-svg out.svg] [-workers N]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"tsteiner/internal/bufins"
 	"tsteiner/internal/designio"
@@ -28,6 +29,7 @@ func main() {
 		replace = flag.Bool("replace", false, "re-place the design even if it carries positions")
 		buffer  = flag.Bool("buffer", false, "apply fanout-driven buffer insertion first")
 		svgPath = flag.String("svg", "", "write the layout SVG here")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (1 = serial; results are identical either way)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -59,6 +61,7 @@ func main() {
 	}
 
 	cfg := flow.DefaultConfig()
+	cfg.Workers = *workers
 	var prepared *flow.Prepared
 	if *replace || !hasPlacement(d) {
 		prepared, err = flow.Prepare(d, l, cfg)

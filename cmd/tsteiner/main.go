@@ -5,6 +5,7 @@
 //
 //	tsteiner -design spm [-scale 1.0] [-baseline-only]
 //	         [-epochs 150] [-iters 25] [-model model.json] [-seed 2023]
+//	         [-workers N]
 //
 // When -model names an existing file the evaluator is loaded from it;
 // otherwise a fresh evaluator is trained on this design (plus perturbed
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"tsteiner/internal/core"
 	"tsteiner/internal/designio"
@@ -36,6 +38,7 @@ func main() {
 		rounds       = flag.Int("rounds", 1, "successive refinement rounds (re-anchored trust region)")
 		modelPath    = flag.String("model", "", "load/save the evaluator at this path")
 		seed         = flag.Int64("seed", 2023, "random seed")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (1 = serial; results are identical either way)")
 		svgPath      = flag.String("svg", "", "write a layout SVG (refined trees) to this path")
 		forestPath   = flag.String("save-forest", "", "write the refined Steiner forest JSON to this path")
 		designPath   = flag.String("save-design", "", "write the design JSON to this path")
@@ -45,7 +48,9 @@ func main() {
 	flag.Parse()
 
 	log.Printf("running baseline flow on %s (scale %.2f)", *design, *scale)
-	smp, err := train.BuildSample(*design, *scale, true, flow.DefaultConfig())
+	fcfg := flow.DefaultConfig()
+	fcfg.Workers = *workers
+	smp, err := train.BuildSample(*design, *scale, true, fcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +85,7 @@ func main() {
 	if m == nil {
 		log.Printf("training evaluator (%d epochs)", *epochs)
 		samples := []*train.Sample{smp}
-		aug, err := train.Augment(smp, 2, 10, *seed)
+		aug, err := train.Augment(smp, 2, 10, *seed, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,6 +94,7 @@ func main() {
 		opt := train.DefaultOptions()
 		opt.Epochs = *epochs
 		opt.Seed = *seed
+		opt.Workers = *workers
 		if _, err := train.Train(m, samples, opt); err != nil {
 			log.Fatal(err)
 		}

@@ -25,7 +25,7 @@ func main() {
 		log.Fatal(err)
 	}
 	samples := []*train.Sample{sample}
-	aug, err := train.Augment(sample, 2, 10, 3)
+	aug, err := train.Augment(sample, 2, 10, 3, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func main() {
 	//    perturbed variants (so it learns how timing responds to Steiner
 	//    movement).
 	samples := []*train.Sample{sample}
-	aug, err := train.Augment(sample, 2, 10, 7)
+	aug, err := train.Augment(sample, 2, 10, 7, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

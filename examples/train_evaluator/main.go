@@ -36,7 +36,7 @@ func main() {
 		}
 		samples = append(samples, s)
 		if sp.train {
-			aug, err := train.Augment(s, 2, 10, 11)
+			aug, err := train.Augment(s, 2, 10, 11, 1)
 			if err != nil {
 				log.Fatal(err)
 			}

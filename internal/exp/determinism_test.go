@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"tsteiner/internal/train"
+)
+
+// renderAll regenerates every deterministic table and figure of a suite and
+// returns the concatenated rendering. Table IV is excluded on purpose: it
+// prints measured wall-clock seconds, which differ run to run regardless of
+// worker count.
+func renderAll(t *testing.T, s *Suite) string {
+	t.Helper()
+	var buf bytes.Buffer
+	t1, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f5, err := s.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f5.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestParallelDeterminism is the regression gate for the parallel execution
+// layer: a reduced-scale experiment run must render byte-identical tables
+// and figures at workers=1 and workers=4.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: runs the reduced experiment suite twice")
+	}
+	build := func(workers int) string {
+		cfg := Default()
+		cfg.Designs = []string{"spm", "usb_cdc_core"}
+		cfg.AugmentVariants = 1
+		cfg.RandomTrials = 2
+		cfg.LargeDesignTrials = 1
+		cfg.Train = train.Options{Epochs: 12, LR: 1e-2, Seed: 1}
+		cfg.Workers = workers
+		s, err := NewSuite(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderAll(t, s)
+	}
+	serial := build(1)
+	parallel := build(4)
+	if serial != parallel {
+		t.Fatalf("experiment output differs between workers=1 and workers=4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", serial, parallel)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
 	"tsteiner/internal/metrics"
+	"tsteiner/internal/par"
 	"tsteiner/internal/rsmt"
 	"tsteiner/internal/synth"
 	"tsteiner/internal/train"
@@ -38,6 +39,12 @@ type Config struct {
 	RandomTrials      int
 	LargeDesignTrials int
 	Seed              int64
+	// Workers bounds the goroutines used by the parallel stages (baseline
+	// flow runs, augmentation labeling, random-move trials, per-design
+	// TSteiner runs); 0 = GOMAXPROCS, 1 = serial. Every table and figure
+	// is byte-identical for every worker count — Workers only changes the
+	// wall clock.
+	Workers int
 	// Log receives progress lines (nil = silent).
 	Log func(format string, args ...any)
 }
@@ -85,6 +92,12 @@ type tsRun struct {
 func NewSuite(cfg Config) (*Suite, error) {
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
 		return nil, fmt.Errorf("exp: scale %g out of (0,1]", cfg.Scale)
+	}
+	if cfg.Flow.Workers == 0 {
+		cfg.Flow.Workers = cfg.Workers
+	}
+	if cfg.Train.Workers == 0 {
+		cfg.Train.Workers = cfg.Workers
 	}
 	all := synth.Benchmarks()
 	var specs []synth.Spec
@@ -135,11 +148,49 @@ func (s *Suite) Sample(name string) (*train.Sample, error) {
 	return smp, nil
 }
 
+// BuildSamples builds the baseline flow records of the named designs on
+// s.cfg.Workers goroutines (each design's flow run is independent, so the
+// records are byte-identical for any worker count). Parallel tasks only
+// compute; the cache writes happen serially afterwards.
+func (s *Suite) BuildSamples(names []string) error {
+	var missing []string
+	for _, n := range names {
+		if _, ok := s.samples[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	s.logf("building %d baseline samples on %d workers", len(missing), par.Workers(s.cfg.Workers))
+	built, err := par.Map(s.cfg.Workers, missing, func(_ int, name string) (*train.Sample, error) {
+		spec, err := synth.BenchmarkByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return train.BuildSample(name, s.cfg.Scale, spec.Train, s.cfg.Flow)
+	})
+	if err != nil {
+		return err
+	}
+	for i, name := range missing {
+		s.samples[name] = built[i]
+	}
+	return nil
+}
+
 // Model lazily trains the evaluator on the training split (plus perturbed
 // augmentation variants).
 func (s *Suite) Model() (*gnn.Model, error) {
 	if s.model != nil {
 		return s.model, nil
+	}
+	names := make([]string, len(s.specs))
+	for i, spec := range s.specs {
+		names[i] = spec.Name
+	}
+	if err := s.BuildSamples(names); err != nil {
+		return nil, err
 	}
 	var all []*train.Sample
 	for _, spec := range s.specs {
@@ -150,7 +201,7 @@ func (s *Suite) Model() (*gnn.Model, error) {
 		all = append(all, smp)
 		if spec.Train && s.cfg.AugmentVariants > 0 {
 			s.logf("augmenting %s with %d perturbed variants", spec.Name, s.cfg.AugmentVariants)
-			aug, err := train.Augment(smp, s.cfg.AugmentVariants, s.cfg.AugmentDist, s.cfg.Seed+int64(len(all)))
+			aug, err := train.Augment(smp, s.cfg.AugmentVariants, s.cfg.AugmentDist, s.cfg.Seed+int64(len(all)), s.cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -174,6 +225,27 @@ func (s *Suite) Model() (*gnn.Model, error) {
 	return m, nil
 }
 
+// runTSteiner executes refinement + sign-off for one prepared sample using
+// the given model. The model is used read-only in value terms, but Forward
+// re-tapes its parameter tensors — concurrent callers must pass their own
+// gnn.Model clone.
+func (s *Suite) runTSteiner(smp *train.Sample, m *gnn.Model) (*tsRun, error) {
+	ref, err := core.NewRefiner(m, smp.Batch, smp.Prepared, s.cfg.Refine)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ref.Refine()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := flow.Signoff(smp.Prepared, res.Forest)
+	if err != nil {
+		return nil, err
+	}
+	rep.TSteinerSec = res.RuntimeSec
+	return &tsRun{refine: res, report: rep}, nil
+}
+
 // TSteiner lazily runs refinement + sign-off for one design.
 func (s *Suite) TSteiner(name string) (*core.Result, *flow.Report, error) {
 	if got, ok := s.tsRuns[name]; ok {
@@ -188,21 +260,51 @@ func (s *Suite) TSteiner(name string) (*core.Result, *flow.Report, error) {
 		return nil, nil, err
 	}
 	s.logf("refining %s", name)
-	ref, err := core.NewRefiner(m, smp.Batch, smp.Prepared, s.cfg.Refine)
+	run, err := s.runTSteiner(smp, m)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := ref.Refine()
-	if err != nil {
-		return nil, nil, err
+	s.tsRuns[name] = run
+	return run.refine, run.report, nil
+}
+
+// BuildTSRuns runs refinement + sign-off for the named designs on
+// s.cfg.Workers goroutines. Refinement is deterministic given the trained
+// parameters and each task refines its own value-identical model clone, so
+// the cached outcomes are byte-identical for any worker count. Parallel
+// tasks only compute; the cache writes happen serially afterwards.
+func (s *Suite) BuildTSRuns(names []string) error {
+	var missing []string
+	for _, n := range names {
+		if _, ok := s.tsRuns[n]; !ok {
+			missing = append(missing, n)
+		}
 	}
-	rep, err := flow.Signoff(smp.Prepared, res.Forest)
-	if err != nil {
-		return nil, nil, err
+	if len(missing) == 0 {
+		return nil
 	}
-	rep.TSteinerSec = res.RuntimeSec
-	s.tsRuns[name] = &tsRun{refine: res, report: rep}
-	return res, rep, nil
+	if err := s.BuildSamples(missing); err != nil {
+		return err
+	}
+	m, err := s.Model()
+	if err != nil {
+		return err
+	}
+	s.logf("refining %d designs on %d workers", len(missing), par.Workers(s.cfg.Workers))
+	runs, err := par.Map(s.cfg.Workers, missing, func(_ int, name string) (*tsRun, error) {
+		smp, ok := s.samples[name]
+		if !ok {
+			return nil, fmt.Errorf("exp: sample %s not prebuilt", name)
+		}
+		return s.runTSteiner(smp, m.Clone())
+	})
+	if err != nil {
+		return err
+	}
+	for i, name := range missing {
+		s.tsRuns[name] = runs[i]
+	}
+	return nil
 }
 
 // randomTrials returns the trial count for a design (bounded for the two
@@ -225,16 +327,34 @@ func (s *Suite) RandomMoves(name string, k int) (wnsRatios, tnsRatios []float64,
 	if err != nil {
 		return nil, nil, err
 	}
+	// The perturbed forests are drawn serially from one seeded stream (the
+	// geometry matches the historical serial loop exactly); only the
+	// independent sign-off runs fan out across workers, so the ratios are
+	// byte-identical for any worker count.
 	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(len(name))))
+	forests := make([]*rsmt.Forest, k)
 	for trial := 0; trial < k; trial++ {
 		f := smp.Prepared.Forest.Clone()
 		rsmt.Perturb(f, rng, s.cfg.AugmentDist, smp.Prepared.Design.Die)
+		forests[trial] = f
+	}
+	type ratios struct{ wns, tns float64 }
+	out, err := par.Map(s.cfg.Workers, forests, func(_ int, f *rsmt.Forest) (ratios, error) {
 		rep, err := flow.Signoff(smp.Prepared, f)
 		if err != nil {
-			return nil, nil, err
+			return ratios{}, err
 		}
-		wnsRatios = append(wnsRatios, metrics.Ratio(rep.WNS, smp.Baseline.WNS))
-		tnsRatios = append(tnsRatios, metrics.Ratio(rep.TNS, smp.Baseline.TNS))
+		return ratios{
+			wns: metrics.Ratio(rep.WNS, smp.Baseline.WNS),
+			tns: metrics.Ratio(rep.TNS, smp.Baseline.TNS),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range out {
+		wnsRatios = append(wnsRatios, r.wns)
+		tnsRatios = append(tnsRatios, r.tns)
 	}
 	s.randomRuns[key] = &randomRun{wns: wnsRatios, tns: tnsRatios}
 	return wnsRatios, tnsRatios, nil

@@ -82,6 +82,13 @@ type Figure5Result struct {
 
 // Figure5 runs TSteiner and the random-move expectation per design.
 func (s *Suite) Figure5() (*Figure5Result, error) {
+	names := make([]string, len(s.specs))
+	for i, spec := range s.specs {
+		names[i] = spec.Name
+	}
+	if err := s.BuildTSRuns(names); err != nil {
+		return nil, err
+	}
 	out := &Figure5Result{}
 	for _, spec := range s.specs {
 		smp, err := s.Sample(spec.Name)

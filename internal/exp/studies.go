@@ -8,6 +8,7 @@ import (
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
 	"tsteiner/internal/metrics"
+	"tsteiner/internal/par"
 	"tsteiner/internal/rc"
 	"tsteiner/internal/report"
 	"tsteiner/internal/rsmt"
@@ -47,29 +48,43 @@ func (s *Suite) Consistency(designs []string, k int) (*ConsistencyResult, error)
 		if err != nil {
 			return nil, err
 		}
+		// Perturbations drawn serially from one seeded stream; the
+		// independent early-estimate + sign-off pairs fan out across
+		// workers (output is byte-identical for any worker count).
 		rng := rand.New(rand.NewSource(s.cfg.Seed + 7777 + int64(len(name))))
-		var early, signoff []float64
+		forests := make([]*rsmt.Forest, k)
 		for trial := 0; trial < k; trial++ {
 			f := smp.Prepared.Forest.Clone()
 			rsmt.Perturb(f, rng, s.cfg.AugmentDist, smp.Prepared.Design.Die)
+			forests[trial] = f
+		}
+		type pair struct{ early, signoff float64 }
+		pairs, err := par.Map(s.cfg.Workers, forests, func(_ int, f *rsmt.Forest) (pair, error) {
 			// Early estimate: STA over tree-geometry RC (no routing).
 			rounded := f.Clone()
 			rounded.RoundPositions()
 			rcs, err := rc.ExtractFromTrees(smp.Prepared.Design, rounded, smp.Prepared.Lib)
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
 			et, err := sta.Run(smp.Prepared.Design, rcs)
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
 			// Sign-off: the full routed flow.
 			rep, err := flow.Signoff(smp.Prepared, f)
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
-			early = append(early, et.TNS)
-			signoff = append(signoff, rep.TNS)
+			return pair{early: et.TNS, signoff: rep.TNS}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var early, signoff []float64
+		for _, p := range pairs {
+			early = append(early, p.early)
+			signoff = append(signoff, p.signoff)
 		}
 		p, err := metrics.Pearson(early, signoff)
 		if err != nil {

@@ -31,6 +31,9 @@ type Table1Result struct {
 
 // Table1 builds benchmark statistics from the prepared designs.
 func (s *Suite) Table1() (*Table1Result, error) {
+	if err := s.BuildSamples(s.sortedNames()); err != nil {
+		return nil, err
+	}
 	out := &Table1Result{}
 	for _, name := range s.sortedNames() {
 		smp, err := s.Sample(name)
@@ -112,6 +115,9 @@ type Table2Result struct {
 
 // Table2 runs baseline vs TSteiner sign-off for every design.
 func (s *Suite) Table2() (*Table2Result, error) {
+	if err := s.BuildTSRuns(s.sortedNames()); err != nil {
+		return nil, err
+	}
 	out := &Table2Result{}
 	var sums [6]float64
 	for _, name := range s.sortedNames() {
@@ -258,10 +264,16 @@ type Table4Result struct {
 	Rows []Table4Row
 	// Ratio averages: total, GR, DR of the TSteiner flow vs baseline.
 	AvgTotalRatio, AvgGRRatio, AvgDRRatio float64
+	// Workers is the resolved worker count the runs were measured under
+	// (wall clock depends on it; every other table value does not).
+	Workers int
 }
 
 // Table4 assembles the runtime breakdown from the Table II runs.
 func (s *Suite) Table4() (*Table4Result, error) {
+	if err := s.BuildTSRuns(s.sortedNames()); err != nil {
+		return nil, err
+	}
 	out := &Table4Result{}
 	var sT, sG, sD float64
 	for _, name := range s.sortedNames() {
@@ -273,6 +285,7 @@ func (s *Suite) Table4() (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		out.Workers = rep.Workers
 		row := Table4Row{
 			Name:      name,
 			BaseGR:    smp.Baseline.GRSec,
@@ -298,7 +311,7 @@ func (s *Suite) Table4() (*Table4Result, error) {
 // Render writes the table.
 func (r *Table4Result) Render(w io.Writer) error {
 	t := report.Table{
-		Title: "TABLE IV: Runtime breakdown (s); DR runtime is the surrogate model's",
+		Title: fmt.Sprintf("TABLE IV: Runtime breakdown (s); DR runtime is the surrogate model's; measured at %d worker(s)", r.Workers),
 		Header: []string{"Benchmark", "Total", "GR", "DR",
 			"Total'", "TSteiner", "GR'", "DR'"},
 	}

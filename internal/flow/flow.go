@@ -14,6 +14,7 @@ import (
 	"tsteiner/internal/grid"
 	"tsteiner/internal/lib"
 	"tsteiner/internal/netlist"
+	"tsteiner/internal/par"
 	"tsteiner/internal/place"
 	"tsteiner/internal/rc"
 	"tsteiner/internal/route"
@@ -38,6 +39,10 @@ type Config struct {
 	// using a pre-routing STA pass (an extension beyond the CUGR-like
 	// baseline; off by default to match the paper's flow).
 	TimingDrivenRoute bool
+	// Workers bounds the goroutines used by parallel flow stages
+	// (0 = GOMAXPROCS, 1 = serial). Results are byte-identical for every
+	// worker count; it only affects wall clock.
+	Workers int
 }
 
 // DefaultConfig returns the pipeline settings used by every experiment.
@@ -94,6 +99,9 @@ func Prepare(d *netlist.Design, l *lib.Library, cfg Config) (*Prepared, error) {
 	if _, err := place.Place(d, cfg.Place); err != nil {
 		return nil, fmt.Errorf("flow: place: %w", err)
 	}
+	if cfg.RSMT.Workers == 0 {
+		cfg.RSMT.Workers = cfg.Workers
+	}
 	f, err := rsmt.BuildAll(d, cfg.RSMT)
 	if err != nil {
 		return nil, fmt.Errorf("flow: steiner: %w", err)
@@ -122,6 +130,9 @@ func PrepareKeepPlacement(d *netlist.Design, l *lib.Library, cfg Config) (*Prepa
 	t0 := time.Now()
 	if d.Die.Empty() || d.Die.Width() == 0 || d.Die.Height() == 0 {
 		return nil, fmt.Errorf("flow: design has no usable die for placement-preserving prepare")
+	}
+	if cfg.RSMT.Workers == 0 {
+		cfg.RSMT.Workers = cfg.Workers
 	}
 	f, err := rsmt.BuildAll(d, cfg.RSMT)
 	if err != nil {
@@ -165,6 +176,10 @@ type Report struct {
 	WHS      float64
 	HoldVios int
 	SlewVios int
+	// Workers records the resolved worker count the producing run was
+	// configured with, so wall-clock numbers (Table IV) can be annotated
+	// with the parallelism they were measured under.
+	Workers int
 }
 
 // Total returns the total flow runtime represented by this report.
@@ -238,6 +253,7 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 		WHS:           timing.WHS,
 		HoldVios:      timing.HoldVios,
 		SlewVios:      timing.SlewVios,
+		Workers:       par.Workers(cfg.Workers),
 	}
 	return rep, timing, nil
 }

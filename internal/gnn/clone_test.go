@@ -1,0 +1,35 @@
+package gnn
+
+import (
+	"testing"
+)
+
+func TestModelCloneIsDeepAndValueIdentical(t *testing.T) {
+	m := NewModel(DefaultConfig(), 7)
+	c := m.Clone()
+	mp, cp := m.Params(), c.Params()
+	if len(mp) != len(cp) {
+		t.Fatalf("param count %d vs %d", len(mp), len(cp))
+	}
+	for i := range mp {
+		if mp[i] == cp[i] {
+			t.Fatalf("param %d shared between model and clone", i)
+		}
+		if len(mp[i].Data) != len(cp[i].Data) {
+			t.Fatalf("param %d shape mismatch", i)
+		}
+		for j := range mp[i].Data {
+			if mp[i].Data[j] != cp[i].Data[j] {
+				t.Fatalf("param %d element %d differs", i, j)
+			}
+		}
+	}
+	// Mutating the clone must not touch the original.
+	cp[0].Data[0] += 1
+	if mp[0].Data[0] == cp[0].Data[0] {
+		t.Fatal("clone shares parameter storage with the original")
+	}
+	if c.Cfg != m.Cfg {
+		t.Fatalf("config not preserved: %+v vs %+v", c.Cfg, m.Cfg)
+	}
+}

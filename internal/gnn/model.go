@@ -108,6 +108,22 @@ func NewModel(cfg Config, seed int64) *Model {
 	}
 }
 
+// Clone returns a deep copy of the model sharing no tensors with the
+// receiver. Forward attaches parameters to the caller's tape (writing the
+// tensors' tape pointer and, when training, their gradient buffers), so a
+// model must not be used from two goroutines at once — concurrent
+// evaluation or refinement runs must each operate on their own clone.
+// Cloned parameters are value-identical, so predictions and gradients are
+// byte-identical to the original's.
+func (m *Model) Clone() *Model {
+	c := NewModel(m.Cfg, 0)
+	dst := c.Params()
+	for i, p := range m.Params() {
+		copy(dst[i].Data, p.Data)
+	}
+	return c
+}
+
 // Params returns every trainable tensor.
 func (m *Model) Params() []*tensor.Tensor {
 	return []*tensor.Tensor{

@@ -1,6 +1,7 @@
 package rsmt
 
 import (
+	"fmt"
 	"testing"
 
 	"tsteiner/internal/lib"
@@ -43,5 +44,22 @@ func BenchmarkBuildAllPD(b *testing.B) {
 		if _, err := BuildAllPD(d, 0.5, DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuildAllWorkers compares the per-net fan-out across worker
+// counts (the output is identical; only wall clock changes).
+func BenchmarkBuildAllWorkers(b *testing.B) {
+	d := benchAPU(b)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := DefaultOptions()
+			opt.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildAll(d, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"tsteiner/internal/geom"
 	"tsteiner/internal/netlist"
+	"tsteiner/internal/par"
 )
 
 // Options tunes tree construction.
@@ -13,21 +14,29 @@ type Options struct {
 	// I1SLimit is the largest distinct-terminal count handled by iterated
 	// 1-Steiner; larger nets use MST + median Steinerization.
 	I1SLimit int
+	// Workers bounds the goroutines used for per-net construction
+	// (0 = GOMAXPROCS, 1 = serial). Construction is a pure function of
+	// each net, so the forest is identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the construction settings used by all flows.
 func DefaultOptions() Options { return Options{I1SLimit: 10} }
 
 // BuildAll constructs one Steiner tree per net from the placed design.
+// Nets are independent, so trees are built in parallel on opt.Workers
+// goroutines and collected in net order.
 func BuildAll(d *netlist.Design, opt Options) (*Forest, error) {
 	if opt.I1SLimit < 3 {
 		opt.I1SLimit = 3
 	}
-	f := &Forest{Trees: make([]*Tree, len(d.Nets))}
-	for ni := range d.Nets {
-		t := buildNet(d, netlist.NetID(ni), opt)
-		f.Trees[ni] = t
+	trees, err := par.Map(opt.Workers, d.Nets, func(ni int, _ netlist.Net) (*Tree, error) {
+		return buildNet(d, netlist.NetID(ni), opt), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f := &Forest{Trees: trees}
 	if err := f.Validate(d); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,50 @@
+package rsmt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// forestsEqual compares two forests structurally (trees, nodes, edges,
+// positions) — byte-level equality of the construction output.
+func forestsEqual(a, b *Forest) bool {
+	return reflect.DeepEqual(a.Trees, b.Trees)
+}
+
+func TestBuildAllWorkerCountInvariant(t *testing.T) {
+	d := placedDesign(t, "APU", 0.3)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	serial, err := BuildAll(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 16} {
+		opts.Workers = w
+		par, err := BuildAll(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !forestsEqual(serial, par) {
+			t.Fatalf("BuildAll output differs at %d workers", w)
+		}
+	}
+}
+
+func TestBuildAllPDWorkerCountInvariant(t *testing.T) {
+	d := placedDesign(t, "spm", 1.0)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	serial, err := BuildAllPD(d, 0.4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	par, err := BuildAllPD(d, 0.4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forestsEqual(serial, par) {
+		t.Fatal("BuildAllPD output differs at 4 workers")
+	}
+}

@@ -3,6 +3,7 @@ package rsmt
 import (
 	"tsteiner/internal/geom"
 	"tsteiner/internal/netlist"
+	"tsteiner/internal/par"
 )
 
 // Prim–Dijkstra construction (Alpert et al., "Prim-Dijkstra revisited" —
@@ -27,10 +28,13 @@ func BuildAllPD(d *netlist.Design, alpha float64, opt Options) (*Forest, error) 
 	if alpha > 1 {
 		alpha = 1
 	}
-	f := &Forest{Trees: make([]*Tree, len(d.Nets))}
-	for ni := range d.Nets {
-		f.Trees[ni] = buildNetPD(d, netlist.NetID(ni), alpha)
+	trees, err := par.Map(opt.Workers, d.Nets, func(ni int, _ netlist.Net) (*Tree, error) {
+		return buildNetPD(d, netlist.NetID(ni), alpha), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f := &Forest{Trees: trees}
 	if err := f.Validate(d); err != nil {
 		return nil, err
 	}

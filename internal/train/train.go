@@ -12,6 +12,7 @@ import (
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
 	"tsteiner/internal/metrics"
+	"tsteiner/internal/par"
 	"tsteiner/internal/rsmt"
 	"tsteiner/internal/tensor"
 )
@@ -62,26 +63,34 @@ func BuildSample(name string, scale float64, train bool, cfg flow.Config) (*Samp
 // re-running sign-off. This teaches the evaluator how timing responds to
 // Steiner movement — exactly the derivative the refinement loop consumes —
 // and prevents the optimizer from exploiting surrogate blind spots.
-func Augment(base *Sample, variants int, maxDist float64, seed int64) ([]*Sample, error) {
+//
+// The perturbed forests are drawn serially from one seeded stream (so the
+// geometry is identical to the historical serial implementation), then the
+// expensive sign-off labeling runs in parallel on `workers` goroutines
+// (0 = GOMAXPROCS, 1 = serial). Each variant's flow run is independent, so
+// the labels are byte-identical for every worker count.
+func Augment(base *Sample, variants int, maxDist float64, seed int64, workers int) ([]*Sample, error) {
 	rng := rand.New(rand.NewSource(seed))
-	out := make([]*Sample, 0, variants)
+	forests := make([]*rsmt.Forest, variants)
 	for k := 0; k < variants; k++ {
 		f := base.Prepared.Forest.Clone()
 		rsmt.Perturb(f, rng, maxDist, base.Prepared.Design.Die)
+		forests[k] = f
+	}
+	return par.Map(workers, forests, func(k int, f *rsmt.Forest) (*Sample, error) {
 		_, timing, err := flow.SignoffTiming(base.Prepared, f)
 		if err != nil {
 			return nil, fmt.Errorf("train: augment %s #%d: %w", base.Name, k, err)
 		}
-		out = append(out, &Sample{
+		return &Sample{
 			Name:     fmt.Sprintf("%s~%d", base.Name, k),
 			Train:    base.Train,
 			Prepared: base.Prepared,
 			Batch:    base.Batch, // topology unchanged: batch is reusable
 			Forest:   f,
 			Labels:   gnn.Labels(timing),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Options tunes training.
@@ -89,6 +98,19 @@ type Options struct {
 	Epochs int
 	LR     float64 // paper: 5e-4
 	Seed   int64
+	// Workers bounds the goroutines used for parallel stages
+	// (0 = GOMAXPROCS, 1 = serial). Training results never depend on
+	// Workers: the sequential mode ignores it, and the accumulation mode
+	// reduces per-sample gradients in a fixed order.
+	Workers int
+	// Accumulate switches from the sequential per-sample Adam trajectory
+	// (the historical default, inherently serial because each step depends
+	// on the previous parameters) to per-epoch gradient accumulation: all
+	// per-sample gradients are computed in parallel against the same
+	// parameters, summed in a fixed sample order, and applied as one Adam
+	// step per epoch. A different (batch-style) trajectory, but one whose
+	// result is byte-identical for every worker count.
+	Accumulate bool
 	// Verbose receives per-epoch losses when non-nil.
 	Verbose func(epoch int, loss float64)
 }
@@ -119,13 +141,21 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 	for ep := 0; ep < opt.Epochs; ep++ {
 		order := rng.Perm(len(trainSet))
 		epochLoss := 0.0
-		for _, si := range order {
-			s := trainSet[si]
-			loss, err := step(m, adam, s)
+		if opt.Accumulate {
+			loss, err := accumulateStep(m, adam, trainSet, order, opt.Workers)
 			if err != nil {
-				return 0, fmt.Errorf("train: %s: %w", s.Name, err)
+				return 0, err
 			}
-			epochLoss += loss
+			epochLoss = loss * float64(len(trainSet))
+		} else {
+			for _, si := range order {
+				s := trainSet[si]
+				loss, err := step(m, adam, s)
+				if err != nil {
+					return 0, fmt.Errorf("train: %s: %w", s.Name, err)
+				}
+				epochLoss += loss
+			}
 		}
 		last = epochLoss / float64(len(trainSet))
 		if opt.Verbose != nil {
@@ -135,40 +165,110 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 	return last, nil
 }
 
-// step runs one forward/backward/update on a sample and returns the loss.
-func step(m *gnn.Model, adam *tensor.Adam, s *Sample) (float64, error) {
-	tp := tensor.NewTape()
-	adam.ZeroGrad()
-	xs, ys, err := s.Batch.SteinerLeaves(tp, s.Forest)
+// accumulateStep computes every sample's gradient in parallel against the
+// current parameters (each task on its own model clone, so tapes and
+// gradient buffers are never shared), reduces the gradients in the fixed
+// permutation order, and applies one Adam step. The reduction order — not
+// task completion order — defines the floating-point sum, so the updated
+// parameters are byte-identical for every worker count.
+func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order []int, workers int) (float64, error) {
+	type grads struct {
+		loss   float64
+		byProp [][]float64
+	}
+	outs, err := par.Map(workers, order, func(_ int, si int) (grads, error) {
+		s := trainSet[si]
+		clone := m.Clone()
+		loss, g, err := sampleGrad(clone, s)
+		if err != nil {
+			return grads{}, fmt.Errorf("train: %s: %w", s.Name, err)
+		}
+		return grads{loss: loss, byProp: g}, nil
+	})
 	if err != nil {
 		return 0, err
+	}
+	adam.ZeroGrad()
+	params := m.Params()
+	total := 0.0
+	for _, o := range outs { // fixed order: the epoch permutation
+		total += o.loss
+		for pi, g := range o.byProp {
+			p := params[pi]
+			if p.Grad == nil {
+				p.Grad = make([]float64, p.Len())
+			}
+			for j, v := range g {
+				p.Grad[j] += v
+			}
+		}
+	}
+	adam.Step()
+	return total / float64(len(order)), nil
+}
+
+// sampleGrad runs one forward/backward on a sample and returns the loss
+// plus the per-parameter gradients (in Params() order).
+func sampleGrad(m *gnn.Model, s *Sample) (float64, [][]float64, error) {
+	tp := tensor.NewTape()
+	loss, err := sampleLoss(tp, m, s)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := tp.Backward(loss); err != nil {
+		return 0, nil, err
+	}
+	params := m.Params()
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = p.Grad
+	}
+	return loss.Data[0], out, nil
+}
+
+// sampleLoss builds the per-pin arrival MSE loss for one sample on tp.
+func sampleLoss(tp *tensor.Tape, m *gnn.Model, s *Sample) (*tensor.Tensor, error) {
+	xs, ys, err := s.Batch.SteinerLeaves(tp, s.Forest)
+	if err != nil {
+		return nil, err
 	}
 	pred, err := m.Forward(tp, s.Batch, xs, ys, true)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	labels, err := tensor.FromSlice(len(s.Labels), 1, s.Labels)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	tp.Constant(labels)
 	diff, err := tp.Sub(pred.Arrival, labels)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	sq, err := tp.Mul(diff, diff)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	sum, err := tp.Sum(sq)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	loss, err := tp.Scale(sum, 1/float64(len(s.Labels)))
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if err := tensor.CheckFinite(loss); err != nil {
+		return nil, err
+	}
+	return loss, nil
+}
+
+// step runs one forward/backward/update on a sample and returns the loss.
+func step(m *gnn.Model, adam *tensor.Adam, s *Sample) (float64, error) {
+	tp := tensor.NewTape()
+	adam.ZeroGrad()
+	loss, err := sampleLoss(tp, m, s)
+	if err != nil {
 		return 0, err
 	}
 	if err := tp.Backward(loss); err != nil {
