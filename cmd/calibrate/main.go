@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	calibrate [-scale 1.0] [-designs a,b,c]
+//	calibrate [-scale 1.0] [-designs a,b,c] [-workers N]
+//	          [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"tsteiner/internal/flow"
 	"tsteiner/internal/metrics"
+	"tsteiner/internal/obs"
 	"tsteiner/internal/report"
 	"tsteiner/internal/synth"
 )
@@ -26,7 +28,13 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "benchmark scale factor")
 		designs = flag.String("designs", "", "comma-separated subset (default: all)")
 	)
+	shared := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	sink, closeObs, err := shared.Setup(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeObs()
 
 	specs := synth.Benchmarks()
 	if *designs != "" {
@@ -48,9 +56,12 @@ func main() {
 		Header: []string{"Benchmark", "clock", "endpoints", "max", "p90", "p60",
 			"p40", "WNS", "vio%"},
 	}
+	cfg := flow.DefaultConfig()
+	cfg.Workers = shared.Workers
+	cfg.Obs = sink
 	for _, spec := range specs {
 		log.Printf("running %s", spec.Name)
-		p, err := flow.PrepareBenchmark(spec.Name, *scale, flow.DefaultConfig())
+		p, err := flow.PrepareBenchmark(spec.Name, *scale, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

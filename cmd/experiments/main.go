@@ -5,6 +5,7 @@
 //	experiments [-scale 1.0] [-designs a,b,c] [-out results.txt]
 //	            [-table 1|2|3|4] [-figure 2|5] [-ablations] [-all]
 //	            [-trials 10] [-epochs 150] [-model model.json] [-workers N]
+//	            [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Without -table/-figure/-ablations, -all is assumed. Results are written
 // to stdout and, when -out is given, to the file as well.
@@ -16,10 +17,10 @@ import (
 	"io"
 	"log"
 	"os"
-	"runtime"
 	"strings"
 
 	"tsteiner/internal/exp"
+	"tsteiner/internal/obs"
 )
 
 func main() {
@@ -38,14 +39,20 @@ func main() {
 		augment   = flag.Int("augment", -1, "override perturbed training variants per design")
 		trust     = flag.Float64("trust", 0, "override trust radius (DBU)")
 		modelPath = flag.String("model", "", "save the trained evaluator to this path")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (1 = serial; results are identical either way)")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
 	)
+	shared := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	sink, closeObs, err := shared.Setup(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeObs()
 
 	cfg := exp.Default()
 	cfg.Scale = *scale
-	cfg.Workers = *workers
+	cfg.Workers = shared.Workers
+	cfg.Obs = sink
 	if *designs != "" {
 		cfg.Designs = strings.Split(*designs, ",")
 	}

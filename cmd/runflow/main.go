@@ -2,10 +2,14 @@
 // design (JSON, as written by designio/cmd tsteiner -save-design) instead
 // of a bundled benchmark: placement (unless the file carries positions),
 // Steiner construction, optional buffering, routing and sign-off STA.
+// With -refine it additionally trains the timing evaluator on the design
+// and runs TSteiner Steiner-point refinement before the final sign-off.
 //
 // Usage:
 //
-//	runflow -design mydesign.json [-replace] [-buffer] [-svg out.svg] [-workers N]
+//	runflow -design mydesign.json [-replace] [-buffer] [-svg out.svg]
+//	        [-refine] [-epochs 60] [-iters 25] [-seed 2023]
+//	        [-workers N] [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -13,13 +17,17 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 
 	"tsteiner/internal/bufins"
+	"tsteiner/internal/core"
 	"tsteiner/internal/designio"
 	"tsteiner/internal/flow"
+	"tsteiner/internal/gnn"
 	"tsteiner/internal/lib"
 	"tsteiner/internal/netlist"
+	"tsteiner/internal/obs"
+	"tsteiner/internal/sta"
+	"tsteiner/internal/train"
 	"tsteiner/internal/viz"
 )
 
@@ -29,13 +37,22 @@ func main() {
 		replace = flag.Bool("replace", false, "re-place the design even if it carries positions")
 		buffer  = flag.Bool("buffer", false, "apply fanout-driven buffer insertion first")
 		svgPath = flag.String("svg", "", "write the layout SVG here")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (1 = serial; results are identical either way)")
+		refine  = flag.Bool("refine", false, "train an evaluator and refine Steiner points before sign-off")
+		epochs  = flag.Int("epochs", 60, "evaluator training epochs (-refine)")
+		iters   = flag.Int("iters", 25, "max refinement iterations N (-refine)")
+		seed    = flag.Int64("seed", 2023, "random seed (-refine)")
 	)
+	shared := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	sink, closeObs, err := shared.Setup(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeObs()
 
 	f, err := os.Open(*path)
 	if err != nil {
@@ -61,7 +78,8 @@ func main() {
 	}
 
 	cfg := flow.DefaultConfig()
-	cfg.Workers = *workers
+	cfg.Workers = shared.Workers
+	cfg.Obs = sink
 	var prepared *flow.Prepared
 	if *replace || !hasPlacement(d) {
 		prepared, err = flow.Prepare(d, l, cfg)
@@ -75,7 +93,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep, err := flow.Signoff(prepared, prepared.Forest)
+	rep, timing, err := flow.SignoffTiming(prepared, prepared.Forest)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,17 +101,85 @@ func main() {
 	fmt.Printf("routing:  WL %d DBU, %d vias, %d DRVs, overflow %d\n",
 		rep.WirelengthDBU, rep.Vias, rep.DRVs, rep.Overflow)
 
+	finalForest := prepared.Forest
+	if *refine {
+		res, err := refineDesign(prepared, timing, rep, *epochs, *iters, *seed, shared.Workers, sink)
+		if err != nil {
+			log.Fatal(err)
+		}
+		finalForest = res.Forest
+		rep2, err := flow.Signoff(prepared, res.Forest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep2.TSteinerSec = res.RuntimeSec
+		fmt.Printf("refined:  WNS %.3f ns, TNS %.2f ns, %d violations (evaluator WNS %.3f→%.3f, %d iterations)\n",
+			rep2.WNS, rep2.TNS, rep2.Vios, res.InitWNS, res.BestWNS, res.Iterations)
+	}
+
 	if *svgPath != "" {
 		out, err := os.Create(*svgPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer out.Close()
-		if err := viz.WriteLayoutSVG(out, prepared.Design, prepared.Forest, viz.DefaultLayoutOptions()); err != nil {
+		if err := viz.WriteLayoutSVG(out, prepared.Design, finalForest, viz.DefaultLayoutOptions()); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("layout written to %s", *svgPath)
 	}
+}
+
+// refineDesign trains an evaluator on this design (plus perturbed
+// variants) and runs TSteiner refinement — the same recipe cmd/tsteiner
+// applies to bundled benchmarks, for loaded designs.
+func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, epochs, iters int, seed int64, workers int, sink *obs.Sink) (*core.Result, error) {
+	batch, err := gnn.NewBatch(p.Design, p.Forest)
+	if err != nil {
+		return nil, err
+	}
+	smp := &train.Sample{
+		Name:     p.Design.Name,
+		Train:    true,
+		Prepared: p,
+		Batch:    batch,
+		Forest:   p.Forest,
+		Labels:   gnn.Labels(timing),
+		Baseline: baseline,
+	}
+	log.Printf("training evaluator (%d epochs)", epochs)
+	samples := []*train.Sample{smp}
+	aug, err := train.Augment(smp, 2, 10, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	samples = append(samples, aug...)
+	m := gnn.NewModel(gnn.DefaultConfig(), seed)
+	topt := train.DefaultOptions()
+	topt.Epochs = epochs
+	topt.Seed = seed
+	topt.Workers = workers
+	topt.Obs = sink
+	if _, err := train.Train(m, samples, topt); err != nil {
+		return nil, err
+	}
+	sc, err := train.Evaluate(m, smp)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("evaluator R²: all-pins %.4f, endpoints %.4f", sc.ArrivalAll, sc.ArrivalEnds)
+	sink.Event("train.eval",
+		obs.KV{K: "design", V: p.Design.Name},
+		obs.KV{K: "r2_all", V: sc.ArrivalAll}, obs.KV{K: "r2_ends", V: sc.ArrivalEnds})
+
+	ropt := core.DefaultOptions()
+	ropt.N = iters
+	ref, err := core.NewRefiner(m, batch, p, ropt)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("refining Steiner points (N=%d)", ropt.N)
+	return ref.Refine()
 }
 
 // hasPlacement reports whether any cell carries a non-origin position.

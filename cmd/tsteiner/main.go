@@ -5,7 +5,7 @@
 //
 //	tsteiner -design spm [-scale 1.0] [-baseline-only]
 //	         [-epochs 150] [-iters 25] [-model model.json] [-seed 2023]
-//	         [-workers N]
+//	         [-workers N] [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // When -model names an existing file the evaluator is loaded from it;
 // otherwise a fresh evaluator is trained on this design (plus perturbed
@@ -17,12 +17,12 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 
 	"tsteiner/internal/core"
 	"tsteiner/internal/designio"
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
+	"tsteiner/internal/obs"
 	"tsteiner/internal/report"
 	"tsteiner/internal/train"
 	"tsteiner/internal/viz"
@@ -38,18 +38,25 @@ func main() {
 		rounds       = flag.Int("rounds", 1, "successive refinement rounds (re-anchored trust region)")
 		modelPath    = flag.String("model", "", "load/save the evaluator at this path")
 		seed         = flag.Int64("seed", 2023, "random seed")
-		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (1 = serial; results are identical either way)")
 		svgPath      = flag.String("svg", "", "write a layout SVG (refined trees) to this path")
 		forestPath   = flag.String("save-forest", "", "write the refined Steiner forest JSON to this path")
 		designPath   = flag.String("save-design", "", "write the design JSON to this path")
 		verilogPath  = flag.String("save-verilog", "", "write a structural Verilog view to this path")
 		trace        = flag.Bool("trace", false, "print the per-iteration refinement trace")
 	)
+	shared := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	sink, closeObs, err := shared.Setup(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeObs()
+	workers := &shared.Workers
 
 	log.Printf("running baseline flow on %s (scale %.2f)", *design, *scale)
 	fcfg := flow.DefaultConfig()
 	fcfg.Workers = *workers
+	fcfg.Obs = sink
 	smp, err := train.BuildSample(*design, *scale, true, fcfg)
 	if err != nil {
 		log.Fatal(err)
@@ -95,6 +102,7 @@ func main() {
 		opt.Epochs = *epochs
 		opt.Seed = *seed
 		opt.Workers = *workers
+		opt.Obs = sink
 		if _, err := train.Train(m, samples, opt); err != nil {
 			log.Fatal(err)
 		}
@@ -110,6 +118,9 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("evaluator R²: all-pins %.4f, endpoints %.4f", sc.ArrivalAll, sc.ArrivalEnds)
+	sink.Event("train.eval",
+		obs.KV{K: "design", V: *design},
+		obs.KV{K: "r2_all", V: sc.ArrivalAll}, obs.KV{K: "r2_ends", V: sc.ArrivalEnds})
 
 	opt := core.DefaultOptions()
 	opt.N = *iters

@@ -20,6 +20,7 @@ import (
 
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
+	"tsteiner/internal/obs"
 	"tsteiner/internal/rsmt"
 	"tsteiner/internal/tensor"
 )
@@ -119,9 +120,15 @@ func NewRefiner(m *gnn.Model, b *gnn.Batch, p *flow.Prepared, opt Options) (*Ref
 	return &Refiner{Model: m, Batch: b, Prep: p, Opt: opt}, nil
 }
 
+// sink returns the telemetry sink the refiner inherits from the flow
+// config (nil = off). Telemetry is a side channel: nothing read from it
+// ever feeds back into refinement.
+func (r *Refiner) sink() *obs.Sink { return r.Prep.Config.Obs }
+
 // evalMetrics runs a forward pass and returns hard (unsmoothed) WNS/TNS of
 // the predicted endpoint slacks — the quantities Algorithm 1 compares.
 func (r *Refiner) evalMetrics(f *rsmt.Forest) (wns, tns float64, err error) {
+	r.sink().Add("core.evals", 1)
 	tp := tensor.NewTape()
 	xs, ys, err := r.Batch.SteinerLeaves(tp, f)
 	if err != nil {
@@ -152,25 +159,27 @@ func hardMetrics(slack []float64) (wns, tns float64) {
 }
 
 // gradients computes (∇_Xs P, ∇_Ys P) at the forest's current positions
-// for the given λ weights (Section III-A).
-func (r *Refiner) gradients(f *rsmt.Forest, lw, lt float64) (gx, gy []float64, err error) {
+// for the given λ weights (Section III-A), returning the penalty value of
+// the forward pass as well (free for callers, logged by telemetry).
+func (r *Refiner) gradients(f *rsmt.Forest, lw, lt float64) (gx, gy []float64, pval float64, err error) {
+	r.sink().Add("core.grad_calls", 1)
 	tp := tensor.NewTape()
 	xs, ys, err := r.Batch.SteinerLeaves(tp, f)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	pred, err := r.Model.Forward(tp, r.Batch, xs, ys, false)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	p, err := r.penalty(tp, pred, lw, lt)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	if err := tp.Backward(p); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	return append([]float64(nil), xs.Grad...), append([]float64(nil), ys.Grad...), nil
+	return append([]float64(nil), xs.Grad...), append([]float64(nil), ys.Grad...), p.Data[0], nil
 }
 
 // penalty builds P_γ = λ_w·w_γ + λ_t·t_γ on the tape (Eq. 4–6):
@@ -220,6 +229,7 @@ func (r *Refiner) penalty(tp *tensor.Tape, pred *gnn.Prediction, lw, lt float64)
 // Penalty evaluates the smoothed timing penalty P_γ (Eq. 4–6) at a
 // forest's current positions without computing gradients.
 func (r *Refiner) Penalty(f *rsmt.Forest) (float64, error) {
+	r.sink().Add("core.penalty_evals", 1)
 	tp := tensor.NewTape()
 	xs, ys, err := r.Batch.SteinerLeaves(tp, f)
 	if err != nil {
@@ -241,13 +251,14 @@ func (r *Refiner) Penalty(f *rsmt.Forest) (float64, error) {
 // backward pass produces. Useful for analysis tooling on top of the
 // refiner.
 func (r *Refiner) Gradients(f *rsmt.Forest) (gx, gy []float64, err error) {
-	return r.gradients(f, r.Opt.LambdaW, r.Opt.LambdaT)
+	gx, gy, _, err = r.gradients(f, r.Opt.LambdaW, r.Opt.LambdaT)
+	return gx, gy, err
 }
 
 // adaptiveTheta implements Adaptive_Theta (Eq. 8–9): probe a small move
 // along the gradient and form the secant-quotient stepsize.
 func (r *Refiner) adaptiveTheta(f *rsmt.Forest) (float64, error) {
-	gx0, gy0, err := r.gradients(f, r.Opt.LambdaW, r.Opt.LambdaT)
+	gx0, gy0, _, err := r.gradients(f, r.Opt.LambdaW, r.Opt.LambdaT)
 	if err != nil {
 		return 0, err
 	}
@@ -260,7 +271,7 @@ func (r *Refiner) adaptiveTheta(f *rsmt.Forest) (float64, error) {
 	if err := probe.SetSteinerPositions(xs, ys, idx, r.Prep.Design.Die); err != nil {
 		return 0, err
 	}
-	gx1, gy1, err := r.gradients(probe, r.Opt.LambdaW, r.Opt.LambdaT)
+	gx1, gy1, _, err := r.gradients(probe, r.Opt.LambdaW, r.Opt.LambdaT)
 	if err != nil {
 		return 0, err
 	}
@@ -328,6 +339,8 @@ func (r *Refiner) RefineRounds(rounds int) (*Result, error) {
 // refineFrom runs Algorithm 1 anchored at the given starting forest.
 func (r *Refiner) refineFrom(startForest *rsmt.Forest) (*Result, error) {
 	t0 := time.Now()
+	span := r.sink().Start("core.refine")
+	defer span.End()
 	opt := r.Opt
 	cur := startForest.Clone()
 
@@ -357,12 +370,16 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest) (*Result, error) {
 	best := cur.Clone()
 
 	for t := 0; t < opt.N; t++ {
-		gx, gy, err := r.gradients(cur, lw, lt)
+		gx, gy, penalty, err := r.gradients(cur, lw, lt)
 		if err != nil {
 			return nil, err
 		}
 		cand := cur.Clone()
 		xs, ys, idx := cand.SteinerPositions()
+		// stepSq/clamped observe the update for telemetry only; they are
+		// derived from the same deterministic arithmetic, never fed back.
+		var stepSq float64
+		var clamped int
 		step := func(pos, g, mAcc, vAcc []float64) {
 			for i := range pos {
 				var d float64
@@ -376,20 +393,30 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest) (*Result, error) {
 				if opt.MaxMoveDBU > 0 {
 					if d > opt.MaxMoveDBU {
 						d = opt.MaxMoveDBU
+						clamped++
 					}
 					if d < -opt.MaxMoveDBU {
 						d = -opt.MaxMoveDBU
+						clamped++
 					}
 				}
 				pos[i] -= d
+				stepSq += d * d
 			}
 		}
 		step(xs, gx, mX, vX)
 		step(ys, gy, mY, vY)
 		if rr := opt.TrustRadiusDBU; rr > 0 {
 			for i := range xs {
-				xs[i] = clampTo(xs[i], x0[i]-rr, x0[i]+rr)
-				ys[i] = clampTo(ys[i], y0[i]-rr, y0[i]+rr)
+				cx := clampTo(xs[i], x0[i]-rr, x0[i]+rr)
+				cy := clampTo(ys[i], y0[i]-rr, y0[i]+rr)
+				if cx != xs[i] {
+					clamped++
+				}
+				if cy != ys[i] {
+					clamped++
+				}
+				xs[i], ys[i] = cx, cy
 			}
 		}
 		if err := cand.SetSteinerPositions(xs, ys, idx, r.Prep.Design.Die); err != nil {
@@ -412,6 +439,16 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest) (*Result, error) {
 		// On rejection cur is kept: S_T^(t+1) ← S_T^(t) (Alg. 1 line 13).
 		res.History = append(res.History, IterRecord{WNS: wns, TNS: tns, Accepted: accepted, Theta: theta})
 		res.Iterations = t + 1
+		r.sink().Add("core.iterations", 1)
+		r.sink().Event("core.iter",
+			obs.KV{K: "iter", V: t + 1},
+			obs.KV{K: "penalty", V: penalty},
+			obs.KV{K: "wns", V: wns}, obs.KV{K: "tns", V: tns},
+			obs.KV{K: "theta", V: theta},
+			obs.KV{K: "step_norm", V: math.Sqrt(stepSq)},
+			obs.KV{K: "clamped", V: clamped},
+			obs.KV{K: "accepted", V: accepted},
+			obs.KV{K: "best_wns", V: res.BestWNS}, obs.KV{K: "best_tns", V: res.BestTNS})
 
 		if t+1 >= opt.EscalateAfter {
 			lw *= 1 + opt.EscalateRate
@@ -426,6 +463,11 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest) (*Result, error) {
 
 	res.Forest = best
 	res.RuntimeSec = time.Since(t0).Seconds()
+	r.sink().Event("core.done",
+		obs.KV{K: "iterations", V: res.Iterations},
+		obs.KV{K: "converged", V: res.ConvergedByRatio},
+		obs.KV{K: "init_wns", V: res.InitWNS}, obs.KV{K: "best_wns", V: res.BestWNS},
+		obs.KV{K: "init_tns", V: res.InitTNS}, obs.KV{K: "best_tns", V: res.BestTNS})
 	return res, nil
 }
 

@@ -76,7 +76,7 @@ func TestNewRefinerValidation(t *testing.T) {
 
 func TestGradientsNonZeroAndPenaltyDirection(t *testing.T) {
 	r, _ := fixture(t)
-	gx, gy, err := r.gradients(r.Prep.Forest, r.Opt.LambdaW, r.Opt.LambdaT)
+	gx, gy, _, err := r.gradients(r.Prep.Forest, r.Opt.LambdaW, r.Opt.LambdaT)
 	if err != nil {
 		t.Fatal(err)
 	}

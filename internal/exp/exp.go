@@ -13,6 +13,7 @@ import (
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
 	"tsteiner/internal/metrics"
+	"tsteiner/internal/obs"
 	"tsteiner/internal/par"
 	"tsteiner/internal/rsmt"
 	"tsteiner/internal/synth"
@@ -47,6 +48,11 @@ type Config struct {
 	Workers int
 	// Log receives progress lines (nil = silent).
 	Log func(format string, args ...any)
+	// Obs receives phase spans, refinement/training traces and worker
+	// utilization for every experiment (nil = telemetry off). Propagated
+	// into Flow.Obs and Train.Obs unless those are already set. A strict
+	// side channel: tables and figures are byte-identical either way.
+	Obs *obs.Sink
 }
 
 // Default returns the full-scale configuration.
@@ -98,6 +104,12 @@ func NewSuite(cfg Config) (*Suite, error) {
 	}
 	if cfg.Train.Workers == 0 {
 		cfg.Train.Workers = cfg.Workers
+	}
+	if cfg.Flow.Obs == nil {
+		cfg.Flow.Obs = cfg.Obs
+	}
+	if cfg.Train.Obs == nil {
+		cfg.Train.Obs = cfg.Obs
 	}
 	all := synth.Benchmarks()
 	var specs []synth.Spec

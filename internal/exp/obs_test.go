@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tsteiner/internal/core"
+	"tsteiner/internal/designio"
+	"tsteiner/internal/flow"
+	"tsteiner/internal/gnn"
+	"tsteiner/internal/obs"
+	"tsteiner/internal/par"
+	"tsteiner/internal/train"
+)
+
+// runObsFlow executes a small end-to-end pipeline (baseline flow → train →
+// refine → sign-off) and serializes every algorithmic output. Wall-clock
+// fields (GRSec, ExtractSec, STASec, refinement RuntimeSec) are excluded —
+// they differ between any two runs regardless of telemetry — as is the
+// resolved Workers annotation; DRSec stays because the DR surrogate's
+// runtime is modeled, not measured.
+func runObsFlow(t *testing.T, workers int, sink *obs.Sink) string {
+	t.Helper()
+	cfg := flow.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Obs = sink
+
+	smp, err := train.BuildSample("spm", 1.0, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := gnn.NewModel(gnn.DefaultConfig(), 7)
+	topt := train.Options{Epochs: 8, LR: 1e-2, Seed: 1, Workers: workers, Obs: sink}
+	loss, err := train.Train(m, []*train.Sample{smp}, topt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropt := core.DefaultOptions()
+	ropt.N = 3
+	ref, err := core.NewRefiner(m, smp.Batch, smp.Prepared, ropt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ref.Refine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := flow.Signoff(smp.Prepared, res.Forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	serialize := func(tag string, r *flow.Report) {
+		fmt.Fprintf(&b, "%s wns=%v tns=%v vios=%d wl=%d vias=%d drvs=%d ovf=%d drsec=%v whs=%v hold=%d slew=%d\n",
+			tag, r.WNS, r.TNS, r.Vios, r.WirelengthDBU, r.Vias, r.DRVs,
+			r.Overflow, r.DRSec, r.WHS, r.HoldVios, r.SlewVios)
+	}
+	serialize("baseline", smp.Baseline)
+	serialize("refined", rep)
+	fmt.Fprintf(&b, "loss=%v\nrefine init=(%v,%v) best=(%v,%v) iters=%d converged=%v\n",
+		loss, res.InitWNS, res.InitTNS, res.BestWNS, res.BestTNS,
+		res.Iterations, res.ConvergedByRatio)
+	for i, h := range res.History {
+		fmt.Fprintf(&b, "iter %d wns=%v tns=%v theta=%v accepted=%v\n",
+			i, h.WNS, h.TNS, h.Theta, h.Accepted)
+	}
+	var fb bytes.Buffer
+	if err := designio.WriteForestJSON(&fb, res.Forest); err != nil {
+		t.Fatal(err)
+	}
+	b.Write(fb.Bytes())
+	return b.String()
+}
+
+// TestObsDisabledByteIdentical is the telemetry determinism gate: the full
+// pipeline must produce byte-identical algorithmic outputs with a live
+// sink (including the par worker-utilization observer) and with the nil
+// NopSink, at workers=1 and workers=4.
+func TestObsDisabledByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: runs the spm pipeline four times")
+	}
+	results := map[string]string{}
+	for _, w := range []int{1, 4} {
+		var trace bytes.Buffer
+		sink := obs.New(&trace)
+		par.SetObserver(sink)
+		results[fmt.Sprintf("on/w=%d", w)] = runObsFlow(t, w, sink)
+		par.SetObserver(nil)
+		if trace.Len() == 0 {
+			t.Fatal("live sink captured no events")
+		}
+		results[fmt.Sprintf("off/w=%d", w)] = runObsFlow(t, w, nil)
+	}
+	want := results["off/w=1"]
+	if want == "" {
+		t.Fatal("empty serialized output")
+	}
+	for key, got := range results {
+		if got != want {
+			t.Fatalf("output of %s differs from off/w=1:\n--- %s ---\n%s\n--- off/w=1 ---\n%s",
+				key, key, got, want)
+		}
+	}
+}

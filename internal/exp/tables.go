@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tsteiner/internal/metrics"
+	"tsteiner/internal/obs"
 	"tsteiner/internal/report"
 	"tsteiner/internal/synth"
 	"tsteiner/internal/train"
@@ -208,6 +209,9 @@ func (s *Suite) Table3() (*Table3Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.cfg.Obs.Event("train.eval",
+			obs.KV{K: "design", V: name},
+			obs.KV{K: "r2_all", V: sc.ArrivalAll}, obs.KV{K: "r2_ends", V: sc.ArrivalEnds})
 		out.Rows = append(out.Rows, Table3Row{Name: name, Train: smp.Train, Scores: sc})
 		if smp.Train {
 			out.AvgTrain.ArrivalAll += sc.ArrivalAll
@@ -290,11 +294,11 @@ func (s *Suite) Table4() (*Table4Result, error) {
 			Name:      name,
 			BaseGR:    smp.Baseline.GRSec,
 			BaseDR:    smp.Baseline.DRSec,
-			BaseTotal: smp.Baseline.GRSec + smp.Baseline.DRSec,
+			BaseTotal: smp.Baseline.Total(),
 			TSRefine:  res.RuntimeSec,
 			TSGR:      rep.GRSec,
 			TSDR:      rep.DRSec,
-			TSTotal:   res.RuntimeSec + rep.GRSec + rep.DRSec,
+			TSTotal:   rep.Total(),
 		}
 		out.Rows = append(out.Rows, row)
 		sT += metrics.Ratio(row.TSTotal, row.BaseTotal)

@@ -14,6 +14,7 @@ import (
 	"tsteiner/internal/grid"
 	"tsteiner/internal/lib"
 	"tsteiner/internal/netlist"
+	"tsteiner/internal/obs"
 	"tsteiner/internal/par"
 	"tsteiner/internal/place"
 	"tsteiner/internal/rc"
@@ -43,6 +44,9 @@ type Config struct {
 	// (0 = GOMAXPROCS, 1 = serial). Results are byte-identical for every
 	// worker count; it only affects wall clock.
 	Workers int
+	// Obs receives phase spans and counters (nil = telemetry off). A
+	// strict side channel: enabling it never changes any flow output.
+	Obs *obs.Sink
 }
 
 // DefaultConfig returns the pipeline settings used by every experiment.
@@ -85,7 +89,9 @@ func PrepareBenchmark(name string, scale float64, cfg Config) (*Prepared, error)
 		spec = spec.Scale(scale)
 	}
 	l := lib.Default()
+	sp := cfg.Obs.Start("flow.synth")
 	d, err := synth.Generate(spec, l)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -96,13 +102,20 @@ func PrepareBenchmark(name string, scale float64, cfg Config) (*Prepared, error)
 // applying congestion-driven edge shifting unless disabled.
 func Prepare(d *netlist.Design, l *lib.Library, cfg Config) (*Prepared, error) {
 	t0 := time.Now()
-	if _, err := place.Place(d, cfg.Place); err != nil {
+	root := cfg.Obs.Start("flow.prepare")
+	defer root.End()
+	sp := root.Child("place")
+	_, err := place.Place(d, cfg.Place)
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("flow: place: %w", err)
 	}
 	if cfg.RSMT.Workers == 0 {
 		cfg.RSMT.Workers = cfg.Workers
 	}
+	sp = root.Child("rsmt")
 	f, err := rsmt.BuildAll(d, cfg.RSMT)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("flow: steiner: %w", err)
 	}
@@ -111,7 +124,9 @@ func Prepare(d *netlist.Design, l *lib.Library, cfg Config) (*Prepared, error) {
 		if err != nil {
 			return nil, fmt.Errorf("flow: grid: %w", err)
 		}
+		sp = root.Child("edgeshift")
 		route.EdgeShift(f, g, cfg.EdgeShift)
+		sp.End()
 	}
 	return &Prepared{
 		Design:  d,
@@ -131,10 +146,14 @@ func PrepareKeepPlacement(d *netlist.Design, l *lib.Library, cfg Config) (*Prepa
 	if d.Die.Empty() || d.Die.Width() == 0 || d.Die.Height() == 0 {
 		return nil, fmt.Errorf("flow: design has no usable die for placement-preserving prepare")
 	}
+	root := cfg.Obs.Start("flow.prepare")
+	defer root.End()
 	if cfg.RSMT.Workers == 0 {
 		cfg.RSMT.Workers = cfg.Workers
 	}
+	sp := root.Child("rsmt")
 	f, err := rsmt.BuildAll(d, cfg.RSMT)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("flow: steiner: %w", err)
 	}
@@ -143,7 +162,9 @@ func PrepareKeepPlacement(d *netlist.Design, l *lib.Library, cfg Config) (*Prepa
 		if err != nil {
 			return nil, fmt.Errorf("flow: grid: %w", err)
 		}
+		sp = root.Child("edgeshift")
 		route.EdgeShift(f, g, cfg.EdgeShift)
+		sp.End()
 	}
 	return &Prepared{
 		Design:  d,
@@ -164,10 +185,13 @@ type Report struct {
 	WirelengthDBU int64
 	Vias          int
 	DRVs          int
-	// Runtime breakdown (seconds). GRSec is measured wall clock; DRSec is
-	// the surrogate's modeled runtime (see internal/drc); TSteinerSec is
-	// filled by callers that ran refinement.
+	// Runtime breakdown (seconds). GRSec, ExtractSec and STASec are
+	// measured wall clock; DRSec is the surrogate's modeled runtime (see
+	// internal/drc); TSteinerSec is filled by callers that ran refinement.
+	// STASec includes the pre-routing STA pass when TimingDrivenRoute is
+	// on, so the breakdown stays exhaustive.
 	GRSec, DRSec, TSteinerSec float64
+	ExtractSec, STASec        float64
 	// Congestion figure of merit after global routing.
 	Overflow int
 	// Secondary sign-off checks (diagnostics; not part of the paper's
@@ -182,8 +206,12 @@ type Report struct {
 	Workers int
 }
 
-// Total returns the total flow runtime represented by this report.
-func (r *Report) Total() float64 { return r.GRSec + r.DRSec + r.TSteinerSec }
+// Total returns the total flow runtime represented by this report: every
+// recorded phase, including the extraction and STA seconds that earlier
+// versions silently dropped.
+func (r *Report) Total() float64 {
+	return r.GRSec + r.DRSec + r.ExtractSec + r.STASec + r.TSteinerSec
+}
 
 // Signoff routes the forest and measures sign-off timing. The forest is
 // not modified: a rounded copy is routed, exactly like the paper's
@@ -198,22 +226,31 @@ func Signoff(p *Prepared, f *rsmt.Forest) (*Report, error) {
 func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	d := p.Design
 	cfg := p.Config
+	root := cfg.Obs.Start("flow.signoff")
+	defer root.End()
 
 	rounded := f.Clone()
 	rounded.RoundPositions()
 
+	var preStaSec float64
 	routeOpt := cfg.Route
 	if cfg.TimingDrivenRoute {
 		// Pre-routing STA over tree geometry yields per-net criticality
 		// for most-critical-first net ordering.
+		sp := root.Child("presta")
+		t0 := time.Now()
 		rcs, err := rc.ExtractFromTrees(d, rounded, p.Lib)
 		if err != nil {
+			sp.End()
 			return nil, nil, fmt.Errorf("flow: pre-route extract: %w", err)
 		}
 		pre, err := sta.Run(d, rcs)
+		preStaSec = time.Since(t0).Seconds()
+		sp.End()
 		if err != nil {
 			return nil, nil, fmt.Errorf("flow: pre-route sta: %w", err)
 		}
+		cfg.Obs.Add("flow.sta_runs", 1)
 		routeOpt.NetPriority = pre.NetCriticality(d)
 	}
 
@@ -221,25 +258,43 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: grid: %w", err)
 	}
+	sp := root.Child("gr")
 	t0 := time.Now()
 	gr, err := route.Route(d, rounded, g, routeOpt)
+	grSec := time.Since(t0).Seconds()
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: global route: %w", err)
 	}
-	grSec := time.Since(t0).Seconds()
+	cfg.Obs.Add("flow.gr_runs", 1)
+	cfg.Obs.Observe("flow.gr_overflow", float64(gr.Overflow))
 
+	sp = root.Child("dr")
 	dres, err := drc.Run(d, g, gr, cfg.DRC)
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: detailed route: %w", err)
 	}
+	cfg.Obs.Add("flow.dr_runs", 1)
+	cfg.Obs.Observe("flow.dr_drvs", float64(dres.DRVs))
+
+	sp = root.Child("extract")
+	t0 = time.Now()
 	rcs, err := rc.Extract(d, rounded, g, gr, p.Lib)
+	extractSec := time.Since(t0).Seconds()
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: extract: %w", err)
 	}
+	sp = root.Child("sta")
+	t0 = time.Now()
 	timing, err := sta.Run(d, rcs)
+	staSec := time.Since(t0).Seconds()
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: sta: %w", err)
 	}
+	cfg.Obs.Add("flow.sta_runs", 1)
 	rep := &Report{
 		WNS:           timing.WNS,
 		TNS:           timing.TNS,
@@ -249,11 +304,18 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 		DRVs:          dres.DRVs,
 		GRSec:         grSec,
 		DRSec:         dres.RuntimeSec,
+		ExtractSec:    extractSec,
+		STASec:        preStaSec + staSec,
 		Overflow:      gr.Overflow,
 		WHS:           timing.WHS,
 		HoldVios:      timing.HoldVios,
 		SlewVios:      timing.SlewVios,
 		Workers:       par.Workers(cfg.Workers),
 	}
+	cfg.Obs.Event("flow.signoff",
+		obs.KV{K: "wns", V: rep.WNS}, obs.KV{K: "tns", V: rep.TNS},
+		obs.KV{K: "vios", V: rep.Vios}, obs.KV{K: "wl_dbu", V: rep.WirelengthDBU},
+		obs.KV{K: "vias", V: rep.Vias}, obs.KV{K: "drvs", V: rep.DRVs},
+		obs.KV{K: "overflow", V: rep.Overflow})
 	return rep, timing, nil
 }

@@ -1,9 +1,12 @@
 package flow
 
 import (
+	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
+	"tsteiner/internal/obs"
 	"tsteiner/internal/rsmt"
 )
 
@@ -50,8 +53,36 @@ func TestSignoffEndToEnd(t *testing.T) {
 	if rep.DRSec <= 0 || rep.GRSec < 0 {
 		t.Errorf("implausible runtimes: %+v", rep)
 	}
-	if tot := rep.Total(); tot < rep.DRSec {
-		t.Errorf("Total()=%g < DRSec", tot)
+	if rep.ExtractSec <= 0 || rep.STASec <= 0 {
+		t.Errorf("extraction/STA phases not recorded: %+v", rep)
+	}
+	// Total must account for every recorded phase, not just GR+DR.
+	want := rep.GRSec + rep.DRSec + rep.ExtractSec + rep.STASec + rep.TSteinerSec
+	if tot := rep.Total(); tot != want {
+		t.Errorf("Total()=%g drops phases: want %g", tot, want)
+	}
+}
+
+func TestSignoffEmitsPhaseSpans(t *testing.T) {
+	var trace bytes.Buffer
+	cfg := DefaultConfig()
+	cfg.Obs = obs.New(&trace)
+	p, err := PrepareBenchmark("spm", 1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Signoff(p, p.Forest); err != nil {
+		t.Fatal(err)
+	}
+	text := trace.String()
+	for _, span := range []string{
+		"flow.synth", "flow.prepare", "flow.prepare/place", "flow.prepare/rsmt",
+		"flow.prepare/edgeshift", "flow.signoff", "flow.signoff/gr",
+		"flow.signoff/dr", "flow.signoff/extract", "flow.signoff/sta",
+	} {
+		if !strings.Contains(text, `"name":"`+span+`"`) {
+			t.Errorf("trace missing phase span %q", span)
+		}
 	}
 }
 

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tsteiner/internal/par"
+)
+
+// Flags holds the observability/parallelism flags shared by every command,
+// registered once through RegisterFlags instead of being copy-pasted into
+// each main.
+type Flags struct {
+	Workers    int
+	Out        string
+	CPUProfile string
+	MemProfile string
+}
+
+// RegisterFlags defines -workers, -obs-out, -cpuprofile and -memprofile on
+// fs (use flag.CommandLine in a main). Workers defaults to 0 = all CPUs,
+// which par.Workers resolves exactly like the historical GOMAXPROCS
+// default.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.Workers, "workers", 0,
+		"parallel workers (0 = all CPUs, 1 = serial; results are byte-identical at any value)")
+	fs.StringVar(&f.Out, "obs-out", "",
+		"write an NDJSON telemetry trace to this path and print a summary at exit")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this path at exit")
+	return f
+}
+
+// Setup activates everything the parsed flags request: it opens the trace
+// sink (nil when -obs-out is unset — the no-op default), registers it as
+// the par worker-utilization observer, and starts the CPU profile. The
+// returned close function stops profiling, writes the heap profile,
+// unregisters the observer, prints the telemetry summary to summaryTo
+// (stderr when nil) and closes the trace file; call it exactly once, at
+// exit.
+func (f *Flags) Setup(summaryTo io.Writer) (*Sink, func(), error) {
+	if summaryTo == nil {
+		summaryTo = os.Stderr
+	}
+	var (
+		sink     *Sink
+		traceOut *os.File
+	)
+	if f.Out != "" {
+		var err error
+		traceOut, err = os.Create(f.Out)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		sink = New(traceOut)
+		par.SetObserver(sink)
+	}
+	stopCPU, err := StartCPUProfile(f.CPUProfile)
+	if err != nil {
+		if traceOut != nil {
+			traceOut.Close()
+		}
+		return nil, nil, err
+	}
+	closeFn := func() {
+		stopCPU()
+		if err := WriteHeapProfile(f.MemProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if sink != nil {
+			par.SetObserver(nil)
+			if err := sink.WriteSummary(summaryTo); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+		if traceOut != nil {
+			traceOut.Close()
+		}
+	}
+	return sink, closeFn, nil
+}

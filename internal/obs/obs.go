@@ -1,0 +1,367 @@
+// Package obs is the repository's deterministic telemetry layer: spans,
+// counters, gauges and histograms that observe the flow without touching
+// it. Every instrumented call site holds a *Sink that may be nil — the nil
+// sink is the default "NopSink" and makes every method a no-op behind a
+// single nil check, so hot paths pay nothing when telemetry is off.
+//
+// Determinism contract — telemetry is a side channel only:
+//
+//  1. No algorithmic output may ever read a value back out of a sink.
+//     Wall-clock durations exist only in the emitted trace and the exit
+//     summary; the flow, the refiner and the trainer produce byte-identical
+//     results with telemetry enabled or disabled, at any worker count
+//     (exp.TestObsDisabledByteIdentical is the gate).
+//  2. All collectors are race-clean: spans/counters are guarded by one
+//     mutex, per-worker busy accounting in internal/par is index-separated,
+//     and the sink may be shared by concurrent goroutines.
+//
+// A sink aggregates in memory (for the exit summary) and, when constructed
+// with a writer, additionally streams every event as one NDJSON line:
+//
+//	{"t":12.345,"ev":"span_end","span":3,"name":"flow.signoff/gr","dur_ms":41.2}
+//
+// Field order within a line is fixed by the call site, so a trace is
+// structurally reproducible even though its timing values are not.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// KV is one ordered key/value pair of a trace event. Values may be
+// string, bool, int, int64, float64 or fmt.Stringer.
+type KV struct {
+	K string
+	V any
+}
+
+// Sink collects telemetry. The zero value is unusable; construct with New.
+// A nil *Sink is the no-op sink: every method returns immediately.
+type Sink struct {
+	mu    sync.Mutex
+	w     io.Writer // NDJSON stream; nil = aggregate only
+	epoch time.Time
+	seq   int64 // span id allocator
+
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histAgg
+	spans    map[string]*spanAgg
+	events   int64
+}
+
+type histAgg struct {
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+type spanAgg struct {
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+// New returns a live sink. w receives the NDJSON event stream and may be
+// nil to aggregate for the summary only.
+func New(w io.Writer) *Sink {
+	return &Sink{
+		w:        w,
+		epoch:    time.Now(),
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*histAgg{},
+		spans:    map[string]*spanAgg{},
+	}
+}
+
+// Enabled reports whether the sink records anything (false for nil).
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Span is one timed region. A nil *Span (from a nil sink) is inert.
+type Span struct {
+	sink *Sink
+	name string
+	id   int64
+	t0   time.Time
+}
+
+// Start opens a root span. The returned span must be closed with End;
+// nested regions hang off it via Child, which joins names with '/' so the
+// summary groups a phase under its parent ("flow.signoff/gr").
+func (s *Sink) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.seq++
+	id := s.seq
+	s.emitLocked("span_start", []KV{{"span", id}, {"name", name}})
+	s.mu.Unlock()
+	return &Span{sink: s, name: name, id: id, t0: time.Now()}
+}
+
+// Child opens a sub-span named parent/name.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.sink.Start(sp.name + "/" + name)
+}
+
+// End closes the span, records its monotonic duration and returns it.
+func (sp *Span) End() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	d := time.Since(sp.t0)
+	s := sp.sink
+	s.mu.Lock()
+	ag := s.spans[sp.name]
+	if ag == nil {
+		ag = &spanAgg{}
+		s.spans[sp.name] = ag
+	}
+	ag.count++
+	ag.total += d
+	if d > ag.max {
+		ag.max = d
+	}
+	s.emitLocked("span_end", []KV{
+		{"span", sp.id}, {"name", sp.name}, {"dur_ms", ms(d)},
+	})
+	s.mu.Unlock()
+	return d
+}
+
+// Add increments a monotonic counter.
+func (s *Sink) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// Gauge records the latest value of a named quantity.
+func (s *Sink) Gauge(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.gauges[name] = v
+	s.mu.Unlock()
+}
+
+// Observe adds one sample to a named histogram (count/mean/min/max).
+func (s *Sink) Observe(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.observeLocked(name, v)
+	s.mu.Unlock()
+}
+
+func (s *Sink) observeLocked(name string, v float64) {
+	h := s.hists[name]
+	if h == nil {
+		h = &histAgg{min: v, max: v}
+		s.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Event emits one structured NDJSON line with the given ordered fields.
+func (s *Sink) Event(ev string, kv ...KV) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.emitLocked(ev, kv)
+	s.mu.Unlock()
+}
+
+// ObservePool implements internal/par's PoolObserver: one callback per
+// completed parallel section with per-worker busy time. Utilization is
+// Σbusy / (workers · wall) — 1.0 means every worker was busy for the whole
+// section.
+func (s *Sink) ObservePool(workers, tasks int, busy []time.Duration, wall time.Duration) {
+	if s == nil {
+		return
+	}
+	var sum time.Duration
+	for _, b := range busy {
+		sum += b
+	}
+	util := 0.0
+	if wall > 0 && workers > 0 {
+		util = float64(sum) / (float64(workers) * float64(wall))
+	}
+	s.mu.Lock()
+	s.counters["par.pools"]++
+	s.counters["par.tasks"] += int64(tasks)
+	s.observeLocked("par.pool_tasks", float64(tasks))
+	s.observeLocked("par.pool_workers", float64(workers))
+	s.observeLocked("par.pool_util", util)
+	for _, b := range busy {
+		s.observeLocked("par.worker_busy_ms", ms(b))
+	}
+	s.emitLocked("par.pool", []KV{
+		{"workers", workers}, {"tasks", tasks},
+		{"busy_ms", ms(sum)}, {"wall_ms", ms(wall)}, {"util", util},
+	})
+	s.mu.Unlock()
+}
+
+// emitLocked writes one NDJSON line; the caller holds s.mu.
+func (s *Sink) emitLocked(ev string, kv []KV) {
+	s.events++
+	if s.w == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(`{"t":`)
+	b.WriteString(strconv.FormatFloat(ms(time.Since(s.epoch)), 'f', 3, 64))
+	b.WriteString(`,"ev":`)
+	b.WriteString(strconv.Quote(ev))
+	for _, f := range kv {
+		b.WriteByte(',')
+		b.WriteString(strconv.Quote(f.K))
+		b.WriteByte(':')
+		writeJSONValue(&b, f.V)
+	}
+	b.WriteString("}\n")
+	io.WriteString(s.w, b.String())
+}
+
+func writeJSONValue(b *strings.Builder, v any) {
+	switch x := v.(type) {
+	case string:
+		b.WriteString(strconv.Quote(x))
+	case bool:
+		b.WriteString(strconv.FormatBool(x))
+	case int:
+		b.WriteString(strconv.Itoa(x))
+	case int64:
+		b.WriteString(strconv.FormatInt(x, 10))
+	case float64:
+		if x != x || x > 1e308 || x < -1e308 { // NaN/±Inf are not JSON
+			b.WriteString(strconv.Quote(strconv.FormatFloat(x, 'g', -1, 64)))
+			return
+		}
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	case fmt.Stringer:
+		b.WriteString(strconv.Quote(x.String()))
+	default:
+		b.WriteString(strconv.Quote(fmt.Sprint(x)))
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteSummary renders the human-readable exit summary: aggregated spans,
+// counters, gauges and histograms, each section sorted by name.
+func (s *Sink) WriteSummary(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry summary (%d events)\n", s.events)
+
+	if len(s.spans) > 0 {
+		b.WriteString("\nspans\n")
+		rows := make([][]string, 0, len(s.spans))
+		for name, ag := range s.spans {
+			rows = append(rows, []string{
+				name, strconv.FormatInt(ag.count, 10),
+				fmt.Sprintf("%.3f", ag.total.Seconds()),
+				fmt.Sprintf("%.3f", ag.max.Seconds()),
+			})
+		}
+		writeAligned(&b, []string{"name", "count", "total_s", "max_s"}, rows)
+	}
+	if len(s.counters) > 0 {
+		b.WriteString("\ncounters\n")
+		rows := make([][]string, 0, len(s.counters))
+		for name, v := range s.counters {
+			rows = append(rows, []string{name, strconv.FormatInt(v, 10)})
+		}
+		writeAligned(&b, []string{"name", "value"}, rows)
+	}
+	if len(s.gauges) > 0 {
+		b.WriteString("\ngauges\n")
+		rows := make([][]string, 0, len(s.gauges))
+		for name, v := range s.gauges {
+			rows = append(rows, []string{name, fmt.Sprintf("%g", v)})
+		}
+		writeAligned(&b, []string{"name", "value"}, rows)
+	}
+	if len(s.hists) > 0 {
+		b.WriteString("\nhistograms\n")
+		rows := make([][]string, 0, len(s.hists))
+		for name, h := range s.hists {
+			mean := 0.0
+			if h.count > 0 {
+				mean = h.sum / float64(h.count)
+			}
+			rows = append(rows, []string{
+				name, strconv.FormatInt(h.count, 10),
+				fmt.Sprintf("%.4g", mean), fmt.Sprintf("%.4g", h.min), fmt.Sprintf("%.4g", h.max),
+			})
+		}
+		writeAligned(&b, []string{"name", "count", "mean", "min", "max"}, rows)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeAligned renders rows (sorted by first column) under a header with
+// two-space column alignment — the same visual shape as internal/report,
+// reimplemented here so obs stays dependency-free.
+func writeAligned(b *strings.Builder, header []string, rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSinkIsNoOp(t *testing.T) {
+	var s *Sink
+	if s.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	sp := s.Start("root")
+	sp.Child("leaf").End()
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span duration %v", d)
+	}
+	s.Add("c", 1)
+	s.Gauge("g", 2)
+	s.Observe("h", 3)
+	s.Event("ev", KV{K: "k", V: "v"})
+	s.ObservePool(2, 4, []time.Duration{1, 2}, 3)
+	if err := s.WriteSummary(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceIsParseableNDJSON feeds every emitter and checks each line is
+// valid JSON with the fixed envelope fields.
+func TestTraceIsParseableNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(&buf)
+	root := s.Start("flow.signoff")
+	gr := root.Child("gr")
+	gr.End()
+	root.End()
+	s.Add("flow.sta_runs", 2)
+	s.Gauge("depth", 3.5)
+	s.Observe("flow.gr_overflow", 7)
+	s.Event("core.iter",
+		KV{K: "iter", V: 1}, KV{K: "wns", V: -0.25}, KV{K: "accepted", V: true},
+		KV{K: "design", V: `sp"m`}, KV{K: "wl", V: int64(123)})
+	s.ObservePool(2, 8, []time.Duration{time.Millisecond, 2 * time.Millisecond}, 3*time.Millisecond)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("expected ≥6 trace lines, got %d:\n%s", len(lines), buf.String())
+	}
+	events := map[string]int{}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line is not JSON: %q: %v", ln, err)
+		}
+		if _, ok := m["t"].(float64); !ok {
+			t.Fatalf("line missing numeric t: %q", ln)
+		}
+		ev, ok := m["ev"].(string)
+		if !ok {
+			t.Fatalf("line missing ev: %q", ln)
+		}
+		events[ev]++
+	}
+	for _, want := range []string{"span_start", "span_end", "core.iter", "par.pool"} {
+		if events[want] == 0 {
+			t.Fatalf("no %s event in trace: %v", want, events)
+		}
+	}
+	// Child span names join with '/': reconstructable hierarchy.
+	if !strings.Contains(buf.String(), `"name":"flow.signoff/gr"`) {
+		t.Fatalf("child span path missing:\n%s", buf.String())
+	}
+}
+
+func TestEventEncodesSpecialFloats(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(&buf)
+	s.Event("x", KV{K: "nan", V: math.NaN()}, KV{K: "inf", V: math.Inf(1)})
+	for _, ln := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("NaN/Inf broke JSON: %q: %v", ln, err)
+		}
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	s := New(nil) // aggregate-only sink
+	for i := 0; i < 3; i++ {
+		sp := s.Start("phase")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	s.Add("counter.a", 5)
+	s.Add("counter.a", 2)
+	s.Gauge("gauge.b", 1.25)
+	s.Observe("hist.c", 1)
+	s.Observe("hist.c", 3)
+	var out bytes.Buffer
+	if err := s.WriteSummary(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"phase", "counter.a  7", "gauge.b  1.25", "hist.c"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary missing %q:\n%s", want, text)
+		}
+	}
+	s.mu.Lock()
+	ag := s.spans["phase"]
+	s.mu.Unlock()
+	if ag == nil || ag.count != 3 || ag.total <= 0 || ag.max > ag.total {
+		t.Fatalf("span aggregate wrong: %+v", ag)
+	}
+	h := s.hists["hist.c"]
+	if h.count != 2 || h.min != 1 || h.max != 3 || h.sum != 4 {
+		t.Fatalf("hist aggregate wrong: %+v", h)
+	}
+}
+
+// TestSinkConcurrentUse hammers one sink from many goroutines; run under
+// -race this is the collector's cleanliness gate.
+func TestSinkConcurrentUse(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := s.Start("span")
+				s.Add("n", 1)
+				s.Observe("h", float64(i))
+				s.Event("ev", KV{K: "g", V: g}, KV{K: "i", V: i})
+				s.ObservePool(2, 2, []time.Duration{1, 2}, 4)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.mu.Lock()
+	n := s.counters["n"]
+	s.mu.Unlock()
+	if n != 8*200 {
+		t.Fatalf("lost counter increments: %d", n)
+	}
+	for _, ln := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !json.Valid([]byte(ln)) {
+			t.Fatalf("interleaved/corrupt trace line: %q", ln)
+		}
+	}
+}

@@ -20,7 +20,38 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// PoolObserver receives utilization telemetry for completed parallel
+// sections: the worker count, the number of tasks issued (the section's
+// queue depth), each worker's accumulated busy time (index-separated, so
+// collection is race-free) and the section's wall-clock duration.
+//
+// Observation is a side channel only — it never influences scheduling or
+// results — and the callback must be safe for concurrent use (nested
+// parallel sections invoke it from multiple goroutines).
+type PoolObserver interface {
+	ObservePool(workers, tasks int, busy []time.Duration, wall time.Duration)
+}
+
+// observerBox wraps the interface so atomic.Value always stores one
+// concrete type (including the nil observer).
+type observerBox struct{ o PoolObserver }
+
+var poolObserver atomic.Value // observerBox
+
+// SetObserver installs the process-wide pool observer (nil uninstalls).
+// When no observer is set, instrumentation costs one atomic load per
+// ForEach call and nothing per task.
+func SetObserver(o PoolObserver) { poolObserver.Store(observerBox{o}) }
+
+func loadObserver() PoolObserver {
+	if v := poolObserver.Load(); v != nil {
+		return v.(observerBox).o
+	}
+	return nil
+}
 
 // Workers resolves a requested worker count: values <= 0 select
 // runtime.GOMAXPROCS(0) (all available parallelism); 1 reproduces the
@@ -44,6 +75,36 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
+	ob := loadObserver()
+	if ob != nil {
+		// Wrap fn with per-worker busy accounting. Timing is observation
+		// only: it never reaches fn or the caller, so results stay
+		// byte-identical with or without an observer installed.
+		busy := make([]time.Duration, w)
+		inner := fn
+		t0 := time.Now()
+		var err error
+		if w == 1 {
+			for i := 0; i < n; i++ {
+				ts := time.Now()
+				e := inner(i)
+				busy[0] += time.Since(ts)
+				if e != nil {
+					err = e
+					break
+				}
+			}
+		} else {
+			err = forEachWorkers(w, n, func(g, i int) error {
+				ts := time.Now()
+				e := inner(i)
+				busy[g] += time.Since(ts)
+				return e
+			})
+		}
+		ob.ObservePool(w, n, busy, time.Since(t0))
+		return err
+	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
@@ -52,6 +113,13 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}
 		return nil
 	}
+	return forEachWorkers(w, n, func(_, i int) error { return fn(i) })
+}
+
+// forEachWorkers is the shared parallel core of ForEach: w goroutines pull
+// indices from an atomic counter and run fn(worker, index); the
+// lowest-indexed error wins and cancels tasks not yet started.
+func forEachWorkers(w, n int, fn func(worker, i int) error) error {
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
@@ -69,7 +137,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(g, i); err != nil {
 					failed.Store(true)
 					mu.Lock()
 					if i < errIdx {

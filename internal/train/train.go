@@ -9,9 +9,12 @@ import (
 	"fmt"
 	"math/rand"
 
+	"math"
+
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
 	"tsteiner/internal/metrics"
+	"tsteiner/internal/obs"
 	"tsteiner/internal/par"
 	"tsteiner/internal/rsmt"
 	"tsteiner/internal/tensor"
@@ -113,6 +116,10 @@ type Options struct {
 	Accumulate bool
 	// Verbose receives per-epoch losses when non-nil.
 	Verbose func(epoch int, loss float64)
+	// Obs receives the training span, per-epoch loss/grad-norm events and
+	// counters (nil = telemetry off). A strict side channel: enabling it
+	// never changes the trained parameters.
+	Obs *obs.Sink
 }
 
 // DefaultOptions uses a learning rate scaled up from the paper's 5e-4 —
@@ -137,27 +144,39 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 	}
 	adam := tensor.NewAdam(opt.LR, m.Params())
 	rng := rand.New(rand.NewSource(opt.Seed))
+	span := opt.Obs.Start("train.train")
+	defer span.End()
+	// wantGradSq gates the extra per-step gradient-norm reduction: it is
+	// read-only arithmetic over already-computed gradients, so enabling
+	// telemetry never changes the Adam trajectory.
+	wantGradSq := opt.Obs.Enabled()
 	last := 0.0
 	for ep := 0; ep < opt.Epochs; ep++ {
 		order := rng.Perm(len(trainSet))
-		epochLoss := 0.0
+		epochLoss, epochGradSq := 0.0, 0.0
 		if opt.Accumulate {
-			loss, err := accumulateStep(m, adam, trainSet, order, opt.Workers)
+			loss, gradSq, err := accumulateStep(m, adam, trainSet, order, opt.Workers, wantGradSq)
 			if err != nil {
 				return 0, err
 			}
 			epochLoss = loss * float64(len(trainSet))
+			epochGradSq = gradSq
 		} else {
 			for _, si := range order {
 				s := trainSet[si]
-				loss, err := step(m, adam, s)
+				loss, gradSq, err := step(m, adam, s, wantGradSq)
 				if err != nil {
 					return 0, fmt.Errorf("train: %s: %w", s.Name, err)
 				}
 				epochLoss += loss
+				epochGradSq += gradSq
 			}
 		}
 		last = epochLoss / float64(len(trainSet))
+		opt.Obs.Add("train.epochs", 1)
+		opt.Obs.Event("train.epoch",
+			obs.KV{K: "epoch", V: ep}, obs.KV{K: "loss", V: last},
+			obs.KV{K: "grad_norm", V: math.Sqrt(epochGradSq)})
 		if opt.Verbose != nil {
 			opt.Verbose(ep, last)
 		}
@@ -170,8 +189,10 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 // gradient buffers are never shared), reduces the gradients in the fixed
 // permutation order, and applies one Adam step. The reduction order — not
 // task completion order — defines the floating-point sum, so the updated
-// parameters are byte-identical for every worker count.
-func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order []int, workers int) (float64, error) {
+// parameters are byte-identical for every worker count. When wantGradSq is
+// set, the squared L2 norm of the reduced gradient is returned for
+// telemetry (read-only; computed after the reduction, before the step).
+func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order []int, workers int, wantGradSq bool) (float64, float64, error) {
 	type grads struct {
 		loss   float64
 		byProp [][]float64
@@ -186,7 +207,7 @@ func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order [
 		return grads{loss: loss, byProp: g}, nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	adam.ZeroGrad()
 	params := m.Params()
@@ -203,8 +224,23 @@ func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order [
 			}
 		}
 	}
+	gradSq := 0.0
+	if wantGradSq {
+		gradSq = paramGradSq(params)
+	}
 	adam.Step()
-	return total / float64(len(order)), nil
+	return total / float64(len(order)), gradSq, nil
+}
+
+// paramGradSq sums the squared gradient entries across parameters.
+func paramGradSq(params []*tensor.Tensor) float64 {
+	sq := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad {
+			sq += g * g
+		}
+	}
+	return sq
 }
 
 // sampleGrad runs one forward/backward on a sample and returns the loss
@@ -263,19 +299,25 @@ func sampleLoss(tp *tensor.Tape, m *gnn.Model, s *Sample) (*tensor.Tensor, error
 	return loss, nil
 }
 
-// step runs one forward/backward/update on a sample and returns the loss.
-func step(m *gnn.Model, adam *tensor.Adam, s *Sample) (float64, error) {
+// step runs one forward/backward/update on a sample and returns the loss,
+// plus (when wantGradSq is set) the squared gradient norm of the step for
+// telemetry.
+func step(m *gnn.Model, adam *tensor.Adam, s *Sample, wantGradSq bool) (float64, float64, error) {
 	tp := tensor.NewTape()
 	adam.ZeroGrad()
 	loss, err := sampleLoss(tp, m, s)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if err := tp.Backward(loss); err != nil {
-		return 0, err
+		return 0, 0, err
+	}
+	gradSq := 0.0
+	if wantGradSq {
+		gradSq = paramGradSq(m.Params())
 	}
 	adam.Step()
-	return loss.Data[0], nil
+	return loss.Data[0], gradSq, nil
 }
 
 // Scores holds the Table III numbers for one design.
