@@ -7,6 +7,7 @@
 //
 //	calibrate [-scale 1.0] [-designs a,b,c] [-workers N]
 //	          [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	          [-deadline 10m]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"tsteiner/internal/flow"
+	"tsteiner/internal/guard"
 	"tsteiner/internal/metrics"
 	"tsteiner/internal/obs"
 	"tsteiner/internal/report"
@@ -59,6 +61,10 @@ func main() {
 	cfg := flow.DefaultConfig()
 	cfg.Workers = shared.Workers
 	cfg.Obs = sink
+	if shared.Deadline > 0 {
+		cfg.Budget = &guard.Budget{Wall: shared.Deadline}
+		cfg.Budget.Start()
+	}
 	for _, spec := range specs {
 		log.Printf("running %s", spec.Name)
 		p, err := flow.PrepareBenchmark(spec.Name, *scale, cfg)

@@ -6,6 +6,7 @@
 //	            [-table 1|2|3|4] [-figure 2|5] [-ablations] [-all]
 //	            [-trials 10] [-epochs 150] [-model model.json] [-workers N]
 //	            [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	            [-checkpoint-dir dir] [-resume] [-deadline 30m]
 //
 // Without -table/-figure/-ablations, -all is assumed. Results are written
 // to stdout and, when -out is given, to the file as well.
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"tsteiner/internal/exp"
+	"tsteiner/internal/guard"
 	"tsteiner/internal/obs"
 )
 
@@ -53,6 +55,20 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Workers = shared.Workers
 	cfg.Obs = sink
+	if shared.Deadline > 0 {
+		budget := &guard.Budget{Wall: shared.Deadline}
+		budget.Start()
+		cfg.Flow.Budget = budget
+		cfg.Train.Budget = budget
+		cfg.Refine.Budget = budget
+	}
+	if shared.CheckpointDir != "" {
+		if err := os.MkdirAll(shared.CheckpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		cfg.CheckpointDir = shared.CheckpointDir
+		cfg.Resume = shared.Resume
+	}
 	if *designs != "" {
 		cfg.Designs = strings.Split(*designs, ",")
 	}

@@ -10,6 +10,7 @@
 //	runflow -design mydesign.json [-replace] [-buffer] [-svg out.svg]
 //	        [-refine] [-epochs 60] [-iters 25] [-seed 2023]
 //	        [-workers N] [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	        [-checkpoint-dir dir] [-resume] [-deadline 10m]
 package main
 
 import (
@@ -17,12 +18,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"tsteiner/internal/bufins"
 	"tsteiner/internal/core"
 	"tsteiner/internal/designio"
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
+	"tsteiner/internal/guard"
 	"tsteiner/internal/lib"
 	"tsteiner/internal/netlist"
 	"tsteiner/internal/obs"
@@ -54,13 +57,21 @@ func main() {
 	}
 	defer closeObs()
 
-	f, err := os.Open(*path)
-	if err != nil {
-		log.Fatal(err)
+	var budget *guard.Budget
+	if shared.Deadline > 0 {
+		budget = &guard.Budget{Wall: shared.Deadline}
+		budget.Start()
 	}
+	if shared.CheckpointDir != "" {
+		if err := os.MkdirAll(shared.CheckpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	l := lib.Default()
-	d, err := designio.ReadJSON(f, l)
-	f.Close()
+	// ReadJSONFile rejects truncated or corrupt design files with a typed
+	// error instead of decoding a partial design.
+	d, err := designio.ReadJSONFile(*path, l)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,6 +91,7 @@ func main() {
 	cfg := flow.DefaultConfig()
 	cfg.Workers = shared.Workers
 	cfg.Obs = sink
+	cfg.Budget = budget
 	var prepared *flow.Prepared
 	if *replace || !hasPlacement(d) {
 		prepared, err = flow.Prepare(d, l, cfg)
@@ -103,9 +115,15 @@ func main() {
 
 	finalForest := prepared.Forest
 	if *refine {
-		res, err := refineDesign(prepared, timing, rep, *epochs, *iters, *seed, shared.Workers, sink)
+		res, err := refineDesign(prepared, timing, rep, *epochs, *iters, *seed, shared, budget, sink)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.Cutoff != "" {
+			log.Printf("refinement cut off (%s); keeping best solution so far", res.Cutoff)
+		}
+		if res.Degraded {
+			log.Printf("refinement degraded after %d numerical recoveries; keeping best solution so far", res.Recoveries)
 		}
 		finalForest = res.Forest
 		rep2, err := flow.Signoff(prepared, res.Forest)
@@ -133,7 +151,8 @@ func main() {
 // refineDesign trains an evaluator on this design (plus perturbed
 // variants) and runs TSteiner refinement — the same recipe cmd/tsteiner
 // applies to bundled benchmarks, for loaded designs.
-func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, epochs, iters int, seed int64, workers int, sink *obs.Sink) (*core.Result, error) {
+func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, epochs, iters int, seed int64, shared *obs.Flags, budget *guard.Budget, sink *obs.Sink) (*core.Result, error) {
+	workers := shared.Workers
 	batch, err := gnn.NewBatch(p.Design, p.Forest)
 	if err != nil {
 		return nil, err
@@ -160,6 +179,11 @@ func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, e
 	topt.Seed = seed
 	topt.Workers = workers
 	topt.Obs = sink
+	topt.Budget = budget
+	if shared.CheckpointDir != "" {
+		topt.CheckpointPath = filepath.Join(shared.CheckpointDir, "train.ckpt")
+		topt.Resume = shared.Resume
+	}
 	if _, err := train.Train(m, samples, topt); err != nil {
 		return nil, err
 	}
@@ -174,6 +198,11 @@ func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, e
 
 	ropt := core.DefaultOptions()
 	ropt.N = iters
+	ropt.Budget = budget
+	if shared.CheckpointDir != "" {
+		ropt.CheckpointPath = filepath.Join(shared.CheckpointDir, "refine.ckpt")
+		ropt.Resume = shared.Resume
+	}
 	ref, err := core.NewRefiner(m, batch, p, ropt)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@
 //	tsteiner -design spm [-scale 1.0] [-baseline-only]
 //	         [-epochs 150] [-iters 25] [-model model.json] [-seed 2023]
 //	         [-workers N] [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	         [-checkpoint-dir dir] [-resume] [-deadline 10m]
 //
 // When -model names an existing file the evaluator is loaded from it;
 // otherwise a fresh evaluator is trained on this design (plus perturbed
@@ -15,13 +16,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	"tsteiner/internal/core"
 	"tsteiner/internal/designio"
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
+	"tsteiner/internal/guard"
 	"tsteiner/internal/obs"
 	"tsteiner/internal/report"
 	"tsteiner/internal/train"
@@ -53,17 +57,29 @@ func main() {
 	defer closeObs()
 	workers := &shared.Workers
 
+	var budget *guard.Budget
+	if shared.Deadline > 0 {
+		budget = &guard.Budget{Wall: shared.Deadline}
+		budget.Start()
+	}
+	if shared.CheckpointDir != "" {
+		if err := os.MkdirAll(shared.CheckpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	log.Printf("running baseline flow on %s (scale %.2f)", *design, *scale)
 	fcfg := flow.DefaultConfig()
 	fcfg.Workers = *workers
 	fcfg.Obs = sink
+	fcfg.Budget = budget
 	smp, err := train.BuildSample(*design, *scale, true, fcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	printReport("baseline", smp.Baseline)
 	if *designPath != "" {
-		if err := writeFile(*designPath, func(w *os.File) error {
+		if err := writeFile(*designPath, func(w io.Writer) error {
 			return designio.WriteJSON(w, smp.Prepared.Design)
 		}); err != nil {
 			log.Fatal(err)
@@ -71,7 +87,7 @@ func main() {
 		log.Printf("design written to %s", *designPath)
 	}
 	if *verilogPath != "" {
-		if err := writeFile(*verilogPath, func(w *os.File) error {
+		if err := writeFile(*verilogPath, func(w io.Writer) error {
 			return designio.WriteVerilog(w, smp.Prepared.Design)
 		}); err != nil {
 			log.Fatal(err)
@@ -103,6 +119,11 @@ func main() {
 		opt.Seed = *seed
 		opt.Workers = *workers
 		opt.Obs = sink
+		opt.Budget = budget
+		if shared.CheckpointDir != "" {
+			opt.CheckpointPath = filepath.Join(shared.CheckpointDir, "train.ckpt")
+			opt.Resume = shared.Resume
+		}
 		if _, err := train.Train(m, samples, opt); err != nil {
 			log.Fatal(err)
 		}
@@ -124,6 +145,11 @@ func main() {
 
 	opt := core.DefaultOptions()
 	opt.N = *iters
+	opt.Budget = budget
+	if shared.CheckpointDir != "" {
+		opt.CheckpointPath = filepath.Join(shared.CheckpointDir, "refine.ckpt")
+		opt.Resume = shared.Resume
+	}
 	ref, err := core.NewRefiner(m, smp.Batch, smp.Prepared, opt)
 	if err != nil {
 		log.Fatal(err)
@@ -135,6 +161,12 @@ func main() {
 	}
 	log.Printf("refinement: %d iterations in %.1fs, evaluator WNS %.3f→%.3f TNS %.1f→%.1f",
 		res.Iterations, res.RuntimeSec, res.InitWNS, res.BestWNS, res.InitTNS, res.BestTNS)
+	if res.Cutoff != "" {
+		log.Printf("refinement cut off (%s); keeping best solution so far", res.Cutoff)
+	}
+	if res.Degraded {
+		log.Printf("refinement degraded after %d numerical recoveries; keeping best solution so far", res.Recoveries)
+	}
 	if *trace {
 		tt := report.Table{
 			Title:  "refinement trace (evaluator metrics per iteration)",
@@ -175,7 +207,7 @@ func main() {
 	}
 
 	if *svgPath != "" {
-		if err := writeFile(*svgPath, func(w *os.File) error {
+		if err := writeFile(*svgPath, func(w io.Writer) error {
 			return viz.WriteLayoutSVG(w, smp.Prepared.Design, res.Forest, viz.DefaultLayoutOptions())
 		}); err != nil {
 			log.Fatal(err)
@@ -183,7 +215,7 @@ func main() {
 		log.Printf("layout SVG written to %s", *svgPath)
 	}
 	if *forestPath != "" {
-		if err := writeFile(*forestPath, func(w *os.File) error {
+		if err := writeFile(*forestPath, func(w io.Writer) error {
 			return designio.WriteForestJSON(w, res.Forest)
 		}); err != nil {
 			log.Fatal(err)
@@ -192,16 +224,10 @@ func main() {
 	}
 }
 
-func writeFile(path string, fn func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+// writeFile renders through guard.AtomicWriteFunc so an interrupted run
+// never leaves a half-written artifact behind.
+func writeFile(path string, fn func(io.Writer) error) error {
+	return guard.AtomicWriteFunc(path, fn)
 }
 
 func printReport(name string, r *flow.Report) {

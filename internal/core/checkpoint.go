@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"tsteiner/internal/guard"
+	"tsteiner/internal/rsmt"
+)
+
+// refineState is the checkpointed loop state of refineFrom — everything
+// Algorithm 1 carries across iterations. Positions are stored as raw
+// coordinate vectors; the tree topology is not serialized because it is
+// re-derived deterministically from the starting forest on resume.
+type refineState struct {
+	Iter             int
+	Theta            float64
+	LW, LT           float64
+	CurX, CurY       []float64
+	BestX, BestY     []float64
+	MX, VX           []float64
+	MY, VY           []float64
+	InitWNS, InitTNS float64
+	BestWNS, BestTNS float64
+	History          []IterRecord
+	Recoveries       int
+	Converged        bool
+}
+
+// writeState seals the loop state in a CRC-checksummed envelope and writes
+// it atomically, so a crash mid-write can never leave a checkpoint that
+// both exists and lies.
+func (r *Refiner) writeState(path string, st *refineState) error {
+	return guard.WriteCheckpoint(path, st, r.Opt.Fault)
+}
+
+// readState loads and validates a refinement checkpoint. A missing file
+// returns (nil, nil) — a fresh start; a structurally inconsistent one (for
+// a different design, or with mangled vectors) is a *guard.CorruptError:
+// resuming the wrong state silently would violate the byte-identity
+// contract in the worst possible way.
+func (r *Refiner) readState(path string, nVars int) (*refineState, error) {
+	st := new(refineState)
+	ok, err := guard.ReadCheckpoint(path, st)
+	if err != nil || !ok {
+		return nil, err
+	}
+	vecs := []struct {
+		name string
+		v    []float64
+	}{
+		{"CurX", st.CurX}, {"CurY", st.CurY},
+		{"BestX", st.BestX}, {"BestY", st.BestY},
+		{"MX", st.MX}, {"VX", st.VX}, {"MY", st.MY}, {"VY", st.VY},
+	}
+	for _, w := range vecs {
+		if len(w.v) != nVars {
+			return nil, &guard.CorruptError{
+				Path:   path,
+				Reason: fmt.Sprintf("%s has %d entries, design has %d Steiner vars", w.name, len(w.v), nVars),
+			}
+		}
+	}
+	if st.Iter < 0 || st.Iter != len(st.History) {
+		return nil, &guard.CorruptError{
+			Path:   path,
+			Reason: fmt.Sprintf("iteration counter %d inconsistent with %d history records", st.Iter, len(st.History)),
+		}
+	}
+	return st, nil
+}
+
+// forestAt rebuilds a forest with the starting topology and the
+// checkpointed coordinates.
+func (r *Refiner) forestAt(startForest *rsmt.Forest, xs, ys []float64) (*rsmt.Forest, error) {
+	f := startForest.Clone()
+	_, _, idx := f.SteinerPositions()
+	if err := f.SetSteinerPositions(xs, ys, idx, r.Prep.Design.Die); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

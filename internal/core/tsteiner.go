@@ -20,6 +20,8 @@ import (
 
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
+	"tsteiner/internal/guard"
+	"tsteiner/internal/guard/fault"
 	"tsteiner/internal/obs"
 	"tsteiner/internal/rsmt"
 	"tsteiner/internal/tensor"
@@ -62,6 +64,36 @@ type Options struct {
 	// Ablation switches (all false in the paper's configuration).
 	FixedTheta   float64 // >0 disables Adaptive_Theta and uses this stepsize
 	AlwaysAccept bool    // disables best-solution tracking/restore
+
+	// MaxRecoveries bounds the numerical-recovery policy: when a penalty,
+	// gradient or stepsize goes non-finite, the step is discarded, the
+	// loop rolls back to the tracked best forest and halves θ, and retries
+	// — up to this many times across the run, after which the refiner
+	// returns the best solution so far with Result.Degraded set instead of
+	// an error. The surrogate never corrupts the kept solution.
+	MaxRecoveries int
+
+	// Budget bounds the refinement loop (wall clock and/or iterations,
+	// checked before every iteration). On expiry the loop stops and
+	// returns the best solution so far with Result.Cutoff recording the
+	// reason. nil = unlimited.
+	Budget *guard.Budget
+
+	// CheckpointPath, when non-empty, makes the loop write an atomic,
+	// CRC-checksummed snapshot of its full state (positions, SO moments,
+	// best solution, λ escalation, θ) every CheckpointEvery iterations
+	// (default 1). With Resume set, a valid checkpoint at that path is
+	// loaded and the run continues from it — byte-identical to a run that
+	// was never interrupted. A corrupt checkpoint fails loudly with a
+	// *guard.CorruptError; a missing one starts fresh.
+	CheckpointPath  string
+	CheckpointEvery int
+	Resume          bool
+
+	// Fault is the deterministic fault injector (nil in production, zero
+	// overhead). Armed sites: "core.nan" poisons the iteration's gradient,
+	// "core.stall" delays an iteration past a wall-clock budget.
+	Fault *fault.Injector
 }
 
 // DefaultOptions mirrors the paper's experiment settings.
@@ -80,6 +112,7 @@ func DefaultOptions() Options {
 		EscalateRate:   0.01,
 		MaxMoveDBU:     8,
 		TrustRadiusDBU: 12,
+		MaxRecoveries:  3,
 	}
 }
 
@@ -99,6 +132,15 @@ type Result struct {
 	ConvergedByRatio bool
 	RuntimeSec       float64
 	History          []IterRecord
+
+	// Degraded is set when the numerical-recovery budget was exhausted:
+	// the returned forest is the tracked best solution, which is always
+	// finite and valid, but the loop stopped early. Recoveries counts how
+	// many non-finite steps were discarded (0 in a healthy run). Cutoff,
+	// when non-empty, records why the budget stopped the loop.
+	Degraded   bool
+	Recoveries int
+	Cutoff     string
 }
 
 // Refiner bundles the trained evaluator with a design's batch.
@@ -288,19 +330,34 @@ func (r *Refiner) adaptiveTheta(f *rsmt.Forest) (float64, error) {
 		ggy := gy1[i] - gy0[i]
 		dGrad += ggx*ggx + ggy*ggy
 	}
-	if dGrad < 1e-30 || dPos < 1e-30 {
-		// Flat landscape: fall back to a GCell-scale stepsize so the
-		// first iterations still explore.
+	theta := math.Sqrt(dPos) / math.Sqrt(dGrad)
+	if dGrad < 1e-30 || dPos < 1e-30 || !finite(theta) ||
+		!finiteAll(gx0) || !finiteAll(gy0) || !finiteAll(gx1) || !finiteAll(gy1) {
+		// Flat landscape — or a non-finite probe, which the secant
+		// quotient must never propagate into the loop: fall back to a
+		// GCell-scale stepsize so the first iterations still explore.
+		r.sink().Add("core.theta_fallbacks", 1)
 		return float64(r.Prep.Config.GCellSize), nil
 	}
-	return math.Sqrt(dPos) / math.Sqrt(dGrad), nil
+	return theta, nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func finiteAll(vals []float64) bool {
+	for _, v := range vals {
+		if !finite(v) {
+			return false
+		}
+	}
+	return true
 }
 
 // Refine runs Algorithm 1 from the prepared forest and returns the
 // refined forest (positions are continuous; callers round via
 // flow.Signoff's post-processing).
 func (r *Refiner) Refine() (*Result, error) {
-	return r.refineFrom(r.Prep.Forest)
+	return r.refineFrom(r.Prep.Forest, r.Opt.CheckpointPath)
 }
 
 // RefineRounds runs successive refinement rounds, re-anchoring the trust
@@ -316,7 +373,11 @@ func (r *Refiner) RefineRounds(rounds int) (*Result, error) {
 	start := r.Prep.Forest
 	var agg *Result
 	for k := 0; k < rounds; k++ {
-		res, err := r.refineFrom(start)
+		ckpt := r.Opt.CheckpointPath
+		if ckpt != "" {
+			ckpt = fmt.Sprintf("%s.r%d", ckpt, k)
+		}
+		res, err := r.refineFrom(start, ckpt)
 		if err != nil {
 			return nil, err
 		}
@@ -330,34 +391,29 @@ func (r *Refiner) RefineRounds(rounds int) (*Result, error) {
 			agg.BestTNS = res.BestTNS
 			agg.ConvergedByRatio = res.ConvergedByRatio
 			agg.Forest = res.Forest
+			agg.Degraded = agg.Degraded || res.Degraded
+			agg.Recoveries += res.Recoveries
+			agg.Cutoff = res.Cutoff
 		}
 		start = res.Forest
+		// A spent budget stops the round sequence too: later rounds would
+		// cut off immediately and pollute the aggregate history.
+		if res.Cutoff != "" {
+			break
+		}
 	}
 	return agg, nil
 }
 
-// refineFrom runs Algorithm 1 anchored at the given starting forest.
-func (r *Refiner) refineFrom(startForest *rsmt.Forest) (*Result, error) {
+// refineFrom runs Algorithm 1 anchored at the given starting forest,
+// checkpointing loop state to ckptPath ("" = no checkpoints) and — when
+// Options.Resume is set — continuing from a valid checkpoint found there.
+func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result, error) {
 	t0 := time.Now()
 	span := r.sink().Start("core.refine")
 	defer span.End()
 	opt := r.Opt
-	cur := startForest.Clone()
-
-	initWNS, initTNS, err := r.evalMetrics(cur)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{InitWNS: initWNS, InitTNS: initTNS, BestWNS: initWNS, BestTNS: initTNS}
-
-	theta := opt.FixedTheta
-	if theta <= 0 {
-		theta, err = r.adaptiveTheta(cur)
-		if err != nil {
-			return nil, err
-		}
-	}
-
+	opt.Budget.Start()
 	nVars := r.Batch.NSteiner
 	mX := make([]float64, nVars)
 	vX := make([]float64, nVars)
@@ -366,13 +422,108 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest) (*Result, error) {
 	// Trust-region anchors: the round's starting positions.
 	x0, y0, _ := startForest.SteinerPositions()
 
-	lw, lt := opt.LambdaW, opt.LambdaT
-	best := cur.Clone()
+	every := opt.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	var st *refineState
+	if opt.Resume && ckptPath != "" {
+		var err error
+		st, err = r.readState(ckptPath, nVars)
+		if err != nil {
+			return nil, err
+		}
+	}
 
-	for t := 0; t < opt.N; t++ {
+	res := &Result{}
+	var cur, best *rsmt.Forest
+	var theta, lw, lt float64
+	startIter := 0
+	if st != nil {
+		// Resume: the loop state is exactly what the interrupted run
+		// carried at iteration st.Iter, so continuing is byte-identical
+		// to never having been interrupted.
+		var err error
+		if cur, err = r.forestAt(startForest, st.CurX, st.CurY); err != nil {
+			return nil, err
+		}
+		if best, err = r.forestAt(startForest, st.BestX, st.BestY); err != nil {
+			return nil, err
+		}
+		copy(mX, st.MX)
+		copy(vX, st.VX)
+		copy(mY, st.MY)
+		copy(vY, st.VY)
+		theta, lw, lt = st.Theta, st.LW, st.LT
+		startIter = st.Iter
+		res.InitWNS, res.InitTNS = st.InitWNS, st.InitTNS
+		res.BestWNS, res.BestTNS = st.BestWNS, st.BestTNS
+		res.History = st.History
+		res.Iterations = st.Iter
+		res.Recoveries = st.Recoveries
+		res.ConvergedByRatio = st.Converged
+		r.sink().Add("core.resumes", 1)
+		r.sink().Event("core.resume", obs.KV{K: "iter", V: st.Iter}, obs.KV{K: "path", V: ckptPath})
+	} else {
+		cur = startForest.Clone()
+		initWNS, initTNS, err := r.evalMetrics(cur)
+		if err != nil {
+			return nil, err
+		}
+		res.InitWNS, res.InitTNS = initWNS, initTNS
+		res.BestWNS, res.BestTNS = initWNS, initTNS
+		theta = opt.FixedTheta
+		if theta <= 0 {
+			theta, err = r.adaptiveTheta(cur)
+			if err != nil {
+				return nil, err
+			}
+		}
+		lw, lt = opt.LambdaW, opt.LambdaT
+		best = cur.Clone()
+	}
+	initWNS, initTNS := res.InitWNS, res.InitTNS
+	recoveries := res.Recoveries
+
+	for t := startIter; t < opt.N && !res.ConvergedByRatio; t++ {
+		if reason, over := opt.Budget.Exceeded(t); over {
+			res.Cutoff = reason
+			r.sink().Add("core.budget_cutoffs", 1)
+			r.sink().Event("core.cutoff", obs.KV{K: "iter", V: t}, obs.KV{K: "reason", V: reason})
+			break
+		}
+		opt.Fault.Stall("core.stall")
 		gx, gy, penalty, err := r.gradients(cur, lw, lt)
 		if err != nil {
 			return nil, err
+		}
+		if opt.Fault.Fire("core.nan") && len(gx) > 0 {
+			gx[0] = math.NaN()
+		}
+		if !finite(penalty) || !finite(theta) || !finiteAll(gx) || !finiteAll(gy) {
+			// Numerical recovery: discard the poisoned step, roll back to
+			// the tracked best solution, shrink the stepsize and retry.
+			// The best forest is only ever assigned finite, accepted
+			// candidates, so rollback is always safe.
+			recoveries++
+			res.Recoveries = recoveries
+			r.sink().Add("core.recoveries", 1)
+			r.sink().Event("core.recover",
+				obs.KV{K: "iter", V: t},
+				obs.KV{K: "recoveries", V: recoveries},
+				obs.KV{K: "theta", V: theta})
+			if recoveries > opt.MaxRecoveries {
+				res.Degraded = true
+				break
+			}
+			cur = best.Clone()
+			if !finite(theta) {
+				theta = float64(r.Prep.Config.GCellSize)
+			} else {
+				theta /= 2
+			}
+			t--
+			continue
 		}
 		cand := cur.Clone()
 		xs, ys, idx := cand.SteinerPositions()
@@ -457,7 +608,22 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest) (*Result, error) {
 
 		if ratioImproved(initWNS, res.BestWNS, opt.Mu) || ratioImproved(initTNS, res.BestTNS, opt.Mu) {
 			res.ConvergedByRatio = true
-			break
+		}
+		if ckptPath != "" && ((t+1)%every == 0 || res.ConvergedByRatio) {
+			cx, cy, _ := cur.SteinerPositions()
+			bx, by, _ := best.SteinerPositions()
+			snap := &refineState{
+				Iter: t + 1, Theta: theta, LW: lw, LT: lt,
+				CurX: cx, CurY: cy, BestX: bx, BestY: by,
+				MX: mX, VX: vX, MY: mY, VY: vY,
+				InitWNS: initWNS, InitTNS: initTNS,
+				BestWNS: res.BestWNS, BestTNS: res.BestTNS,
+				History: res.History, Recoveries: recoveries,
+				Converged: res.ConvergedByRatio,
+			}
+			if err := r.writeState(ckptPath, snap); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -483,9 +649,11 @@ func clampTo(v, lo, hi float64) float64 {
 
 // ratioImproved implements Algorithm 1 line 19: (init − best)/init > μ.
 // With negative metrics this is the fractional improvement toward zero;
-// non-negative initial metrics cannot trigger it.
+// non-negative, zero or non-finite initial metrics cannot trigger it (a
+// NaN or ±Inf metric must never fake convergence), and a non-finite best
+// metric never counts as an improvement.
 func ratioImproved(init, best, mu float64) bool {
-	if init >= 0 {
+	if !finite(init) || !finite(best) || init >= 0 {
 		return false
 	}
 	return (init-best)/init > mu

@@ -9,10 +9,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 
 	"tsteiner/internal/geom"
+	"tsteiner/internal/guard"
 	"tsteiner/internal/lib"
 	"tsteiner/internal/netlist"
 	"tsteiner/internal/rsmt"
@@ -99,12 +101,36 @@ func pinRef(d *netlist.Design, pid netlist.PinID) string {
 	return d.Cell(p.Cell).Name + "/" + d.MasterPinName(pid)
 }
 
+// WriteJSONFile serializes d to path atomically (temp file + rename), so
+// a crash mid-write never leaves a truncated design file behind.
+func WriteJSONFile(path string, d *netlist.Design) error {
+	return guard.AtomicWriteFunc(path, func(w io.Writer) error { return WriteJSON(w, d) })
+}
+
+// ReadJSONFile loads a design from path; decode failures carry the path.
+func ReadJSONFile(path string, l *lib.Library) (*netlist.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := ReadJSON(f, l)
+	if err != nil {
+		if ce, ok := err.(*guard.CorruptError); ok && ce.Path == "" {
+			ce.Path = path
+		}
+		return nil, err
+	}
+	return d, nil
+}
+
 // ReadJSON reconstructs a design against the given library, revalidating
-// structure and reapplying placement.
+// structure and reapplying placement. Truncated or malformed JSON is
+// rejected with a *guard.CorruptError instead of a partial decode.
 func ReadJSON(r io.Reader, l *lib.Library) (*netlist.Design, error) {
 	var in jsonDesign
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("designio: %w", err)
+		return nil, &guard.CorruptError{Path: "", Reason: "truncated or malformed design JSON", Err: err}
 	}
 	b := netlist.NewBuilder(in.Name, l)
 	if in.ClockNS > 0 {
@@ -294,6 +320,29 @@ type jsonForest struct {
 	Trees []jsonForestTree
 }
 
+// WriteForestJSONFile serializes a forest to path atomically.
+func WriteForestJSONFile(path string, f *rsmt.Forest) error {
+	return guard.AtomicWriteFunc(path, func(w io.Writer) error { return WriteForestJSON(w, f) })
+}
+
+// ReadForestJSONFile loads a forest from path; decode failures carry the
+// path.
+func ReadForestJSONFile(path string, d *netlist.Design) (*rsmt.Forest, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	f, err := ReadForestJSON(r, d)
+	if err != nil {
+		if ce, ok := err.(*guard.CorruptError); ok && ce.Path == "" {
+			ce.Path = path
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
 // WriteForestJSON serializes a Steiner forest (checkpointing refined
 // solutions).
 func WriteForestJSON(w io.Writer, f *rsmt.Forest) error {
@@ -318,10 +367,11 @@ func WriteForestJSON(w io.Writer, f *rsmt.Forest) error {
 }
 
 // ReadForestJSON loads a forest and validates it against the design.
+// Truncated or malformed JSON is rejected with a *guard.CorruptError.
 func ReadForestJSON(r io.Reader, d *netlist.Design) (*rsmt.Forest, error) {
 	var in jsonForest
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("designio: %w", err)
+		return nil, &guard.CorruptError{Path: "", Reason: "truncated or malformed forest JSON", Err: err}
 	}
 	f := &rsmt.Forest{}
 	for _, jt := range in.Trees {

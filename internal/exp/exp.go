@@ -7,6 +7,7 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 
 	"tsteiner/internal/core"
@@ -53,6 +54,13 @@ type Config struct {
 	// into Flow.Obs and Train.Obs unless those are already set. A strict
 	// side channel: tables and figures are byte-identical either way.
 	Obs *obs.Sink
+	// CheckpointDir, when non-empty, makes the suite write CRC-checksummed
+	// checkpoints: one for evaluator training, one per design for the
+	// TSteiner refinement runs. With Resume set, valid checkpoints found
+	// there are restored — the suite's tables stay byte-identical to an
+	// uninterrupted run.
+	CheckpointDir string
+	Resume        bool
 }
 
 // Default returns the full-scale configuration.
@@ -110,6 +118,10 @@ func NewSuite(cfg Config) (*Suite, error) {
 	}
 	if cfg.Train.Obs == nil {
 		cfg.Train.Obs = cfg.Obs
+	}
+	if cfg.CheckpointDir != "" && cfg.Train.CheckpointPath == "" {
+		cfg.Train.CheckpointPath = filepath.Join(cfg.CheckpointDir, "train.ckpt")
+		cfg.Train.Resume = cfg.Resume
 	}
 	all := synth.Benchmarks()
 	var specs []synth.Spec
@@ -242,7 +254,14 @@ func (s *Suite) Model() (*gnn.Model, error) {
 // re-tapes its parameter tensors — concurrent callers must pass their own
 // gnn.Model clone.
 func (s *Suite) runTSteiner(smp *train.Sample, m *gnn.Model) (*tsRun, error) {
-	ref, err := core.NewRefiner(m, smp.Batch, smp.Prepared, s.cfg.Refine)
+	opt := s.cfg.Refine
+	if s.cfg.CheckpointDir != "" && opt.CheckpointPath == "" {
+		// One checkpoint per design: refinement runs fan out in parallel
+		// and must never share a file.
+		opt.CheckpointPath = filepath.Join(s.cfg.CheckpointDir, "refine-"+smp.Name+".ckpt")
+		opt.Resume = s.cfg.Resume
+	}
+	ref, err := core.NewRefiner(m, smp.Batch, smp.Prepared, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,8 @@ import (
 
 	"tsteiner/internal/drc"
 	"tsteiner/internal/grid"
+	"tsteiner/internal/guard"
+	"tsteiner/internal/guard/fault"
 	"tsteiner/internal/lib"
 	"tsteiner/internal/netlist"
 	"tsteiner/internal/obs"
@@ -47,6 +49,28 @@ type Config struct {
 	// Obs receives phase spans and counters (nil = telemetry off). A
 	// strict side channel: enabling it never changes any flow output.
 	Obs *obs.Sink
+	// Budget bounds the pipeline by wall clock, checked at phase
+	// boundaries (place, Steiner construction, routing, extraction, STA).
+	// The flow has no meaningful partial result, so expiry fails cleanly
+	// with a *guard.BudgetError naming the phase. nil = unlimited.
+	Budget *guard.Budget
+	// Fault is the deterministic fault injector (nil in production). The
+	// "flow.stall" site delays a phase boundary, which is how the tests
+	// push a run past its wall budget without real-time sleeps mid-phase.
+	Fault *fault.Injector
+}
+
+// phaseGate is the phase-boundary guard: it applies any injected stall,
+// then checks the wall budget. Both are single nil tests when no guard is
+// armed, so the healthy path pays nothing.
+func (cfg *Config) phaseGate(phase string) error {
+	cfg.Fault.Stall("flow.stall")
+	if reason, over := cfg.Budget.ExceededWall(); over {
+		cfg.Obs.Add("flow.budget_cutoffs", 1)
+		cfg.Obs.Event("flow.cutoff", obs.KV{K: "phase", V: phase}, obs.KV{K: "reason", V: reason})
+		return &guard.BudgetError{Phase: phase, Reason: reason}
+	}
+	return nil
 }
 
 // DefaultConfig returns the pipeline settings used by every experiment.
@@ -104,6 +128,10 @@ func Prepare(d *netlist.Design, l *lib.Library, cfg Config) (*Prepared, error) {
 	t0 := time.Now()
 	root := cfg.Obs.Start("flow.prepare")
 	defer root.End()
+	cfg.Budget.Start()
+	if err := cfg.phaseGate("place"); err != nil {
+		return nil, err
+	}
 	sp := root.Child("place")
 	_, err := place.Place(d, cfg.Place)
 	sp.End()
@@ -112,6 +140,9 @@ func Prepare(d *netlist.Design, l *lib.Library, cfg Config) (*Prepared, error) {
 	}
 	if cfg.RSMT.Workers == 0 {
 		cfg.RSMT.Workers = cfg.Workers
+	}
+	if err := cfg.phaseGate("rsmt"); err != nil {
+		return nil, err
 	}
 	sp = root.Child("rsmt")
 	f, err := rsmt.BuildAll(d, cfg.RSMT)
@@ -148,8 +179,12 @@ func PrepareKeepPlacement(d *netlist.Design, l *lib.Library, cfg Config) (*Prepa
 	}
 	root := cfg.Obs.Start("flow.prepare")
 	defer root.End()
+	cfg.Budget.Start()
 	if cfg.RSMT.Workers == 0 {
 		cfg.RSMT.Workers = cfg.Workers
+	}
+	if err := cfg.phaseGate("rsmt"); err != nil {
+		return nil, err
 	}
 	sp := root.Child("rsmt")
 	f, err := rsmt.BuildAll(d, cfg.RSMT)
@@ -228,6 +263,7 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	cfg := p.Config
 	root := cfg.Obs.Start("flow.signoff")
 	defer root.End()
+	cfg.Budget.Start()
 
 	rounded := f.Clone()
 	rounded.RoundPositions()
@@ -235,6 +271,9 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	var preStaSec float64
 	routeOpt := cfg.Route
 	if cfg.TimingDrivenRoute {
+		if err := cfg.phaseGate("presta"); err != nil {
+			return nil, nil, err
+		}
 		// Pre-routing STA over tree geometry yields per-net criticality
 		// for most-critical-first net ordering.
 		sp := root.Child("presta")
@@ -254,6 +293,9 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 		routeOpt.NetPriority = pre.NetCriticality(d)
 	}
 
+	if err := cfg.phaseGate("gr"); err != nil {
+		return nil, nil, err
+	}
 	g, err := grid.New(d.Die, cfg.GCellSize, cfg.LayerCaps)
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: grid: %w", err)
@@ -269,6 +311,9 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	cfg.Obs.Add("flow.gr_runs", 1)
 	cfg.Obs.Observe("flow.gr_overflow", float64(gr.Overflow))
 
+	if err := cfg.phaseGate("dr"); err != nil {
+		return nil, nil, err
+	}
 	sp = root.Child("dr")
 	dres, err := drc.Run(d, g, gr, cfg.DRC)
 	sp.End()
@@ -278,6 +323,9 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	cfg.Obs.Add("flow.dr_runs", 1)
 	cfg.Obs.Observe("flow.dr_drvs", float64(dres.DRVs))
 
+	if err := cfg.phaseGate("extract"); err != nil {
+		return nil, nil, err
+	}
 	sp = root.Child("extract")
 	t0 = time.Now()
 	rcs, err := rc.Extract(d, rounded, g, gr, p.Lib)
@@ -285,6 +333,9 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: extract: %w", err)
+	}
+	if err := cfg.phaseGate("sta"); err != nil {
+		return nil, nil, err
 	}
 	sp = root.Child("sta")
 	t0 = time.Now()

@@ -1,0 +1,70 @@
+package flow
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tsteiner/internal/guard"
+	"tsteiner/internal/guard/fault"
+)
+
+// TestSignoffBudgetFailsCleanly: an expired wall budget stops the pipeline
+// at the next phase boundary with a typed error naming the phase.
+func TestSignoffBudgetFailsCleanly(t *testing.T) {
+	p, err := PrepareBenchmark("spm", 1.0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &guard.Budget{Wall: time.Nanosecond}
+	b.Start()
+	time.Sleep(time.Millisecond)
+	p.Config.Budget = b
+	_, _, err = SignoffTiming(p, p.Forest)
+	var be *guard.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *guard.BudgetError", err)
+	}
+	if be.Phase != "gr" {
+		t.Fatalf("expired budget reached phase %q, want gr", be.Phase)
+	}
+}
+
+// TestPrepareBudgetFailsCleanly: the prepare stages honor the budget too.
+func TestPrepareBudgetFailsCleanly(t *testing.T) {
+	b := &guard.Budget{Wall: time.Nanosecond}
+	b.Start()
+	time.Sleep(time.Millisecond)
+	cfg := DefaultConfig()
+	cfg.Budget = b
+	_, err := PrepareBenchmark("spm", 1.0, cfg)
+	var be *guard.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *guard.BudgetError", err)
+	}
+	if be.Phase != "place" {
+		t.Fatalf("expired budget reached phase %q, want place", be.Phase)
+	}
+}
+
+// TestSignoffStallTripsWallBudget: an injected stall at the first phase
+// boundary pushes the run past its wall budget, so a later boundary cuts
+// the run off — the mechanism a hung phase would trigger in production.
+func TestSignoffStallTripsWallBudget(t *testing.T) {
+	p, err := PrepareBenchmark("spm", 1.0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(5)
+	inj.ArmStall("flow.stall", 2, 250*time.Millisecond)
+	p.Config.Fault = inj
+	p.Config.Budget = &guard.Budget{Wall: 200 * time.Millisecond}
+	_, _, err = SignoffTiming(p, p.Forest)
+	var be *guard.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *guard.BudgetError", err)
+	}
+	if be.Phase != "dr" {
+		t.Fatalf("cutoff at phase %q, want dr (the stalled boundary)", be.Phase)
+	}
+}

@@ -1,0 +1,94 @@
+package gnn
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tsteiner/internal/guard"
+)
+
+// TestLoadRejectsCorruptModelFault: a truncated or garbled model file must
+// be rejected with a *guard.CorruptError, never a partial decode.
+func TestLoadRejectsCorruptModelFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	m := NewModel(DefaultConfig(), 42)
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated": data[:len(data)/2],
+		"garbage":   []byte("{{{{"),
+		"empty":     nil,
+	}
+	for name, bad := range cases {
+		p := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(p)
+		var ce *guard.CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: got %v, want *guard.CorruptError", name, err)
+		}
+	}
+}
+
+// TestSaveIsAtomic: saving over an existing model file must leave no temp
+// litter, and the destination always parses.
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	for seed := int64(1); seed <= 3; seed++ {
+		if err := NewModel(DefaultConfig(), seed).Save(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries, want only the model file", len(ents))
+	}
+}
+
+// TestSnapshotRestoreParams round-trips parameter values and rejects
+// mismatched shapes.
+func TestSnapshotRestoreParams(t *testing.T) {
+	m := NewModel(DefaultConfig(), 7)
+	snap := m.SnapshotParams()
+	other := NewModel(DefaultConfig(), 8)
+	if err := other.RestoreParams(snap); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := m.Params(), other.Params()
+	for i := range pa {
+		for j := range pa[i].Data {
+			if pa[i].Data[j] != pb[i].Data[j] {
+				t.Fatalf("param %d differs after restore", i)
+			}
+		}
+	}
+	// Mutating the snapshot must not alias the source model.
+	snap[0][0] = 1e9
+	if pa[0].Data[0] == 1e9 {
+		t.Fatal("snapshot aliases model data")
+	}
+	if err := other.RestoreParams(snap[:1]); err == nil {
+		t.Fatal("restore accepted short snapshot")
+	}
+	snap[1] = snap[1][:1]
+	if err := other.RestoreParams(snap); err == nil {
+		t.Fatal("restore accepted short tensor")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 
+	"tsteiner/internal/guard"
 	"tsteiner/internal/tensor"
 )
 
@@ -122,6 +123,35 @@ func (m *Model) Clone() *Model {
 		copy(dst[i].Data, p.Data)
 	}
 	return c
+}
+
+// SnapshotParams deep-copies every trainable tensor's values in Params()
+// order — the model half of a training checkpoint.
+func (m *Model) SnapshotParams() [][]float64 {
+	ps := m.Params()
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		out[i] = append([]float64(nil), p.Data...)
+	}
+	return out
+}
+
+// RestoreParams overwrites the trainable tensors from a snapshot taken on
+// an identically-configured model.
+func (m *Model) RestoreParams(vals [][]float64) error {
+	ps := m.Params()
+	if len(vals) != len(ps) {
+		return fmt.Errorf("gnn: snapshot has %d tensors, want %d", len(vals), len(ps))
+	}
+	for i, p := range ps {
+		if len(vals[i]) != p.Len() {
+			return fmt.Errorf("gnn: snapshot tensor %d has %d values, want %d", i, len(vals[i]), p.Len())
+		}
+	}
+	for i, p := range ps {
+		copy(p.Data, vals[i])
+	}
+	return nil
 }
 
 // Params returns every trainable tensor.
@@ -693,7 +723,9 @@ type modelJSON struct {
 	Shapes [][2]int
 }
 
-// Save writes the model to path as JSON.
+// Save writes the model to path as JSON. The write is atomic (temp file +
+// rename), so a crash mid-save leaves the previous model file intact
+// instead of a truncated one.
 func (m *Model) Save(path string) error {
 	js := modelJSON{Cfg: m.Cfg}
 	for _, p := range m.Params() {
@@ -704,10 +736,11 @@ func (m *Model) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return guard.AtomicWriteFile(path, data, 0o644)
 }
 
-// Load reads a model saved by Save.
+// Load reads a model saved by Save. A truncated or structurally invalid
+// file is rejected with a *guard.CorruptError — never a partial decode.
 func Load(path string) (*Model, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -715,16 +748,20 @@ func Load(path string) (*Model, error) {
 	}
 	var js modelJSON
 	if err := json.Unmarshal(data, &js); err != nil {
-		return nil, err
+		return nil, &guard.CorruptError{Path: path, Reason: "truncated or malformed model JSON", Err: err}
 	}
 	m := NewModel(js.Cfg, 0)
 	ps := m.Params()
-	if len(js.Params) != len(ps) {
-		return nil, fmt.Errorf("gnn: saved model has %d tensors, want %d", len(js.Params), len(ps))
+	if len(js.Params) != len(ps) || len(js.Shapes) != len(ps) {
+		return nil, &guard.CorruptError{Path: path,
+			Reason: fmt.Sprintf("saved model has %d tensors, want %d", len(js.Params), len(ps))}
 	}
 	for i, p := range ps {
 		if js.Shapes[i] != [2]int{p.Rows, p.Cols} {
-			return nil, fmt.Errorf("gnn: tensor %d shape mismatch", i)
+			return nil, &guard.CorruptError{Path: path, Reason: fmt.Sprintf("tensor %d shape mismatch", i)}
+		}
+		if len(js.Params[i]) != p.Len() {
+			return nil, &guard.CorruptError{Path: path, Reason: fmt.Sprintf("tensor %d has %d values, want %d", i, len(js.Params[i]), p.Len())}
 		}
 		copy(p.Data, js.Params[i])
 	}

@@ -1,0 +1,53 @@
+package guard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes data to path via a temp file in the same
+// directory followed by os.Rename, so readers never observe a partial
+// file: they see either the previous content or the complete new one.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("guard: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("guard: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		cleanup()
+		return fmt.Errorf("guard: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("guard: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("guard: atomic write %s: %w", path, err)
+	}
+	return nil
+}
+
+// AtomicWriteFunc renders through fn into memory and writes the result
+// atomically — the adapter for the io.Writer-shaped serializers
+// (designio.WriteJSON, gnn model saves, SVG emitters).
+func AtomicWriteFunc(path string, fn func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := fn(&buf); err != nil {
+		return err
+	}
+	return AtomicWriteFile(path, buf.Bytes(), 0o644)
+}

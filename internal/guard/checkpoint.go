@@ -1,0 +1,82 @@
+package guard
+
+import (
+	"encoding/json"
+	"hash/crc32"
+	"os"
+
+	"tsteiner/internal/guard/fault"
+)
+
+// checkpointMagic identifies a guard checkpoint envelope; Version gates
+// future schema migrations.
+const (
+	checkpointMagic   = "tsteiner-ckpt"
+	checkpointVersion = 1
+)
+
+// envelope wraps a checkpoint payload with a CRC32 (IEEE) checksum so a
+// torn write on a non-atomic filesystem — or a fault-injected truncation —
+// is detected on load instead of decoded partially.
+type envelope struct {
+	Magic   string
+	Version int
+	CRC     uint32
+	Payload json.RawMessage
+}
+
+// WriteCheckpoint marshals v, seals it in a checksummed envelope and
+// writes it atomically. inj (nil in production) exercises the torn-write
+// path: when the "guard.ckpt.truncate" site fires, only half the envelope
+// reaches the file, which ReadCheckpoint must then reject.
+func WriteCheckpoint(path string, v any, inj *fault.Injector) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	env := envelope{
+		Magic:   checkpointMagic,
+		Version: checkpointVersion,
+		CRC:     crc32.ChecksumIEEE(payload),
+		Payload: payload,
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if inj.Fire("guard.ckpt.truncate") {
+		data = data[:len(data)/2]
+	}
+	return AtomicWriteFile(path, data, 0o644)
+}
+
+// ReadCheckpoint loads a checkpoint into v. A missing file returns
+// (false, nil) — a fresh start, not an error. Truncation, checksum
+// mismatch or schema drift return a *CorruptError: resuming from a bad
+// checkpoint must fail loudly, never silently restart.
+func ReadCheckpoint(path string, v any) (bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return false, &CorruptError{Path: path, Reason: "truncated or malformed envelope", Err: err}
+	}
+	if env.Magic != checkpointMagic {
+		return false, &CorruptError{Path: path, Reason: "not a checkpoint file"}
+	}
+	if env.Version != checkpointVersion {
+		return false, &CorruptError{Path: path, Reason: "unsupported checkpoint version"}
+	}
+	if got := crc32.ChecksumIEEE(env.Payload); got != env.CRC {
+		return false, &CorruptError{Path: path, Reason: "payload checksum mismatch"}
+	}
+	if err := json.Unmarshal(env.Payload, v); err != nil {
+		return false, &CorruptError{Path: path, Reason: "payload decode failed", Err: err}
+	}
+	return true, nil
+}

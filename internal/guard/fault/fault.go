@@ -1,0 +1,159 @@
+// Package fault is the repository's deterministic fault-injection
+// substrate: a nil-safe Injector that instrumented call sites consult at
+// named sites ("core.nan", "train.nan", "guard.ckpt.truncate", ...). A nil
+// *Injector is the production default and makes every consult a single nil
+// check — the same zero-overhead contract as the nil *obs.Sink.
+//
+// Determinism contract: whether a site fires depends only on the armed
+// rules, the site's consult count and the injector seed — never on wall
+// clock, goroutine identity or scheduling. Two runs with the same injector
+// configuration observe the same fault sequence at every site whose
+// consult order is itself deterministic (which the par/obs determinism
+// invariants guarantee for every instrumented site in this repository).
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// rule arms one site. Hits are 1-based consult counts.
+type rule struct {
+	from, to int     // fire when from <= hit <= to (to == 0: exactly from; to < 0: forever)
+	prob     float64 // >0: fire pseudo-randomly with this per-hit probability instead
+	stall    time.Duration
+}
+
+// Injector holds the armed fault rules and per-site consult counters. It is
+// safe for concurrent use: parallel workers may consult the same site.
+type Injector struct {
+	seed int64
+
+	mu    sync.Mutex
+	rules map[string]*rule
+	hits  map[string]int
+}
+
+// New returns an empty injector. The seed drives the per-site pseudo-random
+// streams used by ArmProb; sites armed with Arm/ArmFrom fire on exact
+// consult counts and ignore it.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, rules: map[string]*rule{}, hits: map[string]int{}}
+}
+
+// Arm makes site fire exactly on its nth consult (1-based).
+func (in *Injector) Arm(site string, nth int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rules[site] = &rule{from: nth}
+	in.mu.Unlock()
+}
+
+// ArmFrom makes site fire on every consult from the nth on (1-based) —
+// a persistent fault, e.g. a surrogate that stays non-finite.
+func (in *Injector) ArmFrom(site string, nth int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rules[site] = &rule{from: nth, to: -1}
+	in.mu.Unlock()
+}
+
+// ArmProb makes site fire pseudo-randomly with probability p per consult,
+// deterministically derived from (seed, site, consult index).
+func (in *Injector) ArmProb(site string, p float64) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rules[site] = &rule{prob: p}
+	in.mu.Unlock()
+}
+
+// ArmStall makes Stall(site) sleep for d on the nth consult (1-based) —
+// the "task stalls past the budget" fault.
+func (in *Injector) ArmStall(site string, nth int, d time.Duration) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rules[site] = &rule{from: nth, stall: d}
+	in.mu.Unlock()
+}
+
+// Fire consults a site: it increments the site's hit counter and reports
+// whether an armed rule fires on this hit. Unarmed sites never fire (but
+// still count, so arming mid-run composes predictably in tests).
+func (in *Injector) Fire(site string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[site]++
+	h := in.hits[site]
+	r := in.rules[site]
+	if r == nil {
+		return false
+	}
+	if r.prob > 0 {
+		return siteRand(in.seed, site, h) < r.prob
+	}
+	switch {
+	case r.to < 0:
+		return h >= r.from
+	case r.to == 0:
+		return h == r.from
+	default:
+		return h >= r.from && h <= r.to
+	}
+}
+
+// Stall consults a site armed with ArmStall and sleeps when it fires.
+// Unarmed or non-firing consults return immediately.
+func (in *Injector) Stall(site string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.hits[site]++
+	h := in.hits[site]
+	r := in.rules[site]
+	var d time.Duration
+	if r != nil && r.stall > 0 && h == r.from {
+		d = r.stall
+	}
+	in.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Hits reports how many times a site has been consulted (test introspection).
+func (in *Injector) Hits(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// siteRand maps (seed, site, hit) to a uniform [0,1) float with a
+// SplitMix64-style mix over an FNV-1a hash of the site name — no shared
+// RNG stream, so concurrent sites stay independent and reproducible.
+func siteRand(seed int64, site string, hit int) float64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	z := uint64(seed) ^ h ^ (0x9e3779b97f4a7c15 * uint64(hit+1))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

@@ -1,0 +1,142 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	in.Arm("x", 1)
+	in.ArmFrom("x", 1)
+	in.ArmStall("x", 1, time.Hour)
+	if in.Fire("x") {
+		t.Fatal("nil injector fired")
+	}
+	in.Stall("x") // must return immediately
+	if in.Hits("x") != 0 {
+		t.Fatal("nil injector counted hits")
+	}
+}
+
+func TestArmFiresExactlyOnce(t *testing.T) {
+	in := New(1)
+	in.Arm("site", 3)
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if in.Fire("site") {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("fired at %v, want [3]", fired)
+	}
+	if in.Hits("site") != 6 {
+		t.Fatalf("hits %d, want 6", in.Hits("site"))
+	}
+}
+
+func TestArmFromFiresPersistently(t *testing.T) {
+	in := New(1)
+	in.ArmFrom("site", 4)
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if in.Fire("site") {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{4, 5, 6}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestUnarmedSitesCountButNeverFire(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 10; i++ {
+		if in.Fire("quiet") {
+			t.Fatal("unarmed site fired")
+		}
+	}
+	if in.Hits("quiet") != 10 {
+		t.Fatalf("hits %d, want 10", in.Hits("quiet"))
+	}
+}
+
+func TestArmProbIsDeterministicAndSeeded(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed)
+		in.ArmProb("p", 0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("p")
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different fault sequences")
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-draw sequences")
+	}
+	n := 0
+	for _, f := range a {
+		if f {
+			n++
+		}
+	}
+	if n < 16 || n > 48 {
+		t.Fatalf("p=0.5 fired %d/64 times — stream badly skewed", n)
+	}
+}
+
+func TestStallSleepsOnlyWhenArmedHitMatches(t *testing.T) {
+	in := New(1)
+	in.ArmStall("s", 2, 30*time.Millisecond)
+	t0 := time.Now()
+	in.Stall("s") // hit 1: no sleep
+	if d := time.Since(t0); d > 20*time.Millisecond {
+		t.Fatalf("unfired stall slept %v", d)
+	}
+	t0 = time.Now()
+	in.Stall("s") // hit 2: sleeps
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("armed stall slept only %v", d)
+	}
+}
+
+func TestInjectorIsRaceSafe(t *testing.T) {
+	in := New(1)
+	in.ArmFrom("shared", 50)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Fire("shared")
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Hits("shared") != 800 {
+		t.Fatalf("hits %d, want 800", in.Hits("shared"))
+	}
+}

@@ -1,0 +1,115 @@
+// Package guard is the repository's fault-tolerance substrate: wall-clock
+// and iteration budgets checked at phase boundaries, atomic file writes,
+// CRC-checksummed checkpoints for resumable training and refinement, and
+// the typed errors the recovery policies surface.
+//
+// Robustness contract — guards are a side channel until a fault occurs:
+//
+//  1. With no budget armed, no checkpoint path configured and no fault
+//     injected, every guarded computation is byte-identical to its
+//     unguarded form (exp.TestObsDisabledByteIdentical-style gate).
+//  2. A fault never corrupts state: recovery either restores the tracked
+//     best solution (core), refuses the poisoned update (train), or
+//     surfaces a typed error (*BudgetError, *NumericError, *CorruptError)
+//     — never a crash or a partially-applied step.
+//  3. Resuming from a checkpoint is byte-identical to never having been
+//     interrupted (the determinism invariant makes this testable).
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Budget bounds a run by wall clock and/or iteration count. The zero value
+// and the nil pointer are both "unlimited"; every check on a nil *Budget
+// is a single nil test, so call sites pay nothing when no budget is armed.
+//
+// A Budget may be shared by the flow and the refiner (the cmds arm one per
+// process): the wall clock starts at the first check unless Start is
+// called explicitly, and starting is idempotent.
+type Budget struct {
+	Wall     time.Duration // 0 = unlimited wall clock
+	MaxIters int           // 0 = unlimited iterations (refinement loop only)
+
+	once  sync.Once
+	start time.Time
+}
+
+// Start pins the wall-clock origin. Idempotent; the first Exceeded check
+// auto-starts an unstarted budget.
+func (b *Budget) Start() {
+	if b == nil {
+		return
+	}
+	b.once.Do(func() { b.start = time.Now() })
+}
+
+// Exceeded checks the iteration bound first (deterministic), then the wall
+// clock, and returns the cutoff reason when the budget is spent.
+func (b *Budget) Exceeded(iter int) (string, bool) {
+	if b == nil {
+		return "", false
+	}
+	if b.MaxIters > 0 && iter >= b.MaxIters {
+		return fmt.Sprintf("iteration budget %d reached", b.MaxIters), true
+	}
+	return b.ExceededWall()
+}
+
+// ExceededWall checks only the wall-clock bound — the phase-boundary check
+// used by the flow, where iteration counts do not apply.
+func (b *Budget) ExceededWall() (string, bool) {
+	if b == nil || b.Wall <= 0 {
+		return "", false
+	}
+	b.Start()
+	if el := time.Since(b.start); el > b.Wall {
+		return fmt.Sprintf("wall-clock budget %s exceeded (%s elapsed)", b.Wall, el.Round(time.Millisecond)), true
+	}
+	return "", false
+}
+
+// BudgetError reports a run stopped at a phase boundary because its budget
+// expired. The refinement loop does not return it — it returns the best
+// solution so far with Result.Cutoff set — but the flow has no meaningful
+// partial result, so it fails cleanly with this type.
+type BudgetError struct {
+	Phase  string
+	Reason string
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("guard: budget expired at %s: %s", e.Phase, e.Reason)
+}
+
+// CorruptError reports a file that failed validation on load — truncated
+// JSON, a checksum mismatch, or a structural check that a partial decode
+// would otherwise smuggle past.
+type CorruptError struct {
+	Path   string
+	Reason string
+	Err    error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("guard: corrupt %s: %s: %v", e.Path, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("guard: corrupt %s: %s", e.Path, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// NumericError reports a non-finite value caught by a numerical guard
+// before it could be applied to persistent state (model parameters, the
+// tracked best forest).
+type NumericError struct {
+	Site   string
+	Detail string
+}
+
+func (e *NumericError) Error() string {
+	return fmt.Sprintf("guard: non-finite value at %s: %s", e.Site, e.Detail)
+}

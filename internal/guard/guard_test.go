@@ -1,0 +1,183 @@
+package guard
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tsteiner/internal/guard/fault"
+)
+
+func TestNilBudgetNeverExceeds(t *testing.T) {
+	var b *Budget
+	b.Start()
+	if _, ok := b.Exceeded(1 << 30); ok {
+		t.Fatal("nil budget exceeded")
+	}
+	if _, ok := b.ExceededWall(); ok {
+		t.Fatal("nil budget wall exceeded")
+	}
+}
+
+func TestBudgetMaxIters(t *testing.T) {
+	b := &Budget{MaxIters: 3}
+	for i := 0; i < 3; i++ {
+		if reason, ok := b.Exceeded(i); ok {
+			t.Fatalf("iter %d exceeded early: %s", i, reason)
+		}
+	}
+	if _, ok := b.Exceeded(3); !ok {
+		t.Fatal("iter 3 should exceed MaxIters=3")
+	}
+}
+
+func TestBudgetWallClock(t *testing.T) {
+	b := &Budget{Wall: time.Millisecond}
+	b.Start()
+	if _, ok := b.ExceededWall(); ok {
+		t.Fatal("exceeded immediately")
+	}
+	time.Sleep(10 * time.Millisecond)
+	reason, ok := b.ExceededWall()
+	if !ok {
+		t.Fatal("not exceeded after sleeping past the budget")
+	}
+	if reason == "" {
+		t.Fatal("empty cutoff reason")
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicWriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v2" {
+		t.Fatalf("got %q, want v2", data)
+	}
+	// No temp litter left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(ents))
+	}
+}
+
+type ckptPayload struct {
+	Epoch  int
+	Params []float64
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.ckpt")
+	in := ckptPayload{Epoch: 7, Params: []float64{1.5, -2.25, 0}}
+	if err := WriteCheckpoint(path, in, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out ckptPayload
+	found, err := ReadCheckpoint(path, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("checkpoint not found")
+	}
+	if out.Epoch != in.Epoch || len(out.Params) != len(in.Params) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	for i := range in.Params {
+		if out.Params[i] != in.Params[i] {
+			t.Fatalf("param %d: %v != %v", i, out.Params[i], in.Params[i])
+		}
+	}
+}
+
+func TestCheckpointMissingIsFreshStart(t *testing.T) {
+	var out ckptPayload
+	found, err := ReadCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("absent checkpoint reported found")
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]func(path string){
+		"truncated": func(path string) {
+			data, _ := os.ReadFile(path)
+			os.WriteFile(path, data[:len(data)/2], 0o644)
+		},
+		"bitflip": func(path string) {
+			data, _ := os.ReadFile(path)
+			// Flip a payload byte without breaking JSON: digits live in
+			// the Params array.
+			for i := len(data) - 1; i >= 0; i-- {
+				if data[i] >= '1' && data[i] <= '8' {
+					data[i]++
+					break
+				}
+			}
+			os.WriteFile(path, data, 0o644)
+		},
+		"garbage": func(path string) {
+			os.WriteFile(path, []byte("not json at all"), 0o644)
+		},
+		"wrong-magic": func(path string) {
+			os.WriteFile(path, []byte(`{"Magic":"other","Version":1,"CRC":0,"Payload":{}}`), 0o644)
+		},
+	}
+	for name, corrupt := range cases {
+		path := filepath.Join(dir, name+".ckpt")
+		if err := WriteCheckpoint(path, ckptPayload{Epoch: 3, Params: []float64{1, 2, 3, 4, 5, 6, 7, 8}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		corrupt(path)
+		var out ckptPayload
+		_, err := ReadCheckpoint(path, &out)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: got %v, want *CorruptError", name, err)
+		}
+	}
+}
+
+func TestFaultTruncatedCheckpointWriteIsRejectedOnRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	inj := fault.New(1)
+	inj.Arm("guard.ckpt.truncate", 1)
+	if err := WriteCheckpoint(path, ckptPayload{Epoch: 1, Params: []float64{1, 2}}, inj); err != nil {
+		t.Fatal(err)
+	}
+	var out ckptPayload
+	_, err := ReadCheckpoint(path, &out)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("torn write: got %v, want *CorruptError", err)
+	}
+	// The next (un-injected) write heals the file.
+	if err := WriteCheckpoint(path, ckptPayload{Epoch: 2, Params: []float64{3}}, inj); err != nil {
+		t.Fatal(err)
+	}
+	found, err := ReadCheckpoint(path, &out)
+	if err != nil || !found {
+		t.Fatalf("healed write: found=%v err=%v", found, err)
+	}
+	if out.Epoch != 2 {
+		t.Fatalf("healed epoch %d, want 2", out.Epoch)
+	}
+}

@@ -5,24 +5,34 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"tsteiner/internal/par"
 )
 
-// Flags holds the observability/parallelism flags shared by every command,
-// registered once through RegisterFlags instead of being copy-pasted into
-// each main.
+// Flags holds the observability/robustness/parallelism flags shared by
+// every command, registered once through RegisterFlags instead of being
+// copy-pasted into each main. The robustness fields are plain values (a
+// directory, a bool, a duration): each main builds its own guard.Budget
+// from Deadline so obs stays a leaf dependency.
 type Flags struct {
 	Workers    int
 	Out        string
 	CPUProfile string
 	MemProfile string
+
+	// CheckpointDir/Resume/Deadline are the fault-tolerance knobs: where
+	// to write CRC-checksummed train/refine checkpoints, whether to resume
+	// from them, and the process-wide wall-clock budget (0 = unlimited).
+	CheckpointDir string
+	Resume        bool
+	Deadline      time.Duration
 }
 
-// RegisterFlags defines -workers, -obs-out, -cpuprofile and -memprofile on
-// fs (use flag.CommandLine in a main). Workers defaults to 0 = all CPUs,
-// which par.Workers resolves exactly like the historical GOMAXPROCS
-// default.
+// RegisterFlags defines -workers, -obs-out, -cpuprofile, -memprofile,
+// -checkpoint-dir, -resume and -deadline on fs (use flag.CommandLine in a
+// main). Workers defaults to 0 = all CPUs, which par.Workers resolves
+// exactly like the historical GOMAXPROCS default.
 func RegisterFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.IntVar(&f.Workers, "workers", 0,
@@ -31,6 +41,12 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 		"write an NDJSON telemetry trace to this path and print a summary at exit")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this path at exit")
+	fs.StringVar(&f.CheckpointDir, "checkpoint-dir", "",
+		"write atomic CRC-checksummed training/refinement checkpoints into this directory")
+	fs.BoolVar(&f.Resume, "resume", false,
+		"resume from checkpoints in -checkpoint-dir; the resumed run is byte-identical to an uninterrupted one")
+	fs.DurationVar(&f.Deadline, "deadline", 0,
+		"wall-clock budget (0 = unlimited): refinement stops with its best solution so far, flow phases fail cleanly")
 	return f
 }
 

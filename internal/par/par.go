@@ -16,12 +16,30 @@
 package par
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// PanicError is a task panic converted to an indexed error. The pool
+// recovers every panic — in the serial path too, so behavior is identical
+// at any worker count — and reports it through the normal error channel:
+// lowest index wins, results are discarded, remaining tasks are cancelled,
+// and no goroutine leaks. One poisoned net therefore fails its own
+// parallel section cleanly instead of killing a whole experiment sweep.
+type PanicError struct {
+	Index int    // task index that panicked
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v", e.Index, e.Value)
+}
 
 // PoolObserver receives utilization telemetry for completed parallel
 // sections: the worker count, the number of tasks issued (the section's
@@ -66,11 +84,14 @@ func Workers(n int) int {
 // ForEach runs fn(0..n-1) on min(Workers(workers), n) goroutines and
 // returns the lowest-indexed error among the tasks that ran (nil if all
 // succeeded). After a task fails, tasks not yet started are cancelled;
-// with workers=1 that is exactly the serial loop's early exit.
+// with workers=1 that is exactly the serial loop's early exit. A task that
+// panics is recovered and reported as a *PanicError under the same
+// lowest-index-wins contract (at any worker count, including 1).
 func ForEach(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	fn = contained(fn)
 	w := Workers(workers)
 	if w > n {
 		w = n
@@ -114,6 +135,21 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		return nil
 	}
 	return forEachWorkers(w, n, func(_, i int) error { return fn(i) })
+}
+
+// contained wraps a task so that a panic is recovered and converted to a
+// *PanicError instead of unwinding the worker goroutine. Recovery sits
+// innermost — inside the observer's timing wrapper — so telemetry still
+// accounts the failed task's busy time.
+func contained(fn func(i int) error) func(i int) error {
+	return func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return fn(i)
+	}
 }
 
 // forEachWorkers is the shared parallel core of ForEach: w goroutines pull

@@ -58,6 +58,44 @@ func (a *Adam) ZeroGrad() {
 	}
 }
 
+// AdamState is a deep copy of an optimizer's mutable state — the step
+// count and first/second moments — in Params() order. Together with a
+// parameter snapshot it makes a training trajectory resumable
+// byte-identically (internal/guard checkpoints serialize it as JSON).
+type AdamState struct {
+	Step int
+	M, V [][]float64
+}
+
+// Snapshot deep-copies the optimizer state for checkpointing.
+func (a *Adam) Snapshot() AdamState {
+	st := AdamState{Step: a.step, M: make([][]float64, len(a.m)), V: make([][]float64, len(a.v))}
+	for i := range a.m {
+		st.M[i] = append([]float64(nil), a.m[i]...)
+		st.V[i] = append([]float64(nil), a.v[i]...)
+	}
+	return st
+}
+
+// Restore overwrites the optimizer state from a snapshot taken on an
+// optimizer over identically-shaped parameters.
+func (a *Adam) Restore(st AdamState) error {
+	if len(st.M) != len(a.m) || len(st.V) != len(a.v) {
+		return fmt.Errorf("tensor: adam state has %d/%d moment slices, want %d", len(st.M), len(st.V), len(a.m))
+	}
+	for i := range a.m {
+		if len(st.M[i]) != len(a.m[i]) || len(st.V[i]) != len(a.v[i]) {
+			return fmt.Errorf("tensor: adam moment %d length mismatch", i)
+		}
+	}
+	a.step = st.Step
+	for i := range a.m {
+		copy(a.m[i], st.M[i])
+		copy(a.v[i], st.V[i])
+	}
+	return nil
+}
+
 // XavierInit fills t with Xavier/Glorot-uniform values for a fanIn×fanOut
 // weight matrix, using the supplied RNG for determinism.
 func XavierInit(t *Tensor, rng *rand.Rand) {

@@ -13,6 +13,8 @@ import (
 
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
+	"tsteiner/internal/guard"
+	"tsteiner/internal/guard/fault"
 	"tsteiner/internal/metrics"
 	"tsteiner/internal/obs"
 	"tsteiner/internal/par"
@@ -120,6 +122,28 @@ type Options struct {
 	// counters (nil = telemetry off). A strict side channel: enabling it
 	// never changes the trained parameters.
 	Obs *obs.Sink
+
+	// CheckpointPath, when non-empty, writes an atomic CRC-checksummed
+	// snapshot of the trainer state (model parameters, Adam moments,
+	// completed epochs) every CheckpointEvery epochs (default 1). With
+	// Resume set, a valid checkpoint at that path is restored and training
+	// continues from it — byte-identical to an uninterrupted run, because
+	// the epoch-permutation RNG is fast-forwarded past the completed
+	// epochs. A corrupt checkpoint is a *guard.CorruptError.
+	CheckpointPath  string
+	CheckpointEvery int
+	Resume          bool
+
+	// Budget bounds training by wall clock, checked at epoch boundaries:
+	// on expiry the loop stops cleanly with the parameters of the last
+	// completed epoch. nil = unlimited.
+	Budget *guard.Budget
+
+	// Fault is the deterministic fault injector (nil in production). The
+	// "train.nan" site poisons one Adam step's reduced gradient, which the
+	// finite-gradient guard must then refuse as a *guard.NumericError
+	// without touching the parameters.
+	Fault *fault.Injector
 }
 
 // DefaultOptions uses a learning rate scaled up from the paper's 5e-4 —
@@ -146,16 +170,55 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	span := opt.Obs.Start("train.train")
 	defer span.End()
+	opt.Budget.Start()
+	every := opt.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	startEp := 0
+	last := 0.0
+	if opt.Resume && opt.CheckpointPath != "" {
+		st := new(trainState)
+		ok, err := guard.ReadCheckpoint(opt.CheckpointPath, st)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			if st.Epoch < 0 {
+				return 0, &guard.CorruptError{Path: opt.CheckpointPath, Reason: "negative epoch counter"}
+			}
+			if err := m.RestoreParams(st.Params); err != nil {
+				return 0, &guard.CorruptError{Path: opt.CheckpointPath, Reason: "parameter shape mismatch", Err: err}
+			}
+			if err := adam.Restore(st.Adam); err != nil {
+				return 0, &guard.CorruptError{Path: opt.CheckpointPath, Reason: "optimizer state mismatch", Err: err}
+			}
+			// Fast-forward the permutation stream past the completed
+			// epochs, so the resumed trajectory is byte-identical to one
+			// that was never interrupted.
+			for ep := 0; ep < st.Epoch; ep++ {
+				rng.Perm(len(trainSet))
+			}
+			startEp = st.Epoch
+			last = st.Last
+			opt.Obs.Add("train.resumes", 1)
+			opt.Obs.Event("train.resume", obs.KV{K: "epoch", V: st.Epoch}, obs.KV{K: "path", V: opt.CheckpointPath})
+		}
+	}
 	// wantGradSq gates the extra per-step gradient-norm reduction: it is
 	// read-only arithmetic over already-computed gradients, so enabling
 	// telemetry never changes the Adam trajectory.
 	wantGradSq := opt.Obs.Enabled()
-	last := 0.0
-	for ep := 0; ep < opt.Epochs; ep++ {
+	for ep := startEp; ep < opt.Epochs; ep++ {
+		if reason, over := opt.Budget.ExceededWall(); over {
+			opt.Obs.Add("train.budget_cutoffs", 1)
+			opt.Obs.Event("train.cutoff", obs.KV{K: "epoch", V: ep}, obs.KV{K: "reason", V: reason})
+			break
+		}
 		order := rng.Perm(len(trainSet))
 		epochLoss, epochGradSq := 0.0, 0.0
 		if opt.Accumulate {
-			loss, gradSq, err := accumulateStep(m, adam, trainSet, order, opt.Workers, wantGradSq)
+			loss, gradSq, err := accumulateStep(m, adam, trainSet, order, opt.Workers, wantGradSq, opt.Fault)
 			if err != nil {
 				return 0, err
 			}
@@ -164,7 +227,7 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 		} else {
 			for _, si := range order {
 				s := trainSet[si]
-				loss, gradSq, err := step(m, adam, s, wantGradSq)
+				loss, gradSq, err := step(m, adam, s, wantGradSq, opt.Fault)
 				if err != nil {
 					return 0, fmt.Errorf("train: %s: %w", s.Name, err)
 				}
@@ -180,8 +243,41 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 		if opt.Verbose != nil {
 			opt.Verbose(ep, last)
 		}
+		if opt.CheckpointPath != "" && (ep+1)%every == 0 {
+			st := &trainState{Epoch: ep + 1, Params: m.SnapshotParams(), Adam: adam.Snapshot(), Last: last}
+			if err := guard.WriteCheckpoint(opt.CheckpointPath, st, opt.Fault); err != nil {
+				return 0, err
+			}
+		}
 	}
 	return last, nil
+}
+
+// trainState is the checkpointed trainer state: everything the loop carries
+// across epochs except the permutation RNG, which is fast-forwarded
+// deterministically on resume.
+type trainState struct {
+	Epoch  int
+	Params [][]float64
+	Adam   tensor.AdamState
+	Last   float64
+}
+
+// guardGrads refuses a poisoned update: if any reduced gradient entry is
+// non-finite, the Adam step must not run — the parameters stay exactly as
+// they were. The "train.nan" fault site poisons one entry to prove it.
+func guardGrads(params []*tensor.Tensor, inj *fault.Injector) error {
+	if inj.Fire("train.nan") && len(params) > 0 && len(params[0].Grad) > 0 {
+		params[0].Grad[0] = math.NaN()
+	}
+	for pi, p := range params {
+		for _, g := range p.Grad {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				return &guard.NumericError{Site: "train.step", Detail: fmt.Sprintf("non-finite gradient in parameter %d", pi)}
+			}
+		}
+	}
+	return nil
 }
 
 // accumulateStep computes every sample's gradient in parallel against the
@@ -192,7 +288,7 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 // parameters are byte-identical for every worker count. When wantGradSq is
 // set, the squared L2 norm of the reduced gradient is returned for
 // telemetry (read-only; computed after the reduction, before the step).
-func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order []int, workers int, wantGradSq bool) (float64, float64, error) {
+func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order []int, workers int, wantGradSq bool, inj *fault.Injector) (float64, float64, error) {
 	type grads struct {
 		loss   float64
 		byProp [][]float64
@@ -223,6 +319,9 @@ func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order [
 				p.Grad[j] += v
 			}
 		}
+	}
+	if err := guardGrads(params, inj); err != nil {
+		return 0, 0, err
 	}
 	gradSq := 0.0
 	if wantGradSq {
@@ -302,7 +401,7 @@ func sampleLoss(tp *tensor.Tape, m *gnn.Model, s *Sample) (*tensor.Tensor, error
 // step runs one forward/backward/update on a sample and returns the loss,
 // plus (when wantGradSq is set) the squared gradient norm of the step for
 // telemetry.
-func step(m *gnn.Model, adam *tensor.Adam, s *Sample, wantGradSq bool) (float64, float64, error) {
+func step(m *gnn.Model, adam *tensor.Adam, s *Sample, wantGradSq bool, inj *fault.Injector) (float64, float64, error) {
 	tp := tensor.NewTape()
 	adam.ZeroGrad()
 	loss, err := sampleLoss(tp, m, s)
@@ -310,6 +409,9 @@ func step(m *gnn.Model, adam *tensor.Adam, s *Sample, wantGradSq bool) (float64,
 		return 0, 0, err
 	}
 	if err := tp.Backward(loss); err != nil {
+		return 0, 0, err
+	}
+	if err := guardGrads(m.Params(), inj); err != nil {
 		return 0, 0, err
 	}
 	gradSq := 0.0
