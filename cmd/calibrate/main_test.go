@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tsteiner/internal/check"
+)
+
+// TestSmoke builds the clock-calibration reporter and runs it on one
+// benchmark at miniature scale.
+func TestSmoke(t *testing.T) {
+	bin := check.GoBuild(t, "tsteiner/cmd/calibrate")
+	dir := t.TempDir()
+
+	help := check.RunOK(t, dir, bin, "-h")
+	if !strings.Contains(help, "-scale") {
+		t.Fatalf("help output lacks flag listing:\n%s", help)
+	}
+
+	out := check.RunOK(t, dir, bin, "-designs", "spm", "-scale", "0.1")
+	if !strings.Contains(out, "spm") || !strings.Contains(out, "WNS") {
+		t.Fatalf("calibration output lacks benchmark row:\n%s", out)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tsteiner/internal/check"
+)
+
+// TestSmoke builds the experiment driver and regenerates one table on
+// one benchmark at miniature scale.
+func TestSmoke(t *testing.T) {
+	bin := check.GoBuild(t, "tsteiner/cmd/experiments")
+	dir := t.TempDir()
+
+	help := check.RunOK(t, dir, bin, "-h")
+	if !strings.Contains(help, "-table") {
+		t.Fatalf("help output lacks flag listing:\n%s", help)
+	}
+
+	out := check.RunOK(t, dir, bin,
+		"-table", "1", "-designs", "spm", "-scale", "0.1",
+		"-epochs", "2", "-iters", "2", "-q")
+	if !strings.Contains(out, "spm") {
+		t.Fatalf("table output lacks the requested benchmark:\n%s", out)
+	}
+
+	check.RunFail(t, dir, bin, "-table", "not-a-number")
+}

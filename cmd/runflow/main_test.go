@@ -1,0 +1,42 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/designio"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/synth"
+)
+
+// TestSmoke builds runflow and pushes a tiny generated design JSON
+// through the sign-off flow; the required-flag misuse path must fail.
+func TestSmoke(t *testing.T) {
+	bin := check.GoBuild(t, "tsteiner/cmd/runflow")
+	dir := t.TempDir()
+
+	help := check.RunOK(t, dir, bin, "-h")
+	if !strings.Contains(help, "-design") {
+		t.Fatalf("help output lacks flag listing:\n%s", help)
+	}
+
+	d, err := synth.Generate(synth.Spec{
+		Name: "smoke", Seed: 5, Cells: 40, Endpoints: 8, PIs: 4, Depth: 5, ClockNS: 1.0,
+	}, lib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "design.json")
+	if err := designio.WriteJSONFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	out := check.RunOK(t, dir, bin, "-design", path)
+	if !strings.Contains(out, "WNS") {
+		t.Fatalf("flow output lacks sign-off metrics:\n%s", out)
+	}
+
+	check.RunFail(t, dir, bin) // -design is required
+	check.RunFail(t, dir, bin, "-design", filepath.Join(dir, "missing.json"))
+}

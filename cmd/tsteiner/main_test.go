@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsteiner/internal/check"
+)
+
+// TestSmoke builds the CLI and exercises help plus a miniature
+// end-to-end run (train 2 epochs, refine 2 iterations at reduced
+// scale) that also writes every artifact kind.
+func TestSmoke(t *testing.T) {
+	bin := check.GoBuild(t, "tsteiner/cmd/tsteiner")
+	dir := t.TempDir()
+
+	help := check.RunOK(t, dir, bin, "-h")
+	if !strings.Contains(help, "-design") {
+		t.Fatalf("help output lacks flag listing:\n%s", help)
+	}
+
+	out := check.RunOK(t, dir, bin,
+		"-design", "spm", "-scale", "0.12", "-epochs", "2", "-iters", "2",
+		"-svg", filepath.Join(dir, "layout.svg"),
+		"-save-design", filepath.Join(dir, "design.json"),
+		"-save-verilog", filepath.Join(dir, "design.v"),
+		"-save-forest", filepath.Join(dir, "forest.json"))
+	if !strings.Contains(out, "WNS") {
+		t.Fatalf("run output lacks sign-off metrics:\n%s", out)
+	}
+	for _, f := range []string{"layout.svg", "design.json", "design.v", "forest.json"} {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("artifact %s: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("artifact %s is empty", f)
+		}
+	}
+
+	check.RunFail(t, dir, bin, "-design", "no_such_benchmark")
+}

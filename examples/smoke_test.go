@@ -1,0 +1,44 @@
+// Package examples_test compiles every example program and executes
+// the fast ones end to end, so the documented entry points cannot rot.
+package examples_test
+
+import (
+	"testing"
+
+	"tsteiner/internal/check"
+)
+
+// exampleDirs lists every example; Run marks the ones cheap enough to
+// execute in the test suite (the rest are compile-checked only), and
+// Short marks the subset that also runs under -short.
+var exampleDirs = []struct {
+	Name  string
+	Run   bool
+	Short bool
+}{
+	{Name: "buffering", Run: true, Short: true},
+	{Name: "custom_design", Run: true, Short: true},
+	{Name: "mesh_array", Run: true, Short: true},
+	{Name: "random_disturbance", Run: true, Short: true},
+	{Name: "quickstart", Run: true, Short: true},
+	{Name: "gradient_analysis", Run: true, Short: false}, // ~10s of training
+	{Name: "train_evaluator", Run: false, Short: false},  // minutes of training
+}
+
+func TestExamples(t *testing.T) {
+	for _, ex := range exampleDirs {
+		t.Run(ex.Name, func(t *testing.T) {
+			bin := check.GoBuild(t, "tsteiner/examples/"+ex.Name)
+			if !ex.Run {
+				return
+			}
+			if testing.Short() && !ex.Short {
+				t.Skip("long example skipped under -short")
+			}
+			out := check.RunOK(t, t.TempDir(), bin)
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package check
+
+// Binary smoke-test helpers: compile a main package with the Go
+// toolchain and run it with an exit-status assertion. Used by the
+// cmd/* and examples smoke tests.
+
+import (
+	"os/exec"
+	"path"
+	"path/filepath"
+	"testing"
+)
+
+// GoBuild compiles the named main package into a test temp dir and
+// returns the binary path. The build failing fails the test.
+func GoBuild(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), path.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// RunOK executes bin with args in workDir, asserting exit status 0 and
+// non-empty combined output; the output is returned for content checks.
+func RunOK(t *testing.T, workDir, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = workDir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s %v: exit 0 but no output", filepath.Base(bin), args)
+	}
+	return string(out)
+}
+
+// RunFail executes bin with args, asserting a non-zero exit status —
+// the misuse path (missing required flags, bad input) must not
+// silently succeed. Returns combined output.
+func RunFail(t *testing.T, workDir, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = workDir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: expected failure, got exit 0\n%s", filepath.Base(bin), args, out)
+	}
+	return string(out)
+}

@@ -1,0 +1,171 @@
+package check
+
+// Generic generator combinators. Shrinking conventions: numbers shrink
+// toward the low end of their range, slices shrink by dropping chunks
+// and then single elements, pairs shrink one side at a time.
+
+// Const always generates v and never shrinks.
+func Const[T any](v T) Gen[T] {
+	return Gen[T]{Generate: func(*RNG) T { return v }}
+}
+
+// Int generates ints uniformly in [lo, hi], shrinking toward lo.
+func Int(lo, hi int) Gen[int] {
+	if hi < lo {
+		panic("check: Int with hi < lo")
+	}
+	return Gen[int]{
+		Generate: func(r *RNG) int { return r.Range(lo, hi) },
+		Shrink: func(v int) []int {
+			var out []int
+			if v > lo {
+				out = append(out, lo)
+				if mid := lo + (v-lo)/2; mid != lo && mid != v {
+					out = append(out, mid)
+				}
+				if v-1 != lo {
+					out = append(out, v-1)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// Float generates float64s uniformly in [lo, hi), shrinking toward lo.
+func Float(lo, hi float64) Gen[float64] {
+	if hi < lo {
+		panic("check: Float with hi < lo")
+	}
+	return Gen[float64]{
+		Generate: func(r *RNG) float64 { return lo + r.Float64()*(hi-lo) },
+		Shrink: func(v float64) []float64 {
+			var out []float64
+			if v > lo {
+				out = append(out, lo)
+				if mid := lo + (v-lo)/2; mid != lo && mid != v {
+					out = append(out, mid)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// Bool generates coin flips; true shrinks to false.
+func Bool() Gen[bool] {
+	return Gen[bool]{
+		Generate: func(r *RNG) bool { return r.Bool() },
+		Shrink: func(v bool) []bool {
+			if v {
+				return []bool{false}
+			}
+			return nil
+		},
+	}
+}
+
+// OneOf picks uniformly among the given generators; values do not
+// shrink across alternatives.
+func OneOf[T any](gens ...Gen[T]) Gen[T] {
+	if len(gens) == 0 {
+		panic("check: OneOf with no generators")
+	}
+	return Gen[T]{
+		Generate: func(r *RNG) T { return gens[r.Intn(len(gens))].Generate(r) },
+	}
+}
+
+// Map transforms generated values. The mapped generator does not
+// shrink (the inverse of f is unknown); prefer shrinking before
+// mapping when minimal counterexamples matter.
+func Map[A, B any](g Gen[A], f func(A) B) Gen[B] {
+	return Gen[B]{Generate: func(r *RNG) B { return f(g.Generate(r)) }}
+}
+
+// Pair combines two generated values.
+type Pair[A, B any] struct {
+	A A
+	B B
+}
+
+// Two generates pairs, shrinking one side at a time.
+func Two[A, B any](ga Gen[A], gb Gen[B]) Gen[Pair[A, B]] {
+	return Gen[Pair[A, B]]{
+		Generate: func(r *RNG) Pair[A, B] {
+			return Pair[A, B]{A: ga.Generate(r), B: gb.Generate(r)}
+		},
+		Shrink: func(v Pair[A, B]) []Pair[A, B] {
+			var out []Pair[A, B]
+			if ga.Shrink != nil {
+				for _, a := range ga.Shrink(v.A) {
+					out = append(out, Pair[A, B]{A: a, B: v.B})
+				}
+			}
+			if gb.Shrink != nil {
+				for _, b := range gb.Shrink(v.B) {
+					out = append(out, Pair[A, B]{A: v.A, B: b})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// SliceOf generates slices with lengths in [minLen, maxLen]. Shrinking
+// first halves the slice, then drops single elements, then shrinks
+// individual elements in place — the classic QuickCheck order that
+// reaches small counterexamples fast.
+func SliceOf[T any](minLen, maxLen int, elem Gen[T]) Gen[[]T] {
+	if minLen < 0 || maxLen < minLen {
+		panic("check: SliceOf with invalid length bounds")
+	}
+	return Gen[[]T]{
+		Generate: func(r *RNG) []T {
+			n := r.Range(minLen, maxLen)
+			out := make([]T, n)
+			for i := range out {
+				out[i] = elem.Generate(r)
+			}
+			return out
+		},
+		Shrink: func(v []T) [][]T {
+			var out [][]T
+			if len(v) > minLen {
+				// Halve (keep the first half), respecting minLen.
+				half := len(v) / 2
+				if half < minLen {
+					half = minLen
+				}
+				if half < len(v) {
+					out = append(out, append([]T(nil), v[:half]...))
+				}
+				// Drop one element at a few positions.
+				for _, i := range []int{0, len(v) / 2, len(v) - 1} {
+					if len(v)-1 < minLen || i >= len(v) {
+						break
+					}
+					c := make([]T, 0, len(v)-1)
+					c = append(c, v[:i]...)
+					c = append(c, v[i+1:]...)
+					out = append(out, c)
+				}
+			}
+			if elem.Shrink != nil {
+				// Shrink a few individual elements in place.
+				for _, i := range []int{0, len(v) / 2, len(v) - 1} {
+					if i >= len(v) {
+						break
+					}
+					for _, e := range elem.Shrink(v[i]) {
+						c := append([]T(nil), v...)
+						c[i] = e
+						out = append(out, c)
+						break // one candidate per position keeps fan-out bounded
+					}
+				}
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,425 @@
+// Package oracle holds brute-force reference implementations that the
+// fast production code is differentially tested against. Each oracle
+// favors obviousness over speed — exhaustive enumeration, quadratic
+// recomputation, fixpoint iteration — so a disagreement with the
+// production path almost certainly means the production path drifted.
+//
+// The pairings (exercised by the TestOracle* tests in this package):
+//
+//	SteinerMinLength  (exhaustive Hanan enumeration)  vs  internal/rsmt
+//	NetElmore         (O(n²) shared-path Elmore)      vs  internal/rc
+//	STAFixpoint       (relaxation until fixpoint)     vs  internal/sta
+//	CentralDiff       (full-model finite differences) vs  internal/gnn + tensor backprop
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"tsteiner/internal/geom"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/rc"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/sta"
+)
+
+// MaxExactTerminals bounds SteinerMinLength's exhaustive enumeration:
+// with n terminals the Hanan grid has ≤ n² candidates and an optimal
+// tree needs ≤ n−2 Steiner points, so n = 5 keeps the subset count
+// (≤ C(20,3)+C(20,2)+C(20,1)+1) trivially enumerable.
+const MaxExactTerminals = 5
+
+// SteinerMinLength returns the exact rectilinear Steiner minimum tree
+// length of the terminal set by exhaustive enumeration: by Hanan's
+// theorem an optimal RSMT embeds with all Steiner points on the Hanan
+// grid, and needs at most n−2 of them, so minimizing the spanning-tree
+// length over every such subset is exact. Duplicate terminals are
+// ignored. Terminal counts above MaxExactTerminals return an error.
+func SteinerMinLength(terms []geom.Point) (int, error) {
+	uniq := dedupe(terms)
+	n := len(uniq)
+	if n > MaxExactTerminals {
+		return 0, fmt.Errorf("oracle: %d distinct terminals exceeds exact limit %d", n, MaxExactTerminals)
+	}
+	if n <= 1 {
+		return 0, nil
+	}
+	best := MSTLength(uniq)
+	// Candidate Steiner positions: Hanan grid minus the terminals.
+	existing := map[geom.Point]bool{}
+	for _, p := range uniq {
+		existing[p] = true
+	}
+	var cands []geom.Point
+	for _, c := range geom.HananGrid(uniq) {
+		if !existing[c] {
+			cands = append(cands, c)
+		}
+	}
+	maxExtra := n - 2
+	pts := make([]geom.Point, n, n+maxExtra)
+	copy(pts, uniq)
+	var enumerate func(start, remaining int)
+	enumerate = func(start, remaining int) {
+		if l := MSTLength(pts); l < best {
+			best = l
+		}
+		if remaining == 0 {
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			pts = append(pts, cands[i])
+			enumerate(i+1, remaining-1)
+			pts = pts[:len(pts)-1]
+		}
+	}
+	enumerate(0, maxExtra)
+	return best, nil
+}
+
+// MSTLength returns the Manhattan minimum-spanning-tree length of the
+// point set (Prim's algorithm) — the classic upper bound a Steiner
+// construction must never exceed and the primitive the exhaustive
+// enumeration minimizes.
+func MSTLength(pts []geom.Point) int {
+	n := len(pts)
+	if n <= 1 {
+		return 0
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+	inTree := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	total := 0
+	for iter := 0; iter < n; iter++ {
+		best, bestD := -1, inf
+		for v := 0; v < n; v++ {
+			if !inTree[v] && dist[v] < bestD {
+				best, bestD = v, dist[v]
+			}
+		}
+		inTree[best] = true
+		total += bestD
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if d := geom.ManhattanDist(pts[best], pts[v]); d < dist[v] {
+					dist[v] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+func dedupe(pts []geom.Point) []geom.Point {
+	seen := map[geom.Point]bool{}
+	var out []geom.Point
+	for _, p := range pts {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ElmoreNaive computes per-node Elmore delays of an RC tree in
+// parent-array form (root = node 0, Parent[0] = −1, EdgeR[i] is the
+// resistance of the edge i→Parent[i], Cap[i] the node capacitance) by
+// the textbook double sum: delay(v) = Σ_k Cap[k] · R_shared(v, k),
+// where R_shared is the resistance of the common prefix of the two
+// root paths. O(n²) path walks — no subtree-capacitance reuse, which
+// is exactly what makes it an independent check of rc's linear-time
+// two-pass evaluation.
+func ElmoreNaive(parent []int, edgeR, nodeCap []float64) []float64 {
+	n := len(parent)
+	// Root path of every node as a set of edge indices (the edge of
+	// node i is identified by i itself).
+	paths := make([][]int, n)
+	for v := 0; v < n; v++ {
+		var rev []int
+		for u := v; parent[u] >= 0; u = parent[u] {
+			rev = append(rev, u)
+		}
+		path := make([]int, len(rev))
+		for i := range rev {
+			path[i] = rev[len(rev)-1-i]
+		}
+		paths[v] = path
+	}
+	sharedR := func(a, b int) float64 {
+		pa, pb := paths[a], paths[b]
+		r := 0.0
+		for i := 0; i < len(pa) && i < len(pb) && pa[i] == pb[i]; i++ {
+			r += edgeR[pa[i]]
+		}
+		return r
+	}
+	delay := make([]float64, n)
+	for v := 0; v < n; v++ {
+		for k := 0; k < n; k++ {
+			delay[v] += nodeCap[k] * sharedR(v, k)
+		}
+	}
+	return delay
+}
+
+// NetElmore is the brute-force counterpart of rc.ExtractFromTrees for
+// one net: it rebuilds the pre-routing RC model (average-layer unit R/C
+// per Manhattan length plus two via resistances per edge, half of each
+// edge's capacitance on each endpoint, sink pin caps) and evaluates it
+// with ElmoreNaive. Returned slices align with the net's Sinks order.
+func NetElmore(d *netlist.Design, tr *rsmt.Tree, tech *lib.Library) (totalCap float64, sinkDelay, sinkSlewAdd []float64, err error) {
+	net := d.Net(tr.Net)
+	n := len(tr.Nodes)
+	// Root the tree at node 0 by BFS.
+	adj := tr.Adjacency()
+	parent := make([]int, n)
+	parentEdge := make([]int, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[0] = -1
+	queue := []int32{0}
+	visited := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if parent[v] == -2 {
+				parent[v] = int(u)
+				visited++
+				queue = append(queue, v)
+			}
+		}
+	}
+	if visited != n {
+		return 0, nil, nil, fmt.Errorf("oracle: net %s tree disconnected", net.Name)
+	}
+	// Per-node parent-edge R and node caps.
+	rAvg, cAvg := rc.AvgLayerRC(tech)
+	edgeR := make([]float64, n)
+	nodeCap := make([]float64, n)
+	for _, e := range tr.Edges {
+		l := geom.ManhattanDistF(tr.Nodes[e.A].Pos, tr.Nodes[e.B].Pos)
+		r := l*rAvg + 2*tech.ViaRes
+		c := l * cAvg
+		nodeCap[e.A] += c / 2
+		nodeCap[e.B] += c / 2
+		switch {
+		case parent[e.A] == int(e.B):
+			edgeR[e.A] = r
+			parentEdge[e.A] = int(e.A)
+		case parent[e.B] == int(e.A):
+			edgeR[e.B] = r
+			parentEdge[e.B] = int(e.B)
+		default:
+			return 0, nil, nil, fmt.Errorf("oracle: net %s edge (%d,%d) not parent-child", net.Name, e.A, e.B)
+		}
+	}
+	for i := range tr.Nodes {
+		nd := &tr.Nodes[i]
+		if nd.Kind == rsmt.PinNode && nd.Pin != net.Driver {
+			nodeCap[i] += d.Pin(nd.Pin).Cap
+		}
+	}
+	for _, c := range nodeCap {
+		totalCap += c
+	}
+	delay := ElmoreNaive(parent, edgeR, nodeCap)
+	ln9 := math.Log(9)
+	sinkDelay = make([]float64, len(net.Sinks))
+	sinkSlewAdd = make([]float64, len(net.Sinks))
+	for si, pid := range net.Sinks {
+		node := -1
+		for i := range tr.Nodes {
+			if tr.Nodes[i].Kind == rsmt.PinNode && tr.Nodes[i].Pin == pid {
+				node = i
+				break
+			}
+		}
+		if node < 0 {
+			return 0, nil, nil, fmt.Errorf("oracle: net %s sink %d missing from tree", net.Name, pid)
+		}
+		sinkDelay[si] = delay[node]
+		sinkSlewAdd[si] = ln9 * delay[node]
+	}
+	return totalCap, sinkDelay, sinkSlewAdd, nil
+}
+
+// Timing is the fixpoint STA result: forward annotations plus the
+// sign-off triple, the subset of sta.Result the oracle cross-checks.
+type Timing struct {
+	Arrival []float64
+	Slew    []float64
+
+	Endpoints     []netlist.PinID
+	EndpointSlack []float64
+
+	WNS, TNS float64
+	Vios     int
+}
+
+// STAFixpoint is the unoptimized longest-path STA: instead of one pass
+// in topological order it sweeps every pin repeatedly, recomputing each
+// arrival/slew from the current predecessor values, until a full sweep
+// changes nothing — Bellman–Ford-style relaxation that needs no
+// topological order at all. On a DAG of depth D it converges within D
+// sweeps; exceeding the pin count indicates a cycle and fails.
+func STAFixpoint(d *netlist.Design, rcs []rc.NetRC) (*Timing, error) {
+	if len(rcs) != len(d.Nets) {
+		return nil, fmt.Errorf("oracle: %d RC views for %d nets", len(rcs), len(d.Nets))
+	}
+	n := d.NumPins()
+	res := &Timing{
+		Arrival: make([]float64, n),
+		Slew:    make([]float64, n),
+	}
+	load := func(pid netlist.PinID) float64 {
+		net := d.Pin(pid).Net
+		if net == netlist.NoID {
+			return 0
+		}
+		return rcs[net].TotalCap
+	}
+	// Boundary conditions, identical to sign-off STA's.
+	for _, pid := range d.PIs {
+		res.Slew[pid] = sta.PISlew
+	}
+	fixed := make([]bool, n) // boundary pins never recomputed
+	for _, pid := range d.PIs {
+		fixed[pid] = true
+	}
+	for ci := range d.Cells {
+		inst := d.Cell(netlist.CellID(ci))
+		if !inst.Master.Sequential {
+			continue
+		}
+		q := inst.OutputPin()
+		arc := inst.Master.ArcFrom("CK")
+		if arc == nil {
+			return nil, fmt.Errorf("oracle: register %s lacks CK arc", inst.Name)
+		}
+		res.Arrival[q] = arc.Delay.Lookup(sta.ClockSlew, load(q))
+		res.Slew[q] = arc.Slew.Lookup(sta.ClockSlew, load(q))
+		fixed[q] = true
+	}
+
+	// Relax until a full sweep is a no-op.
+	for sweep := 0; ; sweep++ {
+		if sweep > n+1 {
+			return nil, fmt.Errorf("oracle: fixpoint did not converge (cyclic timing graph?)")
+		}
+		changed := false
+		for id := 0; id < n; id++ {
+			pid := netlist.PinID(id)
+			if fixed[pid] {
+				continue
+			}
+			p := d.Pin(pid)
+			var arr, slew float64
+			switch {
+			case p.Dir == netlist.Input:
+				// Net sink (cell input or PO): pull from the driver.
+				if p.Net == netlist.NoID {
+					continue // floating clock pin
+				}
+				net := d.Net(p.Net)
+				si := -1
+				for i, s := range net.Sinks {
+					if s == pid {
+						si = i
+					}
+				}
+				nrc := &rcs[p.Net]
+				arr = res.Arrival[net.Driver] + nrc.SinkDelay[si]
+				slew = rc.CombineSlew(res.Slew[net.Driver], nrc.SinkSlewAdd[si])
+			case p.Cell != netlist.NoID:
+				// Combinational cell output: worst over input arcs.
+				inst := d.Cell(p.Cell)
+				ld := load(pid)
+				worst := math.Inf(-1)
+				worstSlew := 0.0
+				for i, in := range inst.InputPins() {
+					arc := inst.Master.ArcFrom(inst.Master.Inputs[i])
+					if arc == nil {
+						continue
+					}
+					if a := res.Arrival[in] + arc.Delay.Lookup(res.Slew[in], ld); a > worst {
+						worst = a
+					}
+					if s := arc.Slew.Lookup(res.Slew[in], ld); s > worstSlew {
+						worstSlew = s
+					}
+				}
+				if math.IsInf(worst, -1) {
+					return nil, fmt.Errorf("oracle: cell %s output has no timing arc", inst.Name)
+				}
+				arr, slew = worst, worstSlew
+			default:
+				continue // unconnected port
+			}
+			if arr != res.Arrival[pid] || slew != res.Slew[pid] {
+				res.Arrival[pid] = arr
+				res.Slew[pid] = slew
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Endpoint constraints and the sign-off triple.
+	res.Endpoints = d.Endpoints()
+	res.EndpointSlack = make([]float64, len(res.Endpoints))
+	res.WNS = math.Inf(1)
+	for i, e := range res.Endpoints {
+		required := d.ClockPeriod
+		if p := d.Pin(e); !p.IsPort {
+			required -= d.Cell(p.Cell).Master.Setup
+		}
+		slack := required - res.Arrival[e]
+		res.EndpointSlack[i] = slack
+		if slack < res.WNS {
+			res.WNS = slack
+		}
+		if slack < 0 {
+			res.TNS += slack
+			res.Vios++
+		}
+	}
+	if len(res.Endpoints) == 0 {
+		res.WNS = 0
+	}
+	return res, nil
+}
+
+// CentralDiff estimates the gradient of f at x by symmetric finite
+// differences: g[i] = (f(x+εe_i) − f(x−εe_i)) / 2ε. x is restored
+// after each probe. The full model sits inside f, so this checks the
+// entire forward/backward pipeline, not individual ops.
+func CentralDiff(f func(x []float64) (float64, error), x []float64, eps float64) ([]float64, error) {
+	g := make([]float64, len(x))
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		fp, err := f(x)
+		if err != nil {
+			x[i] = orig
+			return nil, err
+		}
+		x[i] = orig - eps
+		fm, err := f(x)
+		x[i] = orig
+		if err != nil {
+			return nil, err
+		}
+		g[i] = (fp - fm) / (2 * eps)
+	}
+	return g, nil
+}

@@ -1,0 +1,344 @@
+package oracle_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/check/oracle"
+	"tsteiner/internal/flow"
+	"tsteiner/internal/geom"
+	"tsteiner/internal/gnn"
+	"tsteiner/internal/rc"
+	"tsteiner/internal/sta"
+	"tsteiner/internal/synth"
+	"tsteiner/internal/tensor"
+)
+
+// oracleScale keeps every benchmark a few dozen to ~1k cells so the
+// brute-force references stay fast while all ten designs are covered.
+const oracleScale = 0.02
+
+// benchNames returns the differential-test roster: all ten seeded
+// benchmarks, trimmed to the four smallest under -short (the race-mode
+// pass) to keep the gate quick.
+func benchNames() []string {
+	if testing.Short() {
+		return []string{"spm", "cic_decimator", "usb_cdc_core", "APU"}
+	}
+	var names []string
+	for _, s := range synth.Benchmarks() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+var (
+	prepMu    sync.Mutex
+	prepCache = map[string]*flow.Prepared{}
+)
+
+// prepared builds (and caches) the placed design + Steiner forest of a
+// benchmark at oracle scale. Edge shifting is skipped so tree geometry
+// is exactly what rsmt constructed (the shift trades wirelength for
+// congestion, which would invalidate the optimality sandwich).
+func prepared(t *testing.T, name string, scale float64) *flow.Prepared {
+	t.Helper()
+	key := fmt.Sprintf("%s@%g", name, scale)
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	if p, ok := prepCache[key]; ok {
+		return p
+	}
+	cfg := flow.DefaultConfig()
+	cfg.SkipEdgeShift = true
+	p, err := flow.PrepareBenchmark(name, scale, cfg)
+	if err != nil {
+		t.Fatalf("prepare %s: %v", name, err)
+	}
+	prepCache[key] = p
+	return p
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+// TestOracleRSMTExhaustive sandwiches every ≤5-pin production tree
+// between the exact optimum (exhaustive Hanan enumeration) and the
+// terminal MST: opt ≤ built ≤ MST, with HPWL as a lower-bound sanity
+// check on the oracle itself, plus a near-optimality bound on the
+// aggregate wirelength.
+func TestOracleRSMTExhaustive(t *testing.T) {
+	for _, name := range benchNames() {
+		t.Run(name, func(t *testing.T) {
+			p := prepared(t, name, oracleScale)
+			var sumOpt, sumBuilt float64
+			checked := 0
+			for ni, tr := range p.Forest.Trees {
+				net := p.Design.Net(tr.Net)
+				terms := make([]geom.Point, 0, net.NumPins())
+				terms = append(terms, p.Design.Pin(net.Driver).Pos)
+				for _, s := range net.Sinks {
+					terms = append(terms, p.Design.Pin(s).Pos)
+				}
+				opt, err := oracle.SteinerMinLength(terms)
+				if err != nil {
+					continue // > 5 distinct terminals: out of exact range
+				}
+				built := tr.WirelengthF()
+				mst := oracle.MSTLength(terms)
+				hpwl := geom.BBoxOf(terms).HalfPerimeter()
+				if opt < hpwl {
+					t.Fatalf("net %d: oracle optimum %d below HPWL %d", ni, opt, hpwl)
+				}
+				if built < float64(opt)-1e-6 {
+					t.Fatalf("net %d: built wirelength %.3f beats the exact optimum %d — oracle or tree is wrong", ni, built, opt)
+				}
+				if built > float64(mst)+1e-6 {
+					t.Fatalf("net %d: built wirelength %.3f exceeds terminal MST %d — construction regressed", ni, built, mst)
+				}
+				sumOpt += float64(opt)
+				sumBuilt += built
+				checked++
+			}
+			if checked == 0 {
+				t.Fatal("no ≤5-pin nets checked")
+			}
+			if sumOpt > 0 {
+				if ratio := sumBuilt / sumOpt; ratio > 1.05 {
+					t.Fatalf("aggregate wirelength %.4f× the exact optimum over %d nets (want ≤ 1.05×)", ratio, checked)
+				}
+			}
+			t.Logf("%s: %d nets sandwiched, aggregate ratio %.4f", name, checked, sumBuilt/sumOpt)
+		})
+	}
+}
+
+// TestOracleElmoreNaive recomputes every net's Elmore view with the
+// O(n²) shared-path formula and compares it against rc's linear-time
+// two-pass evaluation.
+func TestOracleElmoreNaive(t *testing.T) {
+	for _, name := range benchNames() {
+		t.Run(name, func(t *testing.T) {
+			p := prepared(t, name, oracleScale)
+			rcs, err := rc.ExtractFromTrees(p.Design, p.Forest, p.Lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ni, tr := range p.Forest.Trees {
+				totalCap, sinkDelay, sinkSlewAdd, err := oracle.NetElmore(p.Design, tr, p.Lib)
+				if err != nil {
+					t.Fatalf("net %d: %v", ni, err)
+				}
+				got := &rcs[ni]
+				if relDiff(got.TotalCap, totalCap) > 1e-9 {
+					t.Fatalf("net %d: TotalCap %.12g (rc) vs %.12g (naive)", ni, got.TotalCap, totalCap)
+				}
+				for si := range sinkDelay {
+					if relDiff(got.SinkDelay[si], sinkDelay[si]) > 1e-9 {
+						t.Fatalf("net %d sink %d: delay %.12g (rc) vs %.12g (naive)", ni, si, got.SinkDelay[si], sinkDelay[si])
+					}
+					if relDiff(got.SinkSlewAdd[si], sinkSlewAdd[si]) > 1e-9 {
+						t.Fatalf("net %d sink %d: slewAdd %.12g (rc) vs %.12g (naive)", ni, si, got.SinkSlewAdd[si], sinkSlewAdd[si])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOracleSTALongestPath compares sta's single-pass PERT traversal
+// against the fixpoint relaxation that uses no topological order.
+func TestOracleSTALongestPath(t *testing.T) {
+	for _, name := range benchNames() {
+		t.Run(name, func(t *testing.T) {
+			p := prepared(t, name, oracleScale)
+			rcs, err := rc.ExtractFromTrees(p.Design, p.Forest, p.Lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sta.Run(p.Design, rcs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.STAFixpoint(p.Design, rcs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pid := range got.Arrival {
+				if relDiff(got.Arrival[pid], want.Arrival[pid]) > 1e-9 {
+					t.Fatalf("pin %d: arrival %.12g (sta) vs %.12g (fixpoint)", pid, got.Arrival[pid], want.Arrival[pid])
+				}
+				if relDiff(got.Slew[pid], want.Slew[pid]) > 1e-9 {
+					t.Fatalf("pin %d: slew %.12g (sta) vs %.12g (fixpoint)", pid, got.Slew[pid], want.Slew[pid])
+				}
+			}
+			if len(got.Endpoints) != len(want.Endpoints) {
+				t.Fatalf("endpoint count %d vs %d", len(got.Endpoints), len(want.Endpoints))
+			}
+			for i := range got.Endpoints {
+				if got.Endpoints[i] != want.Endpoints[i] {
+					t.Fatalf("endpoint %d differs", i)
+				}
+				if relDiff(got.EndpointSlack[i], want.EndpointSlack[i]) > 1e-9 {
+					t.Fatalf("endpoint %d: slack %.12g vs %.12g", i, got.EndpointSlack[i], want.EndpointSlack[i])
+				}
+			}
+			if relDiff(got.WNS, want.WNS) > 1e-9 || relDiff(got.TNS, want.TNS) > 1e-9 || got.Vios != want.Vios {
+				t.Fatalf("sign-off triple (%.12g, %.12g, %d) vs (%.12g, %.12g, %d)",
+					got.WNS, got.TNS, got.Vios, want.WNS, want.TNS, want.Vios)
+			}
+		})
+	}
+}
+
+// gradScale keeps the central-difference probe affordable: each probe
+// is two full forward passes per sampled coordinate.
+const gradScale = 0.005
+
+// TestOracleBackpropCentralDifference checks the evaluator's full
+// forward/backward pipeline: the backprop gradient of the summed
+// endpoint-arrival loss w.r.t. Steiner coordinates must match
+// symmetric finite differences through the entire model.
+func TestOracleBackpropCentralDifference(t *testing.T) {
+	for _, name := range benchNames() {
+		t.Run(name, func(t *testing.T) {
+			p := prepared(t, name, gradScale)
+			b, err := gnn.NewBatch(p.Design, p.Forest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := gnn.NewModel(gnn.DefaultConfig(), 7)
+			xs0, ys0, _ := p.Forest.SteinerPositions()
+			n := len(xs0)
+			if n == 0 {
+				t.Skip("no Steiner points at this scale")
+			}
+			z := append(append([]float64(nil), xs0...), ys0...)
+
+			loss := func(w []float64) (float64, error) {
+				tp := tensor.NewTape()
+				xt, err := tensor.FromSlice(n, 1, append([]float64(nil), w[:n]...))
+				if err != nil {
+					return 0, err
+				}
+				yt, err := tensor.FromSlice(n, 1, append([]float64(nil), w[n:]...))
+				if err != nil {
+					return 0, err
+				}
+				tp.Constant(xt)
+				tp.Constant(yt)
+				pred, err := m.Forward(tp, b, xt, yt, false)
+				if err != nil {
+					return 0, err
+				}
+				l, err := tp.Sum(pred.EndpointArrival)
+				if err != nil {
+					return 0, err
+				}
+				return l.Data[0], nil
+			}
+
+			// Analytic gradient by backprop.
+			tp := tensor.NewTape()
+			xt, err := tensor.FromSlice(n, 1, append([]float64(nil), z[:n]...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			yt, err := tensor.FromSlice(n, 1, append([]float64(nil), z[n:]...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tp.Leaf(xt)
+			tp.Leaf(yt)
+			xt.ZeroGrad()
+			yt.ZeroGrad()
+			pred, err := m.Forward(tp, b, xt, yt, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := tp.Sum(pred.EndpointArrival)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tp.Backward(l); err != nil {
+				t.Fatal(err)
+			}
+			analytic := append(append([]float64(nil), xt.Grad...), yt.Grad...)
+
+			// Sample coordinates across both axes; probe each with a
+			// reduced-variable central difference through the full model.
+			samples := 6
+			if 2*n < samples {
+				samples = 2 * n
+			}
+			idx := make([]int, samples)
+			vals := make([]float64, samples)
+			for s := 0; s < samples; s++ {
+				idx[s] = s * (2 * n) / samples
+				vals[s] = z[idx[s]]
+			}
+			reduced := func(v []float64) (float64, error) {
+				w := append([]float64(nil), z...)
+				for j, id := range idx {
+					w[id] = v[j]
+				}
+				return loss(w)
+			}
+			numeric, err := oracle.CentralDiff(reduced, vals, 1e-4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, id := range idx {
+				if d := math.Abs(numeric[j] - analytic[id]); d > 1e-5 {
+					t.Fatalf("coord %d: backprop %.10g vs central-diff %.10g (|Δ|=%.3g)", id, analytic[id], numeric[j], d)
+				}
+			}
+		})
+	}
+}
+
+// TestPropOracleElmoreMonotone pins the reference Elmore oracle's own
+// physics on random RC trees: delays are non-negative, non-decreasing
+// along every root path, and monotone in every resistance and
+// capacitance (the formula is a positive bilinear form).
+func TestPropOracleElmoreMonotone(t *testing.T) {
+	check.Run(t, check.RCTrees(16), func(tr check.RCTree) error {
+		base := oracle.ElmoreNaive(tr.Parent, tr.EdgeR, tr.Cap)
+		for v := range base {
+			if base[v] < 0 {
+				return fmt.Errorf("negative delay %g at node %d", base[v], v)
+			}
+			if p := tr.Parent[v]; p >= 0 && base[v] < base[p]-1e-12 {
+				return fmt.Errorf("delay decreases from parent %d (%g) to child %d (%g)", p, base[p], v, base[v])
+			}
+		}
+		// Bump one resistance and one capacitance: no delay may drop.
+		n := tr.Nodes()
+		r2 := append([]float64(nil), tr.EdgeR...)
+		r2[1] += 0.5
+		bumpedR := oracle.ElmoreNaive(tr.Parent, r2, tr.Cap)
+		for v := range base {
+			if bumpedR[v] < base[v]-1e-12 {
+				return fmt.Errorf("raising a resistance lowered delay at node %d: %g -> %g", v, base[v], bumpedR[v])
+			}
+		}
+		// Capacitance bump.
+		c2 := append([]float64(nil), tr.Cap...)
+		c2[n-1] += 0.05
+		bumpedC := oracle.ElmoreNaive(tr.Parent, tr.EdgeR, c2)
+		for v := range base {
+			if bumpedC[v] < base[v]-1e-12 {
+				return fmt.Errorf("raising a capacitance lowered delay at node %d: %g -> %g", v, base[v], bumpedC[v])
+			}
+		}
+		return nil
+	})
+}

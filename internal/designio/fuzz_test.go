@@ -1,0 +1,45 @@
+package designio_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tsteiner/internal/designio"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/synth"
+)
+
+// FuzzLoadDesign feeds arbitrary bytes to the design reader. Contract:
+// no panic on any input, and every successfully decoded design must
+// pass full structural validation — the loader may reject, but it may
+// never emit a malformed netlist into the flow.
+func FuzzLoadDesign(f *testing.F) {
+	d, err := synth.Generate(synth.Spec{
+		Name: "fuzz_seed", Seed: 11, Cells: 40, Endpoints: 8, PIs: 4, Depth: 5, ClockNS: 1.0,
+	}, lib.Default())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := designio.WriteJSON(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()/2])
+	f.Add([]byte(`{"Name":"t","ClockNS":1,"Die":[0,0,100,100],` +
+		`"Ports":[{"Name":"a","Dir":"in","Pos":{"X":0,"Y":0}},{"Name":"z","Dir":"out","Cap":0.01,"Pos":{"X":90,"Y":90}}],` +
+		`"Cells":[{"Name":"u1","Master":"INV_X1","Pos":{"X":50,"Y":50}}],` +
+		`"Nets":[{"Driver":"a","Sinks":["u1/A"]},{"Driver":"u1/Y","Sinks":["z"]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Ports":[{"Name":"p","Dir":"sideways"}]}`))
+	tech := lib.Default()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := designio.ReadJSON(bytes.NewReader(data), tech)
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted input but produced an invalid design: %v", err)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package geom_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/geom"
+)
+
+var propBox = geom.BBox{XLo: -40, YLo: -40, XHi: 120, YHi: 90}
+
+// TestPropManhattanMetric pins the metric axioms: symmetry, the
+// triangle inequality, and d(p,q)=0 ⇔ p=q.
+func TestPropManhattanMetric(t *testing.T) {
+	g := check.PointsIn(propBox, 3, 3)
+	check.Run(t, g, func(pts []geom.Point) error {
+		p, q, r := pts[0], pts[1], pts[2]
+		if geom.ManhattanDist(p, q) != geom.ManhattanDist(q, p) {
+			return fmt.Errorf("asymmetric: d(%v,%v) != d(%v,%v)", p, q, q, p)
+		}
+		if geom.ManhattanDist(p, r) > geom.ManhattanDist(p, q)+geom.ManhattanDist(q, r) {
+			return fmt.Errorf("triangle inequality violated via %v", q)
+		}
+		if d := geom.ManhattanDist(p, p); d != 0 {
+			return fmt.Errorf("d(p,p) = %d", d)
+		}
+		if p != q && geom.ManhattanDist(p, q) == 0 {
+			return fmt.Errorf("distinct points %v,%v at distance 0", p, q)
+		}
+		return nil
+	})
+}
+
+// TestPropBBoxOfContains checks BBoxOf covers every input point and its
+// half-perimeter is translation-invariant.
+func TestPropBBoxOfContains(t *testing.T) {
+	g := check.Two(check.PointsIn(propBox, 1, 12), check.PointIn(geom.BBox{XLo: -50, YLo: -50, XHi: 50, YHi: 50}))
+	check.Run(t, g, func(in check.Pair[[]geom.Point, geom.Point]) error {
+		pts, shift := in.A, in.B
+		b := geom.BBoxOf(pts)
+		for _, p := range pts {
+			if !b.Contains(p) {
+				return fmt.Errorf("bbox %+v misses member %v", b, p)
+			}
+		}
+		moved := make([]geom.Point, len(pts))
+		for i, p := range pts {
+			moved[i] = geom.Point{X: p.X + shift.X, Y: p.Y + shift.Y}
+		}
+		if got, want := geom.BBoxOf(moved).HalfPerimeter(), b.HalfPerimeter(); got != want {
+			return fmt.Errorf("HPWL changed under translation by %v: %d -> %d", shift, want, got)
+		}
+		return nil
+	})
+}
+
+// TestPropHananGridCoversTerminals checks the Hanan grid contains every
+// terminal, stays inside the terminal bbox, and has at most n² points.
+func TestPropHananGridCoversTerminals(t *testing.T) {
+	check.Run(t, check.PointsIn(propBox, 1, 8), func(pts []geom.Point) error {
+		grid := geom.HananGrid(pts)
+		if len(grid) > len(pts)*len(pts) {
+			return fmt.Errorf("%d grid points for %d terminals", len(grid), len(pts))
+		}
+		b := geom.BBoxOf(pts)
+		on := make(map[geom.Point]bool, len(grid))
+		for _, gp := range grid {
+			if !b.Contains(gp) {
+				return fmt.Errorf("grid point %v outside terminal bbox %+v", gp, b)
+			}
+			on[gp] = true
+		}
+		for _, p := range pts {
+			if !on[p] {
+				return fmt.Errorf("terminal %v missing from its Hanan grid", p)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropMedianMinimizesL1 checks the coordinate-wise median is a true
+// 1-median: no other candidate point has a smaller total Manhattan
+// distance to the set.
+func TestPropMedianMinimizesL1(t *testing.T) {
+	g := check.Two(check.PointsIn(propBox, 1, 9), check.PointsIn(propBox, 4, 4))
+	check.Run(t, g, func(in check.Pair[[]geom.Point, []geom.Point]) error {
+		pts, rivals := in.A, in.B
+		sum := func(c geom.Point) int {
+			s := 0
+			for _, p := range pts {
+				s += geom.ManhattanDist(c, p)
+			}
+			return s
+		}
+		m := geom.Median(pts)
+		best := sum(m)
+		// Rivals: random points plus ±1 perturbations of the median.
+		rivals = append(rivals,
+			geom.Point{X: m.X + 1, Y: m.Y}, geom.Point{X: m.X - 1, Y: m.Y},
+			geom.Point{X: m.X, Y: m.Y + 1}, geom.Point{X: m.X, Y: m.Y - 1})
+		for _, r := range rivals {
+			if s := sum(r); s < best {
+				return fmt.Errorf("median %v (cost %d) beaten by %v (cost %d)", m, best, r, s)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,48 @@
+package gnn_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tsteiner/internal/gnn"
+	"tsteiner/internal/guard"
+)
+
+// FuzzLoadModel throws arbitrary bytes at the model decoder. Contract:
+// any input yields either a structurally sound model or a
+// *guard.CorruptError — never a panic and never an oversized
+// allocation (layer widths are bounds-checked before tensors are
+// built).
+func FuzzLoadModel(f *testing.F) {
+	m := gnn.NewModel(gnn.DefaultConfig(), 1)
+	path := filepath.Join(f.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Cfg":{"Hidden":8,"WireHidden":8,"CellHidden":8,"MPIters":3,"ArcGamma":0.05},"Params":[],"Shapes":[]}`))
+	f.Add([]byte(`{"Cfg":{"Hidden":99999999,"WireHidden":8,"CellHidden":8,"MPIters":3,"ArcGamma":0.05}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := gnn.Decode("fuzz", data)
+		if err != nil {
+			var ce *guard.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decoder failed with a non-CorruptError: %T %v", err, err)
+			}
+			return
+		}
+		for i, p := range got.Params() {
+			if p.Rows*p.Cols != len(p.Data) {
+				t.Fatalf("decoded tensor %d: %dx%d with %d values", i, p.Rows, p.Cols, len(p.Data))
+			}
+		}
+	})
+}

@@ -739,16 +739,41 @@ func (m *Model) Save(path string) error {
 	return guard.AtomicWriteFile(path, data, 0o644)
 }
 
-// Load reads a model saved by Save. A truncated or structurally invalid
-// file is rejected with a *guard.CorruptError — never a partial decode.
-func Load(path string) (*Model, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+// maxModelWidth bounds the layer sizes Decode will instantiate: a
+// corrupt or hostile file must not be able to request multi-gigabyte
+// parameter tensors before shape validation can reject it.
+const maxModelWidth = 1 << 12
+
+// validateConfig rejects configs that NewModel cannot size sanely.
+func validateConfig(cfg Config) error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{{"Hidden", cfg.Hidden}, {"WireHidden", cfg.WireHidden}, {"CellHidden", cfg.CellHidden}} {
+		if d.v < 1 || d.v > maxModelWidth {
+			return fmt.Errorf("%s %d outside [1, %d]", d.name, d.v, maxModelWidth)
+		}
 	}
+	if cfg.MPIters < 0 || cfg.MPIters > 64 {
+		return fmt.Errorf("MPIters %d outside [0, 64]", cfg.MPIters)
+	}
+	if !(cfg.ArcGamma > 0) || cfg.ArcGamma > 100 {
+		return fmt.Errorf("ArcGamma %g outside (0, 100]", cfg.ArcGamma)
+	}
+	return nil
+}
+
+// Decode reconstructs a model from the bytes Save wrote. path only
+// labels errors. Arbitrary input must yield either a model or a
+// *guard.CorruptError — never a panic, an over-allocation, or a partial
+// decode (this is the fuzzing surface behind Load).
+func Decode(path string, data []byte) (*Model, error) {
 	var js modelJSON
 	if err := json.Unmarshal(data, &js); err != nil {
 		return nil, &guard.CorruptError{Path: path, Reason: "truncated or malformed model JSON", Err: err}
+	}
+	if err := validateConfig(js.Cfg); err != nil {
+		return nil, &guard.CorruptError{Path: path, Reason: fmt.Sprintf("invalid config: %v", err)}
 	}
 	m := NewModel(js.Cfg, 0)
 	ps := m.Params()
@@ -766,4 +791,14 @@ func Load(path string) (*Model, error) {
 		copy(p.Data, js.Params[i])
 	}
 	return m, nil
+}
+
+// Load reads a model saved by Save. A truncated or structurally invalid
+// file is rejected with a *guard.CorruptError — never a partial decode.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(path, data)
 }

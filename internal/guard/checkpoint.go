@@ -50,6 +50,31 @@ func WriteCheckpoint(path string, v any, inj *fault.Injector) error {
 	return AtomicWriteFile(path, data, 0o644)
 }
 
+// DecodeCheckpoint validates a checkpoint envelope held in memory and
+// decodes its payload into v. path only labels errors. This is the
+// byte-level entry point ReadCheckpoint is built on (and the fuzzing
+// surface: arbitrary bytes must produce either a decoded value or a
+// *CorruptError, never a panic or a partial decode).
+func DecodeCheckpoint(path string, data []byte, v any) error {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return &CorruptError{Path: path, Reason: "truncated or malformed envelope", Err: err}
+	}
+	if env.Magic != checkpointMagic {
+		return &CorruptError{Path: path, Reason: "not a checkpoint file"}
+	}
+	if env.Version != checkpointVersion {
+		return &CorruptError{Path: path, Reason: "unsupported checkpoint version"}
+	}
+	if got := crc32.ChecksumIEEE(env.Payload); got != env.CRC {
+		return &CorruptError{Path: path, Reason: "payload checksum mismatch"}
+	}
+	if err := json.Unmarshal(env.Payload, v); err != nil {
+		return &CorruptError{Path: path, Reason: "payload decode failed", Err: err}
+	}
+	return nil
+}
+
 // ReadCheckpoint loads a checkpoint into v. A missing file returns
 // (false, nil) — a fresh start, not an error. Truncation, checksum
 // mismatch or schema drift return a *CorruptError: resuming from a bad
@@ -62,21 +87,8 @@ func ReadCheckpoint(path string, v any) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	var env envelope
-	if err := json.Unmarshal(data, &env); err != nil {
-		return false, &CorruptError{Path: path, Reason: "truncated or malformed envelope", Err: err}
-	}
-	if env.Magic != checkpointMagic {
-		return false, &CorruptError{Path: path, Reason: "not a checkpoint file"}
-	}
-	if env.Version != checkpointVersion {
-		return false, &CorruptError{Path: path, Reason: "unsupported checkpoint version"}
-	}
-	if got := crc32.ChecksumIEEE(env.Payload); got != env.CRC {
-		return false, &CorruptError{Path: path, Reason: "payload checksum mismatch"}
-	}
-	if err := json.Unmarshal(env.Payload, v); err != nil {
-		return false, &CorruptError{Path: path, Reason: "payload decode failed", Err: err}
+	if err := DecodeCheckpoint(path, data, v); err != nil {
+		return false, err
 	}
 	return true, nil
 }

@@ -1,0 +1,45 @@
+package guard_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tsteiner/internal/guard"
+)
+
+// FuzzReadCheckpoint throws arbitrary bytes at the checkpoint decoder.
+// The contract under fuzzing: any input either decodes cleanly or is
+// rejected with a *guard.CorruptError — never a panic, and never a
+// silent partial decode (enforced structurally by the CRC envelope).
+func FuzzReadCheckpoint(f *testing.F) {
+	type payload struct {
+		Epoch int
+		Loss  float64
+		Note  string
+	}
+	path := filepath.Join(f.TempDir(), "ckpt.json")
+	if err := guard.WriteCheckpoint(path, payload{Epoch: 3, Loss: 0.25, Note: "seed"}, nil); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // torn write
+	f.Add([]byte(`{"Magic":"tsteiner-ckpt","Version":1,"CRC":0,"Payload":{}}`))
+	f.Add([]byte(`{"Magic":"other","Version":1,"CRC":0,"Payload":{}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v payload
+		if err := guard.DecodeCheckpoint("fuzz", data, &v); err != nil {
+			var ce *guard.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decoder failed with a non-CorruptError: %T %v", err, err)
+			}
+		}
+	})
+}

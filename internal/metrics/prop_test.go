@@ -1,0 +1,105 @@
+package metrics_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/metrics"
+)
+
+// TestPropMetricsIdentities pins the closed-form identities: a perfect
+// prediction scores R²=1, affine relations score Pearson ±1, the mean
+// stays inside [min, max], and Ratio(v,v)=1.
+func TestPropMetricsIdentities(t *testing.T) {
+	g := check.SliceOf(3, 40, check.Float(-50, 50))
+	check.Run(t, g, func(xs []float64) error {
+		if r2, err := metrics.R2(xs, xs); err != nil {
+			return err
+		} else if math.Abs(r2-1) > 1e-12 {
+			return fmt.Errorf("R2(y,y) = %.15g", r2)
+		}
+		up := make([]float64, len(xs))
+		down := make([]float64, len(xs))
+		for i, v := range xs {
+			up[i] = 2*v + 3
+			down[i] = -v + 1
+		}
+		if degenerate(xs) {
+			return nil // constant vector: correlation undefined
+		}
+		if p, err := metrics.Pearson(xs, up); err != nil {
+			return err
+		} else if math.Abs(p-1) > 1e-9 {
+			return fmt.Errorf("Pearson(x, 2x+3) = %.12g", p)
+		}
+		if p, err := metrics.Pearson(xs, down); err != nil {
+			return err
+		} else if math.Abs(p+1) > 1e-9 {
+			return fmt.Errorf("Pearson(x, -x+1) = %.12g", p)
+		}
+		lo, hi := xs[0], xs[0]
+		for _, v := range xs {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if m := metrics.Mean(xs); m < lo-1e-12 || m > hi+1e-12 {
+			return fmt.Errorf("mean %.12g outside [%.12g, %.12g]", m, lo, hi)
+		}
+		if r := metrics.Ratio(xs[0], xs[0]); xs[0] != 0 && math.Abs(r-1) > 1e-12 {
+			return fmt.Errorf("Ratio(v,v) = %.15g", r)
+		}
+		return nil
+	})
+}
+
+func degenerate(xs []float64) bool {
+	for _, v := range xs[1:] {
+		if v != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropQuantileHistogram checks the order statistics: quantiles are
+// monotone in q and bounded by the extremes, and every sample lands in
+// exactly one histogram bin.
+func TestPropQuantileHistogram(t *testing.T) {
+	g := check.SliceOf(1, 60, check.Float(-20, 20))
+	check.Run(t, g, func(xs []float64) error {
+		lo, hi := xs[0], xs[0]
+		for _, v := range xs {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+			v := metrics.Quantile(xs, q)
+			if v < prev {
+				return fmt.Errorf("quantile not monotone: q=%.2f gave %.12g after %.12g", q, v, prev)
+			}
+			if v < lo || v > hi {
+				return fmt.Errorf("quantile %.2f = %.12g outside [%.12g, %.12g]", q, v, lo, hi)
+			}
+			prev = v
+		}
+		if metrics.Quantile(xs, 0) != lo || metrics.Quantile(xs, 1) != hi {
+			return fmt.Errorf("extreme quantiles %g/%g != min/max %g/%g",
+				metrics.Quantile(xs, 0), metrics.Quantile(xs, 1), lo, hi)
+		}
+		counts := metrics.Histogram(xs, -20, 20, 8)
+		total := 0
+		for _, c := range counts {
+			if c < 0 {
+				return fmt.Errorf("negative bin count %d", c)
+			}
+			total += c
+		}
+		if total != len(xs) {
+			return fmt.Errorf("histogram mass %d != %d samples", total, len(xs))
+		}
+		return nil
+	})
+}

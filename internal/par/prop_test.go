@@ -1,0 +1,51 @@
+package par_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/par"
+)
+
+// TestPropMapMatchesSerialAnyWorkers is the determinism contract of the
+// parallel layer under adversarial shapes: any worker count — including
+// more workers than items and the zero-item edge case — must produce
+// exactly the serial result, in order.
+func TestPropMapMatchesSerialAnyWorkers(t *testing.T) {
+	g := check.Two(check.SliceOf(0, 50, check.Int(-1000, 1000)), check.Int(1, 64))
+	check.Run(t, g, func(in check.Pair[[]int, int]) error {
+		items, workers := in.A, in.B
+		fn := func(i int, v int) (int, error) { return v*3 + i, nil }
+		want := make([]int, len(items))
+		for i, v := range items {
+			want[i], _ = fn(i, v)
+		}
+		got, err := par.Map(workers, items, fn)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("workers=%d items=%d: got %d results", workers, len(items), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("workers=%d: index %d got %d want %d", workers, i, got[i], want[i])
+			}
+		}
+		// ForEach must visit every index exactly once.
+		seen := make([]int32, len(items))
+		if err := par.ForEach(workers, len(items), func(i int) error {
+			seen[i]++
+			return nil
+		}); err != nil {
+			return err
+		}
+		for i, c := range seen {
+			if c != 1 {
+				return fmt.Errorf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+		return nil
+	})
+}

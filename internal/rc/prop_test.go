@@ -1,0 +1,153 @@
+package rc_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/rc"
+	"tsteiner/internal/rsmt"
+)
+
+var propCfg = check.Config{Cases: 8}
+
+// buildRC generates, places and Steinerizes a random design, then
+// extracts its parasitics.
+func buildRC(spec check.DesignSpec) (*netlist.Design, *rsmt.Forest, []rc.NetRC, error) {
+	d, err := spec.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	f, err := rsmt.BuildAll(d, rsmt.DefaultOptions())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rcs, err := rc.ExtractFromTrees(d, f, lib.Default())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d, f, rcs, nil
+}
+
+// TestPropRCPositiveFinite checks physical sanity on random designs:
+// every net has positive total capacitance and non-negative, finite
+// sink delays and slew contributions.
+func TestPropRCPositiveFinite(t *testing.T) {
+	check.RunCfg(t, propCfg, check.DesignSpecs(), func(spec check.DesignSpec) error {
+		_, _, rcs, err := buildRC(spec)
+		if err != nil {
+			return err
+		}
+		for ni := range rcs {
+			n := &rcs[ni]
+			if !(n.TotalCap > 0) || math.IsInf(n.TotalCap, 0) {
+				return fmt.Errorf("net %d: TotalCap %g", ni, n.TotalCap)
+			}
+			for si := range n.SinkDelay {
+				if n.SinkDelay[si] < 0 || math.IsNaN(n.SinkDelay[si]) || math.IsInf(n.SinkDelay[si], 0) {
+					return fmt.Errorf("net %d sink %d: delay %g", ni, si, n.SinkDelay[si])
+				}
+				if n.SinkSlewAdd[si] < 0 || math.IsNaN(n.SinkSlewAdd[si]) {
+					return fmt.Errorf("net %d sink %d: slewAdd %g", ni, si, n.SinkSlewAdd[si])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// translate shifts every pin, die corner and tree node by (dx, dy).
+func translate(d *netlist.Design, f *rsmt.Forest, dx, dy int) {
+	d.Die.XLo += dx
+	d.Die.XHi += dx
+	d.Die.YLo += dy
+	d.Die.YHi += dy
+	for i := range d.Pins {
+		d.Pins[i].Pos.X += dx
+		d.Pins[i].Pos.Y += dy
+	}
+	for ti := range f.Trees {
+		for ni := range f.Trees[ti].Nodes {
+			f.Trees[ti].Nodes[ni].Pos.X += float64(dx)
+			f.Trees[ti].Nodes[ni].Pos.Y += float64(dy)
+		}
+	}
+}
+
+// transpose swaps the X and Y axes of the whole design and forest.
+func transpose(d *netlist.Design, f *rsmt.Forest) {
+	d.Die.XLo, d.Die.YLo = d.Die.YLo, d.Die.XLo
+	d.Die.XHi, d.Die.YHi = d.Die.YHi, d.Die.XHi
+	for i := range d.Pins {
+		d.Pins[i].Pos.X, d.Pins[i].Pos.Y = d.Pins[i].Pos.Y, d.Pins[i].Pos.X
+	}
+	for ti := range f.Trees {
+		for ni := range f.Trees[ti].Nodes {
+			p := &f.Trees[ti].Nodes[ni].Pos
+			p.X, p.Y = p.Y, p.X
+		}
+	}
+}
+
+func sameRC(a, b []rc.NetRC) error {
+	for ni := range a {
+		if a[ni].TotalCap != b[ni].TotalCap {
+			return fmt.Errorf("net %d: TotalCap %.12g vs %.12g", ni, a[ni].TotalCap, b[ni].TotalCap)
+		}
+		for si := range a[ni].SinkDelay {
+			if a[ni].SinkDelay[si] != b[ni].SinkDelay[si] {
+				return fmt.Errorf("net %d sink %d: delay %.12g vs %.12g", ni, si, a[ni].SinkDelay[si], b[ni].SinkDelay[si])
+			}
+			if a[ni].SinkSlewAdd[si] != b[ni].SinkSlewAdd[si] {
+				return fmt.Errorf("net %d sink %d: slewAdd %.12g vs %.12g", ni, si, a[ni].SinkSlewAdd[si], b[ni].SinkSlewAdd[si])
+			}
+		}
+	}
+	return nil
+}
+
+// TestPropElmoreTranslationInvariant: the pre-routing Elmore model
+// depends only on edge lengths, so shifting the whole layout must keep
+// every parasitic bit-identical.
+func TestPropElmoreTranslationInvariant(t *testing.T) {
+	g := check.Two(check.DesignSpecs(), check.Two(check.Int(-300, 300), check.Int(-300, 300)))
+	check.RunCfg(t, propCfg, g, func(in check.Pair[check.DesignSpec, check.Pair[int, int]]) error {
+		d, f, rcs, err := buildRC(in.A)
+		if err != nil {
+			return err
+		}
+		translate(d, f, in.B.A, in.B.B)
+		moved, err := rc.ExtractFromTrees(d, f, lib.Default())
+		if err != nil {
+			return err
+		}
+		if err := sameRC(rcs, moved); err != nil {
+			return fmt.Errorf("translation by (%d,%d) changed parasitics: %w", in.B.A, in.B.B, err)
+		}
+		return nil
+	})
+}
+
+// TestPropElmoreTransposeInvariant: swapping the axes preserves every
+// Manhattan edge length, and the averaged-layer model has no direction
+// preference, so parasitics must be bit-identical under transpose.
+func TestPropElmoreTransposeInvariant(t *testing.T) {
+	check.RunCfg(t, propCfg, check.DesignSpecs(), func(spec check.DesignSpec) error {
+		d, f, rcs, err := buildRC(spec)
+		if err != nil {
+			return err
+		}
+		transpose(d, f)
+		flipped, err := rc.ExtractFromTrees(d, f, lib.Default())
+		if err != nil {
+			return err
+		}
+		if err := sameRC(rcs, flipped); err != nil {
+			return fmt.Errorf("transpose changed parasitics: %w", err)
+		}
+		return nil
+	})
+}

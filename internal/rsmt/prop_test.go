@@ -1,0 +1,132 @@
+package rsmt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/check/oracle"
+	"tsteiner/internal/geom"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/rsmt"
+)
+
+// netTerminals collects a net's pin positions.
+func netTerminals(d *netlist.Design, net *netlist.Net) []geom.Point {
+	terms := make([]geom.Point, 0, net.NumPins())
+	terms = append(terms, d.Pin(net.Driver).Pos)
+	for _, s := range net.Sinks {
+		terms = append(terms, d.Pin(s).Pos)
+	}
+	return terms
+}
+
+// propCfg keeps randomized whole-design properties affordable.
+var propCfg = check.Config{Cases: 8}
+
+// TestPropForestValidAndSandwiched builds the Steiner forest of random
+// designs and checks structural validity plus the wirelength sandwich
+// HPWL ≤ tree ≤ terminal-MST for every net.
+func TestPropForestValidAndSandwiched(t *testing.T) {
+	check.RunCfg(t, propCfg, check.DesignSpecs(), func(spec check.DesignSpec) error {
+		d, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		f, err := rsmt.BuildAll(d, rsmt.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if err := f.Validate(d); err != nil {
+			return fmt.Errorf("forest invalid: %w", err)
+		}
+		for i := range f.Trees {
+			tr := f.Trees[i]
+			terms := netTerminals(d, d.Net(tr.Net))
+			wl := tr.WirelengthF()
+			if hpwl := geom.BBoxOf(terms).HalfPerimeter(); wl < float64(hpwl)-1e-6 {
+				return fmt.Errorf("net %d: wirelength %.3f below HPWL %d", i, wl, hpwl)
+			}
+			if mst := oracle.MSTLength(terms); wl > float64(mst)+1e-6 {
+				return fmt.Errorf("net %d: wirelength %.3f above terminal MST %d", i, wl, mst)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropWirelengthTranslationInvariant shifts an entire placed design
+// and rebuilds: construction is translation-covariant, so every tree's
+// wirelength must be bit-identical.
+func TestPropWirelengthTranslationInvariant(t *testing.T) {
+	shiftBox := geom.BBox{XLo: -500, YLo: -500, XHi: 500, YHi: 500}
+	g := check.Two(check.DesignSpecs(), check.PointIn(shiftBox))
+	check.RunCfg(t, propCfg, g, func(in check.Pair[check.DesignSpec, geom.Point]) error {
+		spec, shift := in.A, in.B
+		d, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		f, err := rsmt.BuildAll(d, rsmt.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		d2, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		d2.Die.XLo += shift.X
+		d2.Die.XHi += shift.X
+		d2.Die.YLo += shift.Y
+		d2.Die.YHi += shift.Y
+		for i := range d2.Pins {
+			d2.Pins[i].Pos.X += shift.X
+			d2.Pins[i].Pos.Y += shift.Y
+		}
+		f2, err := rsmt.BuildAll(d2, rsmt.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if len(f.Trees) != len(f2.Trees) {
+			return fmt.Errorf("tree count changed under translation: %d vs %d", len(f.Trees), len(f2.Trees))
+		}
+		for i := range f.Trees {
+			a, b := f.Trees[i].WirelengthF(), f2.Trees[i].WirelengthF()
+			if a != b {
+				return fmt.Errorf("net %d: wirelength %.9g became %.9g after shift %v", i, a, b, shift)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropPerturbStaysValid randomly jiggles Steiner points and checks
+// the forest still validates and every Steiner node stays in bounds.
+func TestPropPerturbStaysValid(t *testing.T) {
+	g := check.Two(check.DesignSpecs(), check.Int(1, 1<<30))
+	check.RunCfg(t, propCfg, g, func(in check.Pair[check.DesignSpec, int]) error {
+		d, err := in.A.Build()
+		if err != nil {
+			return err
+		}
+		f, err := rsmt.BuildAll(d, rsmt.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		rng := check.NewRNG(uint64(in.B)).Rand()
+		rsmt.Perturb(f, rng, 7.5, d.Die)
+		if err := f.Validate(d); err != nil {
+			return fmt.Errorf("forest invalid after perturb: %w", err)
+		}
+		die := d.Die
+		for ti := range f.Trees {
+			for _, n := range f.Trees[ti].Nodes {
+				if n.Pos.X < float64(die.XLo) || n.Pos.X > float64(die.XHi) ||
+					n.Pos.Y < float64(die.YLo) || n.Pos.Y > float64(die.YHi) {
+					return fmt.Errorf("tree %d node at %v escaped die %+v", ti, n.Pos, die)
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,121 @@
+package sta_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/rc"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/sta"
+)
+
+var propCfg = check.Config{Cases: 8}
+
+func timed(spec check.DesignSpec) (*netlist.Design, []rc.NetRC, *sta.Result, error) {
+	d, err := spec.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	f, err := rsmt.BuildAll(d, rsmt.DefaultOptions())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rcs, err := rc.ExtractFromTrees(d, f, lib.Default())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := sta.Run(d, rcs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d, rcs, res, nil
+}
+
+// TestPropSignoffConsistency checks the paper's Eq. 1 aggregates are
+// internally consistent on random designs: WNS is the worst endpoint
+// slack, TNS sums exactly the negative slacks, Vios counts them, and a
+// negative WNS implies at least one violation.
+func TestPropSignoffConsistency(t *testing.T) {
+	check.RunCfg(t, propCfg, check.DesignSpecs(), func(spec check.DesignSpec) error {
+		_, _, res, err := timed(spec)
+		if err != nil {
+			return err
+		}
+		if len(res.Endpoints) == 0 {
+			return fmt.Errorf("design has no timing endpoints")
+		}
+		minSlack := math.Inf(1)
+		tns := 0.0
+		vios := 0
+		for _, s := range res.EndpointSlack {
+			if math.IsNaN(s) {
+				return fmt.Errorf("NaN endpoint slack")
+			}
+			if s < minSlack {
+				minSlack = s
+			}
+			if s < 0 {
+				tns += s
+				vios++
+			}
+		}
+		if res.WNS != minSlack {
+			return fmt.Errorf("WNS %.12g != min endpoint slack %.12g", res.WNS, minSlack)
+		}
+		if math.Abs(res.TNS-tns) > 1e-9 {
+			return fmt.Errorf("TNS %.12g != Σ negative slacks %.12g", res.TNS, tns)
+		}
+		if res.Vios != vios {
+			return fmt.Errorf("Vios %d != count of negative slacks %d", res.Vios, vios)
+		}
+		if res.WNS < 0 && res.Vios < 1 {
+			return fmt.Errorf("WNS %.12g < 0 but no violations counted", res.WNS)
+		}
+		// Per-pin slack at an endpoint can only be tighter than (or equal
+		// to) the endpoint's own slack: downstream constraints may add.
+		for i, e := range res.Endpoints {
+			if res.PinSlack[e] > res.EndpointSlack[i]+1e-9 {
+				return fmt.Errorf("endpoint %d: pin slack %.12g looser than endpoint slack %.12g",
+					i, res.PinSlack[e], res.EndpointSlack[i])
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropClockPeriodMonotone relaxes the clock: arrivals are untouched
+// and required times shift by exactly the added period, so every
+// endpoint slack must grow by that delta and violations cannot rise.
+func TestPropClockPeriodMonotone(t *testing.T) {
+	g := check.Two(check.DesignSpecs(), check.Float(0.1, 2.5))
+	check.RunCfg(t, propCfg, g, func(in check.Pair[check.DesignSpec, float64]) error {
+		d, rcs, base, err := timed(in.A)
+		if err != nil {
+			return err
+		}
+		delta := in.B
+		d.ClockPeriod += delta
+		relaxed, err := sta.Run(d, rcs)
+		if err != nil {
+			return err
+		}
+		for i := range base.EndpointSlack {
+			want := base.EndpointSlack[i] + delta
+			if math.Abs(relaxed.EndpointSlack[i]-want) > 1e-9 {
+				return fmt.Errorf("endpoint %d: slack %.12g + %.12g != %.12g after relaxing clock",
+					i, base.EndpointSlack[i], delta, relaxed.EndpointSlack[i])
+			}
+		}
+		if relaxed.Vios > base.Vios {
+			return fmt.Errorf("relaxing the clock by %.3f raised violations %d -> %d", delta, base.Vios, relaxed.Vios)
+		}
+		if relaxed.WNS < base.WNS {
+			return fmt.Errorf("relaxing the clock lowered WNS %.12g -> %.12g", base.WNS, relaxed.WNS)
+		}
+		return nil
+	})
+}
