@@ -18,7 +18,7 @@ func TestSmoke(t *testing.T) {
 		t.Fatalf("help output lacks flag listing:\n%s", help)
 	}
 
-	out := check.RunOK(t, dir, bin, "-designs", "spm", "-scale", "0.1")
+	out := check.RunMain(t, dir, main, "-designs", "spm", "-scale", "0.1")
 	if !strings.Contains(out, "spm") || !strings.Contains(out, "WNS") {
 		t.Fatalf("calibration output lacks benchmark row:\n%s", out)
 	}

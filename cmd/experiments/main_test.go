@@ -18,7 +18,7 @@ func TestSmoke(t *testing.T) {
 		t.Fatalf("help output lacks flag listing:\n%s", help)
 	}
 
-	out := check.RunOK(t, dir, bin,
+	out := check.RunMain(t, dir, main,
 		"-table", "1", "-designs", "spm", "-scale", "0.1",
 		"-epochs", "2", "-iters", "2", "-q")
 	if !strings.Contains(out, "spm") {

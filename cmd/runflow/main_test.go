@@ -32,7 +32,7 @@ func TestSmoke(t *testing.T) {
 	if err := designio.WriteJSONFile(path, d); err != nil {
 		t.Fatal(err)
 	}
-	out := check.RunOK(t, dir, bin, "-design", path)
+	out := check.RunMain(t, dir, main, "-design", path)
 	if !strings.Contains(out, "WNS") {
 		t.Fatalf("flow output lacks sign-off metrics:\n%s", out)
 	}

@@ -9,9 +9,10 @@ import (
 	"tsteiner/internal/check"
 )
 
-// TestSmoke builds the CLI and exercises help plus a miniature
-// end-to-end run (train 2 epochs, refine 2 iterations at reduced
-// scale) that also writes every artifact kind.
+// TestSmoke exercises help and the misuse path through a compiled
+// binary, and a miniature end-to-end run (train 2 epochs, refine 2
+// iterations at reduced scale, every artifact kind) through main() in
+// process, so `go test -cover` attributes the executed lines.
 func TestSmoke(t *testing.T) {
 	bin := check.GoBuild(t, "tsteiner/cmd/tsteiner")
 	dir := t.TempDir()
@@ -21,7 +22,7 @@ func TestSmoke(t *testing.T) {
 		t.Fatalf("help output lacks flag listing:\n%s", help)
 	}
 
-	out := check.RunOK(t, dir, bin,
+	out := check.RunMain(t, dir, main,
 		"-design", "spm", "-scale", "0.12", "-epochs", "2", "-iters", "2",
 		"-svg", filepath.Join(dir, "layout.svg"),
 		"-save-design", filepath.Join(dir, "design.json"),

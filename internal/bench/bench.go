@@ -1,0 +1,218 @@
+// Package bench is the repository's benchmark-regression harness. It pins
+// one fixed seeded workload (the spm benchmark with an untrained seed-7
+// evaluator), exposes deterministic measurement entry points for the three
+// hot paths the paper's flow spends its time in — the refine loop, a GNN
+// forward pass, and sign-off STA — and records their ns/op, B/op and
+// allocs/op together with the refine metrics in BENCH_refine.json at the
+// repository root.
+//
+// The committed baseline serves two gates:
+//
+//   - TestBenchReplayByteIdentical re-runs the workload (pooled and
+//     allocating evaluation paths, several worker counts) and requires the
+//     refine metrics and final Steiner coordinates to be byte-identical to
+//     each other and to the recorded baseline.
+//   - TestBenchAllocGate (enabled with -benchgate, wired into verify.sh)
+//     re-measures allocs/op and fails when the pooled refine loop regresses
+//     more than 10% over the baseline, or stops being at least 2x leaner
+//     than the allocating reference path.
+//
+// Refresh the baseline after intentional changes with
+// `go test ./internal/bench -run TestBenchUpdateBaseline -benchupdate`.
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"tsteiner/internal/core"
+	"tsteiner/internal/flow"
+	"tsteiner/internal/gnn"
+	"tsteiner/internal/grid"
+	"tsteiner/internal/rc"
+	"tsteiner/internal/route"
+	"tsteiner/internal/sta"
+)
+
+// Workload parameters. These pin the seeded benchmark the baseline was
+// recorded on; changing any of them requires re-recording BENCH_refine.json.
+const (
+	WorkloadName  = "spm"
+	WorkloadScale = 1.0
+	ModelSeed     = 7
+	RefineIters   = 6
+	BaselineFile  = "BENCH_refine.json"
+)
+
+// Workload is the fixed seeded benchmark state shared by every
+// measurement: a prepared design, its evaluator batch and a seeded model.
+type Workload struct {
+	Prepared *flow.Prepared
+	Batch    *gnn.Batch
+	Model    *gnn.Model
+}
+
+// NewWorkload builds the pinned workload. Workers only bounds parallel
+// fan-outs; every measured quantity is byte-identical at any value.
+func NewWorkload(workers int) (*Workload, error) {
+	cfg := flow.DefaultConfig()
+	cfg.Workers = workers
+	p, err := flow.PrepareBenchmark(WorkloadName, WorkloadScale, cfg)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := gnn.NewBatch(p.Design, p.Forest)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Prepared: p, Batch: bt, Model: gnn.NewModel(gnn.DefaultConfig(), ModelSeed)}, nil
+}
+
+// RefineOutcome is the algorithmic output of one refine run — everything
+// the replay gate compares. CoordHash is an FNV-1a digest over the raw
+// bits of the final Steiner coordinates, so "byte-identical coordinates"
+// is a single comparable value.
+type RefineOutcome struct {
+	InitWNS    float64 `json:"init_wns"`
+	InitTNS    float64 `json:"init_tns"`
+	BestWNS    float64 `json:"best_wns"`
+	BestTNS    float64 `json:"best_tns"`
+	Iterations int     `json:"iterations"`
+	Converged  bool    `json:"converged"`
+	CoordHash  string  `json:"coord_hash"`
+}
+
+// RunRefine runs the pinned refine loop on a fresh refiner and returns
+// its outcome. disableWS selects the allocating reference path.
+func (w *Workload) RunRefine(disableWS bool) (*RefineOutcome, error) {
+	opt := core.DefaultOptions()
+	opt.N = RefineIters
+	opt.DisableWorkspace = disableWS
+	r, err := core.NewRefiner(w.Model, w.Batch, w.Prepared, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Refine()
+	if err != nil {
+		return nil, err
+	}
+	xs, ys, _ := res.Forest.SteinerPositions()
+	return &RefineOutcome{
+		InitWNS:    res.InitWNS,
+		InitTNS:    res.InitTNS,
+		BestWNS:    res.BestWNS,
+		BestTNS:    res.BestTNS,
+		Iterations: res.Iterations,
+		Converged:  res.ConvergedByRatio,
+		CoordHash:  coordHash(xs, ys),
+	}, nil
+}
+
+func coordHash(xs, ys []float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, s := range [][]float64{xs, ys} {
+		for _, v := range s {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// STAState is the once-per-workload routing/extraction state feeding the
+// STA benchmark, so the measured loop is the timer alone.
+type STAState struct {
+	w   *Workload
+	rcs []rc.NetRC
+}
+
+// PrepareSTA routes and extracts the workload's initial forest.
+func (w *Workload) PrepareSTA() (*STAState, error) {
+	d := w.Prepared.Design
+	cfg := w.Prepared.Config
+	rounded := w.Prepared.Forest.Clone()
+	rounded.RoundPositions()
+	g, err := grid.New(d.Die, cfg.GCellSize, cfg.LayerCaps)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := route.Route(d, rounded, g, cfg.Route)
+	if err != nil {
+		return nil, err
+	}
+	rcs, err := rc.Extract(d, rounded, g, gr, w.Prepared.Lib)
+	if err != nil {
+		return nil, err
+	}
+	return &STAState{w: w, rcs: rcs}, nil
+}
+
+// Run performs one full sign-off STA pass over the extracted parasitics.
+func (s *STAState) Run() (*sta.Result, error) {
+	return sta.Run(s.w.Prepared.Design, s.rcs)
+}
+
+// Record is one benchmark's measured cost.
+type Record struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Baseline is the committed shape of BENCH_refine.json.
+type Baseline struct {
+	Workload   string            `json:"workload"`
+	Scale      float64           `json:"scale"`
+	ModelSeed  int               `json:"model_seed"`
+	Iters      int               `json:"refine_iters"`
+	Benchmarks map[string]Record `json:"benchmarks"`
+	Metrics    RefineOutcome     `json:"metrics"`
+}
+
+// BaselinePath locates BENCH_refine.json at the repository root by
+// walking up from the working directory to the module root.
+func BaselinePath() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, BaselineFile), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("bench: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// LoadBaseline reads the committed baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write serializes the baseline with stable key order (encoding/json
+// sorts map keys) so re-recording produces minimal diffs.
+func (b *Baseline) Write(path string) error {
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

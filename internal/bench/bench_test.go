@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"tsteiner/internal/tensor"
+)
+
+var (
+	benchGate = flag.Bool("benchgate", false,
+		"run the allocs/op regression gate against the committed BENCH_refine.json")
+	benchUpdate = flag.Bool("benchupdate", false,
+		"re-measure the pinned workload and rewrite BENCH_refine.json")
+)
+
+func newWorkload(tb testing.TB, workers int) *Workload {
+	tb.Helper()
+	w, err := NewWorkload(workers)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkRefineLoop measures the pooled (workspace + forward-memo)
+// refine loop end to end — the paper's Algorithm 1 on the pinned workload.
+func BenchmarkRefineLoop(b *testing.B) {
+	w := newWorkload(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunRefine(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefineLoopAllocating measures the allocating reference path
+// (Options.DisableWorkspace), the before side of the pooling comparison.
+func BenchmarkRefineLoopAllocating(b *testing.B) {
+	w := newWorkload(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunRefine(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGNNForward measures one evaluator forward pass on a reused
+// workspace tape — the inner kernel of every refine iteration.
+func BenchmarkGNNForward(b *testing.B) {
+	w := newWorkload(b, 1)
+	ws := tensor.NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := ws.Tape()
+		xs, ys, err := w.Batch.SteinerLeaves(tp, w.Prepared.Forest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Model.Forward(tp, w.Batch, xs, ys, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSTA measures one full sign-off STA pass over pre-extracted
+// parasitics of the pinned workload.
+func BenchmarkSTA(b *testing.B) {
+	w := newWorkload(b, 1)
+	st, err := w.PrepareSTA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBenchReplayByteIdentical is the replay gate: the pinned workload's
+// refine outcome — metrics, iteration count and the FNV digest of the
+// final Steiner coordinates — must be identical between the pooled and
+// allocating paths, across worker counts, and equal to the committed
+// baseline. Runs in short mode so verify.sh always exercises it.
+func TestBenchReplayByteIdentical(t *testing.T) {
+	outcomes := map[string]*RefineOutcome{}
+	for _, c := range []struct {
+		key       string
+		workers   int
+		disableWS bool
+	}{
+		{"ws/w=1", 1, false},
+		{"ws/w=4", 4, false},
+		{"alloc/w=1", 1, true},
+	} {
+		out, err := newWorkload(t, c.workers).RunRefine(c.disableWS)
+		if err != nil {
+			t.Fatalf("%s: %v", c.key, err)
+		}
+		outcomes[c.key] = out
+	}
+	want := outcomes["alloc/w=1"]
+	for key, got := range outcomes {
+		if *got != *want {
+			t.Errorf("%s outcome %+v != alloc/w=1 %+v", key, *got, *want)
+		}
+	}
+
+	path, err := BaselinePath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if os.IsNotExist(err) {
+		t.Skipf("no committed baseline at %s; record one with -benchupdate", path)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Workload != WorkloadName || base.Scale != WorkloadScale ||
+		base.ModelSeed != ModelSeed || base.Iters != RefineIters {
+		t.Fatalf("baseline pins %s@%v seed=%d iters=%d, harness pins %s@%v seed=%d iters=%d: re-record",
+			base.Workload, base.Scale, base.ModelSeed, base.Iters,
+			WorkloadName, WorkloadScale, ModelSeed, RefineIters)
+	}
+	if *want != base.Metrics {
+		t.Errorf("refine outcome %+v != recorded baseline %+v", *want, base.Metrics)
+	}
+}
+
+// measure runs fn under testing.Benchmark and returns its cost record.
+func measure(fn func(b *testing.B)) Record {
+	r := testing.Benchmark(fn)
+	return Record{
+		NsOp:     float64(r.NsPerOp()),
+		BytesOp:  r.AllocedBytesPerOp(),
+		AllocsOp: r.AllocsPerOp(),
+	}
+}
+
+// TestBenchAllocGate is the allocation-regression gate verify.sh runs
+// with -benchgate. It re-measures the refine loop and fails when the
+// pooled path's allocs/op regress more than 10% over the committed
+// baseline, or when pooling stops cutting allocations by at least half
+// relative to the allocating reference path.
+func TestBenchAllocGate(t *testing.T) {
+	if !*benchGate {
+		t.Skip("allocation gate disabled; enable with -benchgate")
+	}
+	path, err := BaselinePath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("gate needs a committed baseline: %v", err)
+	}
+	rec, ok := base.Benchmarks["refine_loop"]
+	if !ok {
+		t.Fatalf("baseline %s has no refine_loop record", path)
+	}
+	pooled := measure(BenchmarkRefineLoop)
+	allocating := measure(BenchmarkRefineLoopAllocating)
+	t.Logf("refine_loop pooled: %+v (baseline %+v), allocating: %+v", pooled, rec, allocating)
+	if limit := rec.AllocsOp + rec.AllocsOp/10; pooled.AllocsOp > limit {
+		t.Errorf("pooled refine loop allocs/op regressed: %d > %d (baseline %d +10%%)",
+			pooled.AllocsOp, limit, rec.AllocsOp)
+	}
+	if pooled.AllocsOp*2 > allocating.AllocsOp {
+		t.Errorf("pooling no longer halves allocations: pooled %d vs allocating %d allocs/op",
+			pooled.AllocsOp, allocating.AllocsOp)
+	}
+}
+
+// TestBenchUpdateBaseline re-measures every pinned benchmark and rewrites
+// BENCH_refine.json. Run it after intentional performance changes:
+// go test ./internal/bench -run TestBenchUpdateBaseline -benchupdate
+func TestBenchUpdateBaseline(t *testing.T) {
+	if !*benchUpdate {
+		t.Skip("baseline recorder disabled; enable with -benchupdate")
+	}
+	out, err := newWorkload(t, 1).RunRefine(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &Baseline{
+		Workload:  WorkloadName,
+		Scale:     WorkloadScale,
+		ModelSeed: ModelSeed,
+		Iters:     RefineIters,
+		Benchmarks: map[string]Record{
+			"refine_loop":            measure(BenchmarkRefineLoop),
+			"refine_loop_allocating": measure(BenchmarkRefineLoopAllocating),
+			"gnn_forward":            measure(BenchmarkGNNForward),
+			"sta":                    measure(BenchmarkSTA),
+		},
+		Metrics: *out,
+	}
+	path, err := BaselinePath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	fmt.Printf("recorded %s:\n%s", path, raw)
+}

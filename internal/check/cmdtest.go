@@ -5,9 +5,14 @@ package check
 // cmd/* and examples smoke tests.
 
 import (
+	"flag"
+	"io"
+	"log"
+	"os"
 	"os/exec"
 	"path"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -52,4 +57,54 @@ func RunFail(t *testing.T, workDir, bin string, args ...string) string {
 		t.Fatalf("%s %v: expected failure, got exit 0\n%s", filepath.Base(bin), args, out)
 	}
 	return string(out)
+}
+
+// RunMain invokes a command's main function in-process: it chdirs into
+// workDir, swaps os.Args and the global flag set (commands register
+// their flags inside main, so a fresh flag.CommandLine per call avoids
+// redefinition panics), redirects stdout, stderr and the log package
+// into a pipe, and returns the combined output after mainFn finishes.
+//
+// Running in-process is what lets `go test -cover` attribute executed
+// lines to the main package — an external binary contributes nothing
+// to coverage. mainFn must return normally on the exercised path; keep
+// misuse paths (log.Fatal, os.Exit) on the compiled-binary helpers.
+func RunMain(t *testing.T, workDir string, mainFn func(), args ...string) string {
+	t.Helper()
+	oldArgs, oldFlag := os.Args, flag.CommandLine
+	oldStdout, oldStderr := os.Stdout, os.Stderr
+	oldWD, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(workDir); err != nil {
+		t.Fatal(err)
+	}
+	os.Args = append([]string{oldArgs[0]}, args...)
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+	os.Stdout, os.Stderr = w, w
+	log.SetOutput(w)
+
+	collected := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		io.Copy(&b, r)
+		collected <- b.String()
+	}()
+	defer func() {
+		os.Args, flag.CommandLine = oldArgs, oldFlag
+		os.Stdout, os.Stderr = oldStdout, oldStderr
+		log.SetOutput(os.Stderr)
+		w.Close() // idempotent; unblocks the reader if mainFn panicked
+		if err := os.Chdir(oldWD); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	mainFn()
+	w.Close()
+	return <-collected
 }

@@ -1,0 +1,366 @@
+package check
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"testing"
+
+	"tsteiner/internal/geom"
+)
+
+func TestRNGPanicsAndAdapters(t *testing.T) {
+	r := NewRNG(7)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Intn(0) did not panic")
+			}
+		}()
+		r.Intn(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Range(3, 2) did not panic")
+			}
+		}()
+		r.Range(3, 2)
+	}()
+	// Bool must produce both outcomes over a short stream.
+	seenT, seenF := false, false
+	for i := 0; i < 64 && !(seenT && seenF); i++ {
+		if r.Bool() {
+			seenT = true
+		} else {
+			seenF = true
+		}
+	}
+	if !seenT || !seenF {
+		t.Error("Bool never varied over 64 draws")
+	}
+	// Rand adapts into math/rand deterministically per seed.
+	a := NewRNG(11).Rand().Int63()
+	b := NewRNG(11).Rand().Int63()
+	if a != b {
+		t.Errorf("Rand not seed-deterministic: %d != %d", a, b)
+	}
+}
+
+// TestRunWrapper drives the default-config Run entry point with a
+// passing property.
+func TestRunWrapper(t *testing.T) {
+	Run(t, Int(0, 9), func(v int) error {
+		if v < 0 || v > 9 {
+			return fmt.Errorf("out of range: %d", v)
+		}
+		return nil
+	})
+}
+
+func TestBoolAndFloatShrink(t *testing.T) {
+	bg := Bool()
+	if got := bg.Shrink(true); len(got) != 1 || got[0] {
+		t.Errorf("Shrink(true) = %v, want [false]", got)
+	}
+	if got := bg.Shrink(false); got != nil {
+		t.Errorf("Shrink(false) = %v, want nil", got)
+	}
+
+	fg := Float(2, 8)
+	for i := 0; i < 16; i++ {
+		v := fg.Generate(NewRNG(uint64(i)))
+		if v < 2 || v >= 8 {
+			t.Fatalf("Float out of [2,8): %v", v)
+		}
+	}
+	cands := fg.Shrink(6)
+	if len(cands) == 0 || cands[0] != 2 {
+		t.Errorf("Float.Shrink(6) = %v, want lo first", cands)
+	}
+	for _, c := range cands {
+		if c >= 6 {
+			t.Errorf("Float shrink candidate %v not smaller than 6", c)
+		}
+	}
+	if got := fg.Shrink(2); got != nil {
+		t.Errorf("Float.Shrink(lo) = %v, want nil", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Float(hi<lo) did not panic")
+			}
+		}()
+		Float(3, 1)
+	}()
+}
+
+func TestTwoShrinksOneSideAtATime(t *testing.T) {
+	g := Two(Int(0, 10), Bool())
+	v := g.Generate(NewRNG(5))
+	if v.A < 0 || v.A > 10 {
+		t.Fatalf("pair A out of range: %+v", v)
+	}
+	cands := g.Shrink(Pair[int, bool]{A: 6, B: true})
+	var shrunkA, shrunkB bool
+	for _, c := range cands {
+		if c.A != 6 && c.B == true {
+			shrunkA = true
+		}
+		if c.A == 6 && c.B == false {
+			shrunkB = true
+		}
+		if c.A != 6 && c.B != true {
+			t.Errorf("pair shrink moved both sides at once: %+v", c)
+		}
+	}
+	if !shrunkA || !shrunkB {
+		t.Errorf("pair shrink missing a side: A=%v B=%v from %v", shrunkA, shrunkB, cands)
+	}
+}
+
+func TestOneOfPicksEveryAlternative(t *testing.T) {
+	g := OneOf(Const(1), Const(2))
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		seen[g.Generate(NewRNG(uint64(i)))] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("OneOf alternatives seen: %v", seen)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("OneOf() did not panic")
+			}
+		}()
+		OneOf[int]()
+	}()
+}
+
+func TestSliceOfElementShrink(t *testing.T) {
+	g := SliceOf(2, 6, Int(0, 9))
+	cands := g.Shrink([]int{5, 7, 9})
+	var droppedLen, shrunkElem bool
+	for _, c := range cands {
+		if len(c) < 3 {
+			droppedLen = true
+			if len(c) < 2 {
+				t.Errorf("slice shrink violated minLen: %v", c)
+			}
+		} else {
+			shrunkElem = true
+		}
+	}
+	if !droppedLen || !shrunkElem {
+		t.Errorf("slice shrink candidates incomplete: %v", cands)
+	}
+	// At minLen only in-place element shrinks remain.
+	for _, c := range g.Shrink([]int{3, 4}) {
+		if len(c) != 2 {
+			t.Errorf("slice at minLen changed length: %v", c)
+		}
+	}
+}
+
+// TestShrinkBudgetExhaustion pins the MaxShrink bound: a generator
+// whose candidates always keep failing must stop after exactly the
+// budget, not loop forever.
+func TestShrinkBudgetExhaustion(t *testing.T) {
+	g := Gen[int]{
+		Generate: func(r *RNG) int { return 1 << 20 },
+		Shrink:   func(v int) []int { return []int{v - 1} }, // endless failing chain
+	}
+	alwaysFails := func(int) error { return errors.New("still failing") }
+	const budget = 25
+	min, minErr, steps := shrinkLoop(g, alwaysFails, 1<<20, errors.New("orig"), budget)
+	if steps != budget {
+		t.Errorf("shrinkLoop evaluated %d candidates, budget %d", steps, budget)
+	}
+	if min != 1<<20-budget {
+		t.Errorf("shrunk value %d, want %d", min, 1<<20-budget)
+	}
+	if minErr == nil {
+		t.Error("no error carried out of the shrink loop")
+	}
+	// The full runCase report mentions the tried-candidate count.
+	err := runCase(g, alwaysFails, 42, budget)
+	if err == nil || !strings.Contains(err.Error(), "candidate(s) tried") {
+		t.Errorf("runCase report missing shrink info: %v", err)
+	}
+}
+
+func TestGeneratorPanicIsCaptured(t *testing.T) {
+	g := Gen[int]{Generate: func(r *RNG) int { panic("bad generator") }}
+	err := runCase(g, func(int) error { return nil }, 1, 10)
+	if err == nil || !strings.Contains(err.Error(), "generator panicked") {
+		t.Errorf("generator panic not converted: %v", err)
+	}
+}
+
+func TestFormatElidesHugeValues(t *testing.T) {
+	huge := strings.Repeat("x", 5000)
+	s := format(huge)
+	if len(s) > 700 || !strings.Contains(s, "bytes total") {
+		t.Errorf("format did not elide: %d bytes, suffix %q", len(s), s[len(s)-40:])
+	}
+}
+
+// TestReplayEnvParsing covers the replay fast path: with the env seed
+// set, RunCfg replays exactly one case instead of the whole sequence.
+func TestReplayEnvParsing(t *testing.T) {
+	calls := 0
+	g := Gen[int]{Generate: func(r *RNG) int { calls++; return int(r.Uint64() % 100) }}
+	t.Setenv(EnvSeed, "0x1234")
+	RunCfg(t, Config{Cases: 64}, g, func(int) error { return nil })
+	if calls != 1 {
+		t.Errorf("replay ran %d cases, want 1", calls)
+	}
+}
+
+func TestPointAndRCTreeGenerators(t *testing.T) {
+	box := geom.BBox{XLo: 10, YLo: 20, XHi: 30, YHi: 40}
+	pg := PointIn(box)
+	p := pg.Generate(NewRNG(3))
+	if p.X < 10 || p.X > 30 || p.Y < 20 || p.Y > 40 {
+		t.Fatalf("point outside box: %+v", p)
+	}
+	for _, c := range pg.Shrink(geom.Point{X: 25, Y: 35}) {
+		if c.X < 10 || c.Y < 20 {
+			t.Errorf("shrink left the box: %+v", c)
+		}
+	}
+	if got := pg.Shrink(geom.Point{X: 10, Y: 20}); got != nil {
+		t.Errorf("corner point shrank: %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PointIn(empty) did not panic")
+			}
+		}()
+		PointIn(geom.BBox{XLo: 5, YLo: 5, XHi: 4, YHi: 4})
+	}()
+
+	pts := PointsIn(box, 2, 5).Generate(NewRNG(9))
+	if len(pts) < 2 || len(pts) > 5 {
+		t.Errorf("PointsIn length %d", len(pts))
+	}
+
+	tg := RCTrees(8)
+	tree := tg.Generate(NewRNG(4))
+	if tree.Nodes() < 2 || tree.Nodes() > 8 {
+		t.Fatalf("tree size %d", tree.Nodes())
+	}
+	if s := tree.String(); !strings.Contains(s, "RCTree{") {
+		t.Errorf("RCTree.String() = %q", s)
+	}
+	if tree.Nodes() > 2 {
+		sh := tg.Shrink(tree)
+		if len(sh) != 1 || sh[0].Nodes() != tree.Nodes()-1 {
+			t.Errorf("RCTree shrink %v", sh)
+		}
+	}
+	two := RCTree{Parent: []int{-1, 0}, EdgeR: []float64{0, 0.1}, Cap: []float64{0.01, 0.01}}
+	if got := tg.Shrink(two); got != nil {
+		t.Errorf("2-node tree shrank: %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RCTrees(1) did not panic")
+			}
+		}()
+		RCTrees(1)
+	}()
+}
+
+func TestDesignSpecsShrinkAndBuild(t *testing.T) {
+	g := DesignSpecs()
+	s := g.Generate(NewRNG(2))
+	if s.Cells < 40 || s.Cells > 140 {
+		t.Fatalf("spec cells %d", s.Cells)
+	}
+	if str := s.String(); !strings.Contains(str, "DesignSpec{") {
+		t.Errorf("String() = %q", str)
+	}
+	big := DesignSpec{Seed: 1, Cells: 100, Endpoints: 20, PIs: 6, Depth: 10, ClockNS: 1}
+	cands := g.Shrink(big)
+	if len(cands) != 3 {
+		t.Fatalf("expected 3 shrink candidates (cells, depth, endpoints), got %v", cands)
+	}
+	minimal := DesignSpec{Seed: 1, Cells: 40, Endpoints: 8, PIs: 4, Depth: 5, ClockNS: 1}
+	if got := g.Shrink(minimal); got != nil {
+		t.Errorf("minimal spec shrank: %v", got)
+	}
+	d, err := minimal.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) == 0 {
+		t.Error("built design has no cells")
+	}
+	// Build is a pure function of the spec.
+	d2, err := minimal.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Cells) != len(d.Cells) || len(d2.Nets) != len(d.Nets) {
+		t.Error("rebuilding the same spec changed the design")
+	}
+}
+
+// TestRunMainInProcess drives a fake main through RunMain: flags must
+// parse from the swapped os.Args, output from all three channels
+// (stdout, stderr, log) must be captured, and the process-global state
+// must be restored afterwards.
+func TestRunMainInProcess(t *testing.T) {
+	oldArgs := make([]string, len(os.Args))
+	copy(oldArgs, os.Args)
+	oldWD, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fakeMain := func() {
+		name := flag.String("name", "", "who to greet")
+		flag.Parse()
+		fmt.Printf("stdout: hello %s\n", *name)
+		fmt.Fprintln(os.Stderr, "stderr: aside")
+		log.Println("log: note")
+		wd, _ := os.Getwd()
+		fmt.Println("wd:", wd)
+	}
+	out := RunMain(t, dir, fakeMain, "-name", "prop")
+	for _, want := range []string{"hello prop", "stderr: aside", "log: note", dir} {
+		if !strings.Contains(out, want) {
+			t.Errorf("captured output missing %q:\n%s", want, out)
+		}
+	}
+	if wd, _ := os.Getwd(); wd != oldWD {
+		t.Errorf("working directory not restored: %s", wd)
+	}
+	if len(os.Args) != len(oldArgs) || os.Args[0] != oldArgs[0] {
+		t.Errorf("os.Args not restored: %v", os.Args)
+	}
+}
+
+// TestCmdHelpers compiles the testdata tinycmd and drives both exit
+// paths through the binary smoke-test helpers.
+func TestCmdHelpers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: shells out to go build")
+	}
+	bin := GoBuild(t, "./testdata/tinycmd")
+	dir := t.TempDir()
+	if out := RunOK(t, dir, bin); !strings.Contains(out, "ok") {
+		t.Errorf("RunOK output %q", out)
+	}
+	if out := RunFail(t, dir, bin, "-fail"); !strings.Contains(out, "forced failure") {
+		t.Errorf("RunFail output %q", out)
+	}
+}

@@ -1,0 +1,16 @@
+// Command tinycmd is a minimal binary the cmdtest helper tests compile
+// and run: it succeeds with output by default and fails on -fail.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-fail" {
+		fmt.Fprintln(os.Stderr, "tinycmd: forced failure")
+		os.Exit(1)
+	}
+	fmt.Println("tinycmd: ok")
+}

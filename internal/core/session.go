@@ -1,0 +1,101 @@
+package core
+
+import (
+	"tsteiner/internal/gnn"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/tensor"
+)
+
+// evalSession is the refiner's workspace-backed evaluation state: one
+// tensor arena reused across iterations plus a single-entry memo of the
+// last forward pass, keyed by the exact Steiner coordinates. Algorithm 1
+// evaluates a candidate (evalMetrics) and, when it is accepted, asks for
+// gradients at the very same positions next iteration — the memo turns
+// that second Forward into a lookup. Forward passes are deterministic
+// functions of the coordinates, so replaying a cached tape is
+// byte-identical to recomputing it.
+//
+// The memo may be consumed by at most one Backward (gradients accumulate
+// into the cached leaves), and appending penalty ops dirties the tape, so
+// both gradient and penalty evaluations invalidate it. A session belongs
+// to one refiner and, like the model (see Model.Clone), must not be used
+// from two goroutines: parallel refinement runs each own a session.
+type evalSession struct {
+	r  *Refiner
+	ws *tensor.Workspace
+
+	// curX/curY stage the forest's coordinates for the memo comparison.
+	curX, curY []float64
+	// Memoized forward pass (valid only until the next workspace reset).
+	memoX, memoY []float64
+	memoValid    bool
+	tp           *tensor.Tape
+	xs, ys       *tensor.Tensor
+	pred         *gnn.Prediction
+}
+
+func newEvalSession(r *Refiner) *evalSession {
+	n := r.Batch.NSteiner
+	return &evalSession{
+		r:    r,
+		ws:   tensor.NewWorkspace(),
+		curX: make([]float64, n), curY: make([]float64, n),
+		memoX: make([]float64, n), memoY: make([]float64, n),
+	}
+}
+
+// session returns the refiner's lazily-built evaluation session, or nil
+// when Options.DisableWorkspace selects the allocating reference path.
+func (r *Refiner) session() *evalSession {
+	if r.Opt.DisableWorkspace {
+		return nil
+	}
+	if r.sess == nil {
+		r.sess = newEvalSession(r)
+	}
+	return r.sess
+}
+
+// invalidate drops the memoized forward pass (the workspace storage
+// itself is reclaimed by the next forward's reset).
+func (s *evalSession) invalidate() {
+	s.memoValid = false
+	s.tp, s.xs, s.ys, s.pred = nil, nil, nil, nil
+}
+
+func sliceEq(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forward returns the evaluator's forward pass at f's current positions,
+// reusing the memoized tape when the coordinates are bit-identical to the
+// previous call's.
+func (s *evalSession) forward(f *rsmt.Forest) (*tensor.Tape, *tensor.Tensor, *tensor.Tensor, *gnn.Prediction, error) {
+	if err := s.r.Batch.FillSteinerCoords(f, s.curX, s.curY); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if s.memoValid && sliceEq(s.curX, s.memoX) && sliceEq(s.curY, s.memoY) {
+		s.r.sink().Add("core.memo_hits", 1)
+		return s.tp, s.xs, s.ys, s.pred, nil
+	}
+	s.invalidate()
+	tp := s.ws.Tape()
+	xs, ys, err := s.r.Batch.LeavesFromCoords(tp, s.curX, s.curY)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	pred, err := s.r.Model.Forward(tp, s.r.Batch, xs, ys, false)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	copy(s.memoX, s.curX)
+	copy(s.memoY, s.curY)
+	s.tp, s.xs, s.ys, s.pred = tp, xs, ys, pred
+	s.memoValid = true
+	return tp, xs, ys, pred, nil
+}

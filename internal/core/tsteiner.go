@@ -94,6 +94,13 @@ type Options struct {
 	// overhead). Armed sites: "core.nan" poisons the iteration's gradient,
 	// "core.stall" delays an iteration past a wall-clock budget.
 	Fault *fault.Injector
+
+	// DisableWorkspace selects the allocating reference evaluation path
+	// instead of the pooled workspace + forward-memo path. Both are
+	// byte-identical (the differential gate TestWorkspaceForwardMatches-
+	// Allocating holds them together); the flag exists for that gate and
+	// for the bench harness's before/after comparison.
+	DisableWorkspace bool
 }
 
 // DefaultOptions mirrors the paper's experiment settings.
@@ -149,6 +156,10 @@ type Refiner struct {
 	Batch *gnn.Batch
 	Prep  *flow.Prepared
 	Opt   Options
+
+	// sess is the lazily-built workspace evaluation session (one per
+	// refiner, hence one per worker in parallel fan-outs).
+	sess *evalSession
 }
 
 // NewRefiner validates inputs and builds a refiner.
@@ -171,6 +182,14 @@ func (r *Refiner) sink() *obs.Sink { return r.Prep.Config.Obs }
 // the predicted endpoint slacks — the quantities Algorithm 1 compares.
 func (r *Refiner) evalMetrics(f *rsmt.Forest) (wns, tns float64, err error) {
 	r.sink().Add("core.evals", 1)
+	if s := r.session(); s != nil {
+		_, _, _, pred, err := s.forward(f)
+		if err != nil {
+			return 0, 0, err
+		}
+		wns, tns = hardMetrics(pred.Slack.Data)
+		return wns, tns, nil
+	}
 	tp := tensor.NewTape()
 	xs, ys, err := r.Batch.SteinerLeaves(tp, f)
 	if err != nil {
@@ -205,12 +224,22 @@ func hardMetrics(slack []float64) (wns, tns float64) {
 // the forward pass as well (free for callers, logged by telemetry).
 func (r *Refiner) gradients(f *rsmt.Forest, lw, lt float64) (gx, gy []float64, pval float64, err error) {
 	r.sink().Add("core.grad_calls", 1)
-	tp := tensor.NewTape()
-	xs, ys, err := r.Batch.SteinerLeaves(tp, f)
-	if err != nil {
-		return nil, nil, 0, err
+	var tp *tensor.Tape
+	var xs, ys *tensor.Tensor
+	var pred *gnn.Prediction
+	if s := r.session(); s != nil {
+		tp, xs, ys, pred, err = s.forward(f)
+		// Appending penalty ops and running Backward consume the
+		// memoized tape: gradients accumulate, so it must not be
+		// replayed (and callers may escalate λ between calls).
+		s.invalidate()
+	} else {
+		tp = tensor.NewTape()
+		xs, ys, err = r.Batch.SteinerLeaves(tp, f)
+		if err == nil {
+			pred, err = r.Model.Forward(tp, r.Batch, xs, ys, false)
+		}
 	}
-	pred, err := r.Model.Forward(tp, r.Batch, xs, ys, false)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -221,6 +250,9 @@ func (r *Refiner) gradients(f *rsmt.Forest, lw, lt float64) (gx, gy []float64, p
 	if err := tp.Backward(p); err != nil {
 		return nil, nil, 0, err
 	}
+	// The returned slices are copies: workspace storage is reclaimed on
+	// the next forward, and callers (adaptiveTheta, the NaN-recovery
+	// fault site) hold and mutate them across further gradient calls.
 	return append([]float64(nil), xs.Grad...), append([]float64(nil), ys.Grad...), p.Data[0], nil
 }
 
@@ -272,12 +304,20 @@ func (r *Refiner) penalty(tp *tensor.Tape, pred *gnn.Prediction, lw, lt float64)
 // forest's current positions without computing gradients.
 func (r *Refiner) Penalty(f *rsmt.Forest) (float64, error) {
 	r.sink().Add("core.penalty_evals", 1)
-	tp := tensor.NewTape()
-	xs, ys, err := r.Batch.SteinerLeaves(tp, f)
-	if err != nil {
-		return 0, err
+	var tp *tensor.Tape
+	var pred *gnn.Prediction
+	var err error
+	if s := r.session(); s != nil {
+		tp, _, _, pred, err = s.forward(f)
+		s.invalidate() // penalty ops dirty the tape
+	} else {
+		tp = tensor.NewTape()
+		var xs, ys *tensor.Tensor
+		xs, ys, err = r.Batch.SteinerLeaves(tp, f)
+		if err == nil {
+			pred, err = r.Model.Forward(tp, r.Batch, xs, ys, false)
+		}
 	}
-	pred, err := r.Model.Forward(tp, r.Batch, xs, ys, false)
 	if err != nil {
 		return 0, err
 	}
@@ -419,8 +459,9 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 	vX := make([]float64, nVars)
 	mY := make([]float64, nVars)
 	vY := make([]float64, nVars)
-	// Trust-region anchors: the round's starting positions.
-	x0, y0, _ := startForest.SteinerPositions()
+	// Trust-region anchors: the round's starting positions. The index is
+	// shared by every forest in the loop (clones preserve topology).
+	x0, y0, idx := startForest.SteinerPositions()
 
 	every := opt.CheckpointEvery
 	if every <= 0 {
@@ -485,7 +526,16 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 	initWNS, initTNS := res.InitWNS, res.InitTNS
 	recoveries := res.Recoveries
 
+	// Persistent per-loop storage, reused across iterations instead of
+	// cloned: the candidate forest (SetSteinerPositions overwrites every
+	// Steiner coordinate, and pin nodes are identical across clones) and
+	// the coordinate staging buffers the SO step mutates.
+	cand := startForest.Clone()
+	xsBuf := make([]float64, nVars)
+	ysBuf := make([]float64, nVars)
+
 	for t := startIter; t < opt.N && !res.ConvergedByRatio; t++ {
+		iterM0 := r.sink().Mallocs()
 		if reason, over := opt.Budget.Exceeded(t); over {
 			res.Cutoff = reason
 			r.sink().Add("core.budget_cutoffs", 1)
@@ -516,7 +566,9 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 				res.Degraded = true
 				break
 			}
-			cur = best.Clone()
+			if err := cur.CopyPositionsFrom(best); err != nil {
+				return nil, err
+			}
 			if !finite(theta) {
 				theta = float64(r.Prep.Config.GCellSize)
 			} else {
@@ -525,8 +577,8 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 			t--
 			continue
 		}
-		cand := cur.Clone()
-		xs, ys, idx := cand.SteinerPositions()
+		cur.CopySteinerPositionsInto(xsBuf, ysBuf)
+		xs, ys := xsBuf, ysBuf
 		// stepSq/clamped observe the update for telemetry only; they are
 		// derived from the same deterministic arithmetic, never fed back.
 		var stepSq float64
@@ -583,14 +635,23 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 			if wns > res.BestWNS || tns > res.BestTNS {
 				res.BestWNS = wns
 				res.BestTNS = tns
-				best = cand.Clone()
+				if err := best.CopyPositionsFrom(cand); err != nil {
+					return nil, err
+				}
 			}
-			cur = cand
+			// S_T^(t+1) ← candidate: swap the forests so the old cur
+			// becomes next iteration's scratch candidate.
+			cur, cand = cand, cur
 		}
 		// On rejection cur is kept: S_T^(t+1) ← S_T^(t) (Alg. 1 line 13).
 		res.History = append(res.History, IterRecord{WNS: wns, TNS: tns, Accepted: accepted, Theta: theta})
 		res.Iterations = t + 1
 		r.sink().Add("core.iterations", 1)
+		if r.sink().Enabled() {
+			// Per-iteration allocation count — the quantity this PR's
+			// workspace path drives toward zero. Telemetry only.
+			r.sink().Observe("core.iter_allocs", float64(r.sink().Mallocs()-iterM0))
+		}
 		r.sink().Event("core.iter",
 			obs.KV{K: "iter", V: t + 1},
 			obs.KV{K: "penalty", V: penalty},
@@ -629,11 +690,19 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 
 	res.Forest = best
 	res.RuntimeSec = time.Since(t0).Seconds()
-	r.sink().Event("core.done",
-		obs.KV{K: "iterations", V: res.Iterations},
-		obs.KV{K: "converged", V: res.ConvergedByRatio},
-		obs.KV{K: "init_wns", V: res.InitWNS}, obs.KV{K: "best_wns", V: res.BestWNS},
-		obs.KV{K: "init_tns", V: res.InitTNS}, obs.KV{K: "best_tns", V: res.BestTNS})
+	done := []obs.KV{
+		{K: "iterations", V: res.Iterations},
+		{K: "converged", V: res.ConvergedByRatio},
+		{K: "init_wns", V: res.InitWNS}, {K: "best_wns", V: res.BestWNS},
+		{K: "init_tns", V: res.InitTNS}, {K: "best_tns", V: res.BestTNS},
+	}
+	if r.sess != nil {
+		st := r.sess.ws.Stats()
+		done = append(done,
+			obs.KV{K: "ws_grabs", V: st.Grabs},
+			obs.KV{K: "ws_hits", V: st.Hits})
+	}
+	r.sink().Event("core.done", done...)
 	return res, nil
 }
 

@@ -302,6 +302,7 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	}
 	sp := root.Child("gr")
 	t0 := time.Now()
+	grM0 := cfg.Obs.Mallocs()
 	gr, err := route.Route(d, rounded, g, routeOpt)
 	grSec := time.Since(t0).Seconds()
 	sp.End()
@@ -310,6 +311,9 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	}
 	cfg.Obs.Add("flow.gr_runs", 1)
 	cfg.Obs.Observe("flow.gr_overflow", float64(gr.Overflow))
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Observe("flow.gr_allocs", float64(cfg.Obs.Mallocs()-grM0))
+	}
 
 	if err := cfg.phaseGate("dr"); err != nil {
 		return nil, nil, err
@@ -339,6 +343,7 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	}
 	sp = root.Child("sta")
 	t0 = time.Now()
+	staM0 := cfg.Obs.Mallocs()
 	timing, err := sta.Run(d, rcs)
 	staSec := time.Since(t0).Seconds()
 	sp.End()
@@ -346,6 +351,9 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 		return nil, nil, fmt.Errorf("flow: sta: %w", err)
 	}
 	cfg.Obs.Add("flow.sta_runs", 1)
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Observe("flow.sta_allocs", float64(cfg.Obs.Mallocs()-staM0))
+	}
 	rep := &Report{
 		WNS:           timing.WNS,
 		TNS:           timing.TNS,

@@ -176,6 +176,10 @@ func TestGradientFlowsToSteinerCoords(t *testing.T) {
 	}
 }
 
+// TestSteinerGradientMatchesFiniteDifference gradchecks the position
+// gradients on both evaluation paths: the plain allocating tape and a
+// workspace-pooled tape reset between builds, so the pooled backward pass
+// is held to the same finite-difference standard.
 func TestSteinerGradientMatchesFiniteDifference(t *testing.T) {
 	p := prepared(t, "spm", 1.0)
 	b, err := NewBatch(p.Design, p.Forest)
@@ -187,39 +191,55 @@ func TestSteinerGradientMatchesFiniteDifference(t *testing.T) {
 	if len(xsv) == 0 {
 		t.Skip("no Steiner points")
 	}
-	x, err := tensor.FromSlice(len(xsv), 1, xsv)
-	if err != nil {
-		t.Fatal(err)
-	}
-	build := func() (*tensor.Tensor, *tensor.Tape, error) {
-		tp := tensor.NewTape()
-		xr := &tensor.Tensor{Rows: x.Rows, Cols: 1, Data: x.Data}
-		tp.Leaf(xr)
-		xr.ZeroGrad()
-		ysv := make([]float64, len(xsv))
-		_, yv, _ := p.Forest.SteinerPositions()
-		copy(ysv, yv)
-		yt, _ := tensor.FromSlice(len(ysv), 1, ysv)
-		tp.Constant(yt)
-		pred, err := m.Forward(tp, b, xr, yt, false)
-		if err != nil {
-			return nil, nil, err
-		}
-		loss, err := tp.Sum(pred.EndpointArrival)
-		if err != nil {
-			return nil, nil, err
-		}
-		x.Grad = xr.Grad
-		return loss, tp, nil
-	}
-	worst, err := tensor.GradCheck(x, build, 1e-4, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Coordinates are O(100) and arrivals O(1); gradients are O(1e-3).
-	// Allow loose tolerance for the |·| kinks and float cancellation.
-	if worst > 1e-5 {
-		t.Errorf("Steiner coordinate gradient mismatch: %g", worst)
+	for _, tc := range []struct {
+		name string
+		ws   *tensor.Workspace
+	}{
+		{name: "allocating", ws: nil},
+		{name: "workspace", ws: tensor.NewWorkspace()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			x, err := tensor.FromSlice(len(xsv), 1, xsv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			build := func() (*tensor.Tensor, *tensor.Tape, error) {
+				var tp *tensor.Tape
+				if tc.ws != nil {
+					tp = tc.ws.Tape()
+				} else {
+					tp = tensor.NewTape()
+				}
+				xr := &tensor.Tensor{Rows: x.Rows, Cols: 1, Data: x.Data}
+				tp.Leaf(xr)
+				xr.ZeroGrad()
+				ysv := make([]float64, len(xsv))
+				_, yv, _ := p.Forest.SteinerPositions()
+				copy(ysv, yv)
+				yt, _ := tensor.FromSlice(len(ysv), 1, ysv)
+				tp.Constant(yt)
+				pred, err := m.Forward(tp, b, xr, yt, false)
+				if err != nil {
+					return nil, nil, err
+				}
+				loss, err := tp.Sum(pred.EndpointArrival)
+				if err != nil {
+					return nil, nil, err
+				}
+				x.Grad = xr.Grad
+				return loss, tp, nil
+			}
+			worst, err := tensor.GradCheck(x, build, 1e-4, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Coordinates are O(100) and arrivals O(1); gradients are
+			// O(1e-3). Allow loose tolerance for the |·| kinks and float
+			// cancellation.
+			if worst > 1e-5 {
+				t.Errorf("Steiner coordinate gradient mismatch: %g", worst)
+			}
+		})
 	}
 }
 

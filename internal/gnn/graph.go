@@ -41,6 +41,15 @@ type Level struct {
 	// ArcFeats are per-arc constant features [nArcs × 2]: nominal delay
 	// and load slope extracted from the library LUTs.
 	ArcFeats []float64
+
+	// Derived constants precomputed by finalizeDerived so Forward never
+	// rebuilds them: driver/sink pin ids per level sink, the clamped net
+	// index and connected-output mask per arc, and ArcFeats split into
+	// d0/slope columns for the anchored delay model.
+	SinkDrvPin, SinkSnkPin []int32
+	ArcNetIdx              []int32
+	ArcLoadMask            []float64
+	ArcD0, ArcSlope        []float64
 }
 
 // Batch is the tensorized graph pair (Steiner graph + netlist graph) of
@@ -91,6 +100,8 @@ type Batch struct {
 	// Startpoint boundary conditions.
 	QPins, QNet   []int32 // register outputs and their nets
 	QFeats        []float64
+	// QFeats split into d0/slope columns (finalizeDerived).
+	QD0, QSlope []float64
 	PIPins, PINet []int32
 	// Endpoints and their required times.
 	Endpoints   []int32
@@ -125,7 +136,46 @@ func NewBatch(d *netlist.Design, f *rsmt.Forest) (*Batch, error) {
 	if err := b.buildNetlistLevels(d); err != nil {
 		return nil, err
 	}
+	b.finalizeDerived()
 	return b, nil
+}
+
+// splitPairs decomposes [d0, slope] feature pairs into two columns.
+func splitPairs(feats []float64) (d0, slope []float64) {
+	n := len(feats) / 2
+	d0 = make([]float64, n)
+	slope = make([]float64, n)
+	for i := 0; i < n; i++ {
+		d0[i] = feats[2*i]
+		slope[i] = feats[2*i+1]
+	}
+	return d0, slope
+}
+
+// finalizeDerived precomputes the per-level and per-startpoint constant
+// arrays Forward used to rebuild on every call: they depend only on the
+// frozen topology, so computing them once removes per-iteration
+// allocation from the evaluation hot path.
+func (b *Batch) finalizeDerived() {
+	b.QD0, b.QSlope = splitPairs(b.QFeats)
+	for li := range b.Levels {
+		L := &b.Levels[li]
+		L.SinkDrvPin = make([]int32, len(L.SinkIdx))
+		L.SinkSnkPin = make([]int32, len(L.SinkIdx))
+		for i, s := range L.SinkIdx {
+			L.SinkDrvPin[i] = b.SinkDriverPin[s]
+			L.SinkSnkPin[i] = b.SinkSinkPin[s]
+		}
+		L.ArcNetIdx = make([]int32, len(L.ArcIn))
+		L.ArcLoadMask = make([]float64, len(L.ArcIn))
+		for i, nt := range L.ArcNet {
+			if nt >= 0 {
+				L.ArcNetIdx[i] = nt
+				L.ArcLoadMask[i] = 1
+			}
+		}
+		L.ArcD0, L.ArcSlope = splitPairs(L.ArcFeats)
+	}
 }
 
 // buildSteinerGraph assembles the global node/edge arrays and the
@@ -507,20 +557,54 @@ func (b *Batch) EngineeredFeatures(f *rsmt.Forest) (elm, pathLen, netCap []float
 // SteinerLeaves creates the (X_s, Y_s) leaf tensors for a forest snapshot
 // on the given tape, in the batch's variable order.
 func (b *Batch) SteinerLeaves(tp *tensor.Tape, f *rsmt.Forest) (xs, ys *tensor.Tensor, err error) {
-	xsv, ysv, idx := f.SteinerPositions()
-	if len(idx) != b.NSteiner {
-		return nil, nil, fmt.Errorf("gnn: forest has %d Steiner vars, batch %d", len(idx), b.NSteiner)
+	xsv := make([]float64, b.NSteiner)
+	ysv := make([]float64, b.NSteiner)
+	if err := b.FillSteinerCoords(f, xsv, ysv); err != nil {
+		return nil, nil, err
 	}
-	for i := range idx {
-		if idx[i] != b.SteinerIndex[i] {
-			return nil, nil, fmt.Errorf("gnn: forest topology differs from batch at var %d", i)
+	return b.LeavesFromCoords(tp, xsv, ysv)
+}
+
+// FillSteinerCoords writes the forest's Steiner coordinates into
+// caller-owned buffers (each of length NSteiner, the batch's variable
+// order), validating that the forest still has the batch's topology.
+// The allocation-free core of SteinerLeaves for the refine hot path.
+func (b *Batch) FillSteinerCoords(f *rsmt.Forest, xs, ys []float64) error {
+	if len(xs) != b.NSteiner || len(ys) != b.NSteiner {
+		return fmt.Errorf("gnn: coordinate buffers of %d/%d for %d Steiner vars", len(xs), len(ys), b.NSteiner)
+	}
+	n := 0
+	for ti, t := range f.Trees {
+		for ni := range t.Nodes {
+			if t.Nodes[ni].Kind != rsmt.SteinerNode {
+				continue
+			}
+			if n >= b.NSteiner {
+				return fmt.Errorf("gnn: forest has more than %d Steiner vars", b.NSteiner)
+			}
+			if ref := (rsmt.SteinerRef{Tree: int32(ti), Node: int32(ni)}); ref != b.SteinerIndex[n] {
+				return fmt.Errorf("gnn: forest topology differs from batch at var %d", n)
+			}
+			xs[n] = t.Nodes[ni].Pos.X
+			ys[n] = t.Nodes[ni].Pos.Y
+			n++
 		}
 	}
-	xt, err := tensor.FromSlice(len(xsv), 1, xsv)
+	if n != b.NSteiner {
+		return fmt.Errorf("gnn: forest has %d Steiner vars, batch %d", n, b.NSteiner)
+	}
+	return nil
+}
+
+// LeavesFromCoords builds the (X_s, Y_s) leaf tensors from coordinate
+// slices already in batch variable order, copying into tape-owned
+// (workspace-pooled, when available) storage.
+func (b *Batch) LeavesFromCoords(tp *tensor.Tape, xs, ys []float64) (*tensor.Tensor, *tensor.Tensor, error) {
+	xt, err := tp.CopyIn(len(xs), 1, xs)
 	if err != nil {
 		return nil, nil, err
 	}
-	yt, err := tensor.FromSlice(len(ysv), 1, ysv)
+	yt, err := tp.CopyIn(len(ys), 1, ys)
 	if err != nil {
 		return nil, nil, err
 	}

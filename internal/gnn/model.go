@@ -154,6 +154,17 @@ func (m *Model) RestoreParams(vals [][]float64) error {
 	return nil
 }
 
+// SyncParamsFrom copies parameter values from src into the receiver
+// (shapes must match — both models must share a Config). Used by pooled
+// training workers to refresh a reused clone instead of allocating a new
+// one each epoch.
+func (m *Model) SyncParamsFrom(src *Model) {
+	dst := m.Params()
+	for i, p := range src.Params() {
+		copy(dst[i].Data, p.Data)
+	}
+}
+
 // Params returns every trainable tensor.
 func (m *Model) Params() []*tensor.Tensor {
 	return []*tensor.Tensor{
@@ -188,13 +199,13 @@ func (m *Model) Forward(tp *tensor.Tape, b *Batch, xs, ys *tensor.Tensor, trainP
 	}
 
 	// ---- coordinates & edge lengths ----
-	pinX, err := tensor.FromSlice(len(b.ConstPinX), 1, b.ConstPinX)
+	// Batch constants join the tape as aliases: the backing slices are
+	// immutable for the batch's lifetime and ops never write inputs.
+	pinX, err := tp.Alias(len(b.ConstPinX), 1, b.ConstPinX)
 	if err != nil {
 		return nil, err
 	}
-	pinY, _ := tensor.FromSlice(len(b.ConstPinY), 1, b.ConstPinY)
-	tp.Constant(pinX)
-	tp.Constant(pinY)
+	pinY, _ := tp.Alias(len(b.ConstPinY), 1, b.ConstPinY)
 	combX, err := tp.ConcatRows(xs, pinX)
 	if err != nil {
 		return nil, err
@@ -232,8 +243,7 @@ func (m *Model) Forward(tp *tensor.Tape, b *Batch, xs, ys *tensor.Tensor, trainP
 	if err != nil {
 		return nil, err
 	}
-	pinCapBelow, _ := tensor.FromSlice(len(b.PinCapBelowEdge), 1, b.PinCapBelowEdge)
-	tp.Constant(pinCapBelow)
+	pinCapBelow, _ := tp.Alias(len(b.PinCapBelowEdge), 1, b.PinCapBelowEdge)
 	capDown, err := tp.Add(wireCapDown, pinCapBelow)
 	if err != nil {
 		return nil, err
@@ -266,8 +276,7 @@ func (m *Model) Forward(tp *tensor.Tape, b *Batch, xs, ys *tensor.Tensor, trainP
 	if err != nil {
 		return nil, err
 	}
-	pinCapT, _ := tensor.FromSlice(len(b.PinCapSumTree), 1, b.PinCapSumTree)
-	tp.Constant(pinCapT)
+	pinCapT, _ := tp.Alias(len(b.PinCapSumTree), 1, b.PinCapSumTree)
 	netCap, err := tp.Add(wireCapT, pinCapT)
 	if err != nil {
 		return nil, err
@@ -279,19 +288,17 @@ func (m *Model) Forward(tp *tensor.Tape, b *Batch, xs, ys *tensor.Tensor, trainP
 	// MPIters=0 the model becomes fully Steiner-blind.
 	if m.Cfg.NoSteinerFeatures {
 		nSinks := len(b.SinkSinkPin)
-		elmS = tp.Constant(tensor.NewMatrix(nSinks, 1))
-		pathS = tp.Constant(tensor.NewMatrix(nSinks, 1))
-		hp, err := tensor.FromSlice(len(b.NetHPWL), 1, b.NetHPWL)
+		elmS = tp.Zeros(nSinks, 1)
+		pathS = tp.Zeros(nSinks, 1)
+		hp, err := tp.Alias(len(b.NetHPWL), 1, b.NetHPWL)
 		if err != nil {
 			return nil, err
 		}
-		tp.Constant(hp)
 		hpCap, err := tp.Scale(hp, b.CAvg)
 		if err != nil {
 			return nil, err
 		}
-		pinCapT2, _ := tensor.FromSlice(len(b.PinCapSumTree), 1, b.PinCapSumTree)
-		tp.Constant(pinCapT2)
+		pinCapT2, _ := tp.Alias(len(b.PinCapSumTree), 1, b.PinCapSumTree)
 		netCap, err = tp.Add(hpCap, pinCapT2)
 		if err != nil {
 			return nil, err
@@ -348,8 +355,7 @@ func (m *Model) steinerMP(tp *tensor.Tape, b *Batch, nodeX, nodeY, lenE, elmS, p
 		return nil, err
 	}
 	yn, _ := tp.Scale(nodeY, b.LenScale)
-	feats, _ := tensor.FromSlice(b.NNodes, 4, b.NodeFeats)
-	tp.Constant(feats)
+	feats, _ := tp.Alias(b.NNodes, 4, b.NodeFeats)
 	f0, err := tp.ConcatCols(xn, yn, feats)
 	if err != nil {
 		return nil, err
@@ -431,15 +437,14 @@ func (m *Model) steinerMP(tp *tensor.Tape, b *Batch, nodeX, nodeY, lenE, elmS, p
 // propagate walks netlist levels, predicting wire deltas for net sinks and
 // cell deltas (with a smooth max over fanin) for cell outputs.
 func (m *Model) propagate(tp *tensor.Tape, b *Batch, h, elmS, pathS, netCap *tensor.Tensor) (*Prediction, error) {
-	arr := tp.Constant(tensor.NewMatrix(b.NPins, 1))
+	arr := tp.Zeros(b.NPins, 1)
 
 	// Register launches: arrival at Q = f(arc consts, net load).
 	if len(b.QPins) > 0 {
-		qf, err := tensor.FromSlice(len(b.QPins), 2, b.QFeats)
+		qf, err := tp.Alias(len(b.QPins), 2, b.QFeats)
 		if err != nil {
 			return nil, err
 		}
-		tp.Constant(qf)
 		qcap, err := tp.GatherRows(netCap, b.QNet)
 		if err != nil {
 			return nil, err
@@ -466,7 +471,7 @@ func (m *Model) propagate(tp *tensor.Tape, b *Batch, h, elmS, pathS, netCap *ten
 			return nil, err
 		}
 		// Anchor: CK→Q ≈ d0 + slope·load, with a learned unit-init gain.
-		qAnchor, err := m.anchoredDelay(tp, b.QFeats, qcap, m.PQ)
+		qAnchor, err := m.anchoredDelay(tp, b.QD0, b.QSlope, qcap, m.PQ)
 		if err != nil {
 			return nil, err
 		}
@@ -489,8 +494,7 @@ func (m *Model) propagate(tp *tensor.Tape, b *Batch, h, elmS, pathS, netCap *ten
 		return nil, err
 	}
 	pathSn, _ := tp.Scale(pathS, b.LenScale)
-	distS, _ := tensor.FromSlice(len(b.SinkDistDirect), 1, b.SinkDistDirect)
-	tp.Constant(distS)
+	distS, _ := tp.Alias(len(b.SinkDistDirect), 1, b.SinkDistDirect)
 	distSn, _ := tp.Scale(distS, b.LenScale)
 	capS, err := tp.GatherRows(netCap, b.SinkNet)
 	if err != nil {
@@ -558,13 +562,7 @@ func (m *Model) propagate(tp *tensor.Tape, b *Batch, h, elmS, pathS, netCap *ten
 		L := &b.Levels[li]
 		// Net sinks: arrival = driver arrival + wire delta.
 		if len(L.SinkIdx) > 0 {
-			drv := make([]int32, len(L.SinkIdx))
-			snk := make([]int32, len(L.SinkIdx))
-			for i, s := range L.SinkIdx {
-				drv[i] = b.SinkDriverPin[s]
-				snk[i] = b.SinkSinkPin[s]
-			}
-			aDrv, err := tp.GatherRows(arr, drv)
+			aDrv, err := tp.GatherRows(arr, L.SinkDrvPin)
 			if err != nil {
 				return nil, err
 			}
@@ -576,7 +574,7 @@ func (m *Model) propagate(tp *tensor.Tape, b *Batch, h, elmS, pathS, netCap *ten
 			if err != nil {
 				return nil, err
 			}
-			upd, err := tp.SegmentSum(aSnk, snk, b.NPins)
+			upd, err := tp.SegmentSum(aSnk, L.SinkSnkPin, b.NPins)
 			if err != nil {
 				return nil, err
 			}
@@ -587,27 +585,14 @@ func (m *Model) propagate(tp *tensor.Tape, b *Batch, h, elmS, pathS, netCap *ten
 		}
 		// Cell arcs: out arrival = smoothmax over (in arrival + delta).
 		if len(L.ArcIn) > 0 {
-			af, err := tensor.FromSlice(len(L.ArcIn), 2, L.ArcFeats)
+			af, err := tp.Alias(len(L.ArcIn), 2, L.ArcFeats)
 			if err != nil {
 				return nil, err
 			}
-			tp.Constant(af)
-			// Load of the driven net (0 for unconnected outputs).
-			loads := make([]float64, len(L.ArcIn))
-			for i, nt := range L.ArcNet {
-				if nt >= 0 {
-					loads[i] = 1
-				}
-			}
-			netIdx := make([]int32, len(L.ArcIn))
-			for i, nt := range L.ArcNet {
-				if nt >= 0 {
-					netIdx[i] = nt
-				}
-			}
-			mask, _ := tensor.FromSlice(len(loads), 1, loads)
-			tp.Constant(mask)
-			capArc, err := tp.GatherRows(netCap, netIdx)
+			// Load of the driven net (0 for unconnected outputs);
+			// mask/index arrays are precomputed by finalizeDerived.
+			mask, _ := tp.Alias(len(L.ArcLoadMask), 1, L.ArcLoadMask)
+			capArc, err := tp.GatherRows(netCap, L.ArcNetIdx)
 			if err != nil {
 				return nil, err
 			}
@@ -636,7 +621,7 @@ func (m *Model) propagate(tp *tensor.Tape, b *Batch, h, elmS, pathS, netCap *ten
 			if err != nil {
 				return nil, err
 			}
-			cAnchor, err := m.anchoredDelay(tp, L.ArcFeats, capMasked, m.PCell)
+			cAnchor, err := m.anchoredDelay(tp, L.ArcD0, L.ArcSlope, capMasked, m.PCell)
 			if err != nil {
 				return nil, err
 			}
@@ -671,11 +656,10 @@ func (m *Model) propagate(tp *tensor.Tape, b *Batch, h, elmS, pathS, netCap *ten
 	if err != nil {
 		return nil, err
 	}
-	req, err := tensor.FromSlice(len(b.EndpointReq), 1, b.EndpointReq)
+	req, err := tp.Alias(len(b.EndpointReq), 1, b.EndpointReq)
 	if err != nil {
 		return nil, err
 	}
-	tp.Constant(req)
 	slack, err := tp.Sub(req, epArr)
 	if err != nil {
 		return nil, err
@@ -684,23 +668,16 @@ func (m *Model) propagate(tp *tensor.Tape, b *Batch, h, elmS, pathS, netCap *ten
 }
 
 // anchoredDelay computes softplus(gain)·(d0 + slope·load) for per-arc
-// constant features stored as [d0, slope] pairs and a differentiable load
-// column — the first-order LUT model that anchors each delay head.
-func (m *Model) anchoredDelay(tp *tensor.Tape, feats []float64, load *tensor.Tensor, gain *tensor.Tensor) (*tensor.Tensor, error) {
-	n := len(feats) / 2
-	d0 := make([]float64, n)
-	slope := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d0[i] = feats[2*i]
-		slope[i] = feats[2*i+1]
-	}
-	d0t, err := tensor.FromSlice(n, 1, d0)
+// constant columns (split once from [d0, slope] feature pairs by
+// finalizeDerived) and a differentiable load column — the first-order
+// LUT model that anchors each delay head.
+func (m *Model) anchoredDelay(tp *tensor.Tape, d0, slope []float64, load *tensor.Tensor, gain *tensor.Tensor) (*tensor.Tensor, error) {
+	n := len(d0)
+	d0t, err := tp.Alias(n, 1, d0)
 	if err != nil {
 		return nil, err
 	}
-	slopeT, _ := tensor.FromSlice(n, 1, slope)
-	tp.Constant(d0t)
-	tp.Constant(slopeT)
+	slopeT, _ := tp.Alias(n, 1, slope)
 	loadTerm, err := tp.Mul(slopeT, load)
 	if err != nil {
 		return nil, err

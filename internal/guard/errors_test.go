@@ -1,0 +1,146 @@
+package guard
+
+import (
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTypedErrorMessages(t *testing.T) {
+	be := &BudgetError{Phase: "gr", Reason: "wall-clock budget 1s exceeded"}
+	if msg := be.Error(); !strings.Contains(msg, "gr") || !strings.Contains(msg, "budget") {
+		t.Errorf("BudgetError message %q", msg)
+	}
+
+	inner := errors.New("unexpected end of JSON input")
+	ce := &CorruptError{Path: "ckpt.json", Reason: "truncated", Err: inner}
+	if msg := ce.Error(); !strings.Contains(msg, "ckpt.json") || !strings.Contains(msg, inner.Error()) {
+		t.Errorf("CorruptError message %q", msg)
+	}
+	if !errors.Is(ce, inner) {
+		t.Error("CorruptError.Unwrap does not expose the inner error")
+	}
+	bare := &CorruptError{Path: "ckpt.json", Reason: "checksum mismatch"}
+	if msg := bare.Error(); !strings.Contains(msg, "checksum mismatch") {
+		t.Errorf("bare CorruptError message %q", msg)
+	}
+	if bare.Unwrap() != nil {
+		t.Error("bare CorruptError should unwrap to nil")
+	}
+
+	ne := &NumericError{Site: "core.gradients", Detail: "NaN at index 3"}
+	if msg := ne.Error(); !strings.Contains(msg, "core.gradients") || !strings.Contains(msg, "NaN") {
+		t.Errorf("NumericError message %q", msg)
+	}
+}
+
+func TestAtomicWriteFileErrorPaths(t *testing.T) {
+	// Temp-file creation fails when the parent directory does not exist.
+	missing := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+	if err := AtomicWriteFile(missing, []byte("x"), 0o644); err == nil {
+		t.Error("expected error writing into a missing directory")
+	}
+	// The final rename fails when the destination is an existing,
+	// non-empty directory.
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "occupied")
+	if err := os.MkdirAll(filepath.Join(dst, "child"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(dst, []byte("x"), 0o644); err == nil {
+		t.Error("expected error renaming over a non-empty directory")
+	}
+	// The failed rename must not leave its temp file behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind after failed rename", e.Name())
+		}
+	}
+}
+
+func TestAtomicWriteFunc(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "render.txt")
+	err := AtomicWriteFunc(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("rendered"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "rendered" {
+		t.Errorf("content %q", got)
+	}
+
+	wantErr := errors.New("render failed")
+	err = AtomicWriteFunc(path, func(io.Writer) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Errorf("renderer error not surfaced: %v", err)
+	}
+	// The file keeps its previous content when rendering fails.
+	got, _ = os.ReadFile(path)
+	if string(got) != "rendered" {
+		t.Errorf("failed render clobbered the file: %q", got)
+	}
+}
+
+func TestWriteCheckpointMarshalError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := WriteCheckpoint(path, make(chan int), nil); err == nil {
+		t.Error("expected marshal error for an unserializable payload")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("failed marshal must not create the checkpoint file")
+	}
+}
+
+func TestReadCheckpointReadError(t *testing.T) {
+	// A directory path fails os.ReadFile with an error that is not
+	// IsNotExist — the "filesystem said no" branch, distinct from both
+	// fresh-start and corruption.
+	dir := t.TempDir()
+	var v map[string]int
+	ok, err := ReadCheckpoint(dir, &v)
+	if ok || err == nil {
+		t.Errorf("ReadCheckpoint(dir) = %v, %v; want false, error", ok, err)
+	}
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		t.Error("a read failure must not be reported as corruption")
+	}
+}
+
+func TestDecodeCheckpointVersionMismatch(t *testing.T) {
+	payload, err := json.Marshal(map[string]int{"iter": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]any{
+		"Magic":   "tsteiner-ckpt",
+		"Version": 999,
+		"CRC":     crc32.ChecksumIEEE(payload),
+		"Payload": json.RawMessage(payload),
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]int
+	err = DecodeCheckpoint("future.json", data, &v)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "version") {
+		t.Errorf("version drift not rejected as corruption: %v", err)
+	}
+}

@@ -27,6 +27,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -83,6 +84,20 @@ func New(w io.Writer) *Sink {
 
 // Enabled reports whether the sink records anything (false for nil).
 func (s *Sink) Enabled() bool { return s != nil }
+
+// Mallocs returns the process's cumulative heap-allocation count
+// (runtime.MemStats.Mallocs), or 0 for a disabled sink — deltas around a
+// phase give its allocation cost. Like every sink reading it is telemetry
+// only, and the ReadMemStats stop-the-world cost is paid only when a sink
+// is attached.
+func (s *Sink) Mallocs() uint64 {
+	if s == nil {
+		return 0
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
 
 // Span is one timed region. A nil *Span (from a nil sink) is inert.
 type Span struct {

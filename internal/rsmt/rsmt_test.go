@@ -369,3 +369,53 @@ func TestBuildDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestCopyHelpersMatchAllocatingForms pins the allocation-free forest
+// helpers the refinement loop uses against their allocating
+// counterparts, including the topology-mismatch error paths.
+func TestCopyHelpersMatchAllocatingForms(t *testing.T) {
+	d := placedDesign(t, "spm", 0.3)
+	f, err := BuildAll(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys, idx := f.SteinerPositions()
+	bxs := make([]float64, len(xs))
+	bys := make([]float64, len(ys))
+	if n := f.CopySteinerPositionsInto(bxs, bys); n != len(idx) {
+		t.Fatalf("CopySteinerPositionsInto wrote %d coords, want %d", n, len(idx))
+	}
+	for i := range xs {
+		if bxs[i] != xs[i] || bys[i] != ys[i] {
+			t.Fatalf("coord %d: (%v,%v) != (%v,%v)", i, bxs[i], bys[i], xs[i], ys[i])
+		}
+	}
+
+	moved := f.Clone()
+	for i := range xs {
+		xs[i] += 1
+		ys[i] += 2
+	}
+	if err := moved.SetSteinerPositions(xs, ys, idx, d.Die); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CopyPositionsFrom(moved); err != nil {
+		t.Fatal(err)
+	}
+	gx, gy, _ := f.SteinerPositions()
+	mx, my, _ := moved.SteinerPositions()
+	for i := range gx {
+		if gx[i] != mx[i] || gy[i] != my[i] {
+			t.Fatalf("coord %d not copied: (%v,%v) != (%v,%v)", i, gx[i], gy[i], mx[i], my[i])
+		}
+	}
+
+	if err := f.CopyPositionsFrom(&Forest{}); err == nil {
+		t.Error("tree-count mismatch not rejected")
+	}
+	bad := f.Clone()
+	bad.Trees[0].Nodes = bad.Trees[0].Nodes[:len(bad.Trees[0].Nodes)-1]
+	if err := f.CopyPositionsFrom(bad); err == nil {
+		t.Error("node-count mismatch not rejected")
+	}
+}

@@ -282,6 +282,45 @@ type SteinerRef struct {
 	Tree, Node int32
 }
 
+// CopySteinerPositionsInto writes the Steiner coordinates into
+// caller-owned buffers in forest order (the same order SteinerPositions
+// uses) and returns the count written. The allocation-free companion to
+// SteinerPositions for hot loops; xs and ys must each hold at least the
+// forest's Steiner-node count.
+func (f *Forest) CopySteinerPositionsInto(xs, ys []float64) int {
+	n := 0
+	for _, t := range f.Trees {
+		for ni := range t.Nodes {
+			if t.Nodes[ni].Kind == SteinerNode {
+				xs[n] = t.Nodes[ni].Pos.X
+				ys[n] = t.Nodes[ni].Pos.Y
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CopyPositionsFrom copies every node position from src into f without
+// allocating. Both forests must share the same topology (tree count,
+// node counts); only positions differ between candidate forests in the
+// refinement loop, so this replaces Clone there.
+func (f *Forest) CopyPositionsFrom(src *Forest) error {
+	if len(f.Trees) != len(src.Trees) {
+		return fmt.Errorf("rsmt: copy positions across %d vs %d trees", len(f.Trees), len(src.Trees))
+	}
+	for ti, t := range f.Trees {
+		s := src.Trees[ti]
+		if len(t.Nodes) != len(s.Nodes) {
+			return fmt.Errorf("rsmt: tree %d has %d vs %d nodes", ti, len(t.Nodes), len(s.Nodes))
+		}
+		for ni := range t.Nodes {
+			t.Nodes[ni].Pos = s.Nodes[ni].Pos
+		}
+	}
+	return nil
+}
+
 // SetSteinerPositions writes coordinates back into the forest, clamping to
 // the given bounding box (movement is constrained to the grid-graph
 // boundary per the paper). The index must come from SteinerPositions on a

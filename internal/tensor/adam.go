@@ -132,13 +132,15 @@ func GradCheck(x *Tensor, build func() (*Tensor, *Tape, error), eps float64, sam
 		if err != nil {
 			return 0, err
 		}
+		lossP := lp.Data[0] // read before the next build: a workspace tape reclaims lp's storage
 		x.Data[i] = orig - eps
 		lm, _, err := build()
 		if err != nil {
 			return 0, err
 		}
+		lossM := lm.Data[0]
 		x.Data[i] = orig
-		numeric := (lp.Data[0] - lm.Data[0]) / (2 * eps)
+		numeric := (lossP - lossM) / (2 * eps)
 		if d := math.Abs(numeric - analytic[i]); d > worst {
 			worst = d
 		}

@@ -23,6 +23,11 @@ type Tensor struct {
 
 	requiresGrad bool
 	tape         *Tape
+	// wsOwned marks tensors whose storage came from the tape's
+	// workspace; only those may draw lazily-allocated Grad buffers
+	// from the pool (persistent leaves like model parameters must
+	// keep garbage-collected Grad storage across tape resets).
+	wsOwned bool
 }
 
 // Len returns the element count.
@@ -48,6 +53,10 @@ func (t *Tensor) GradAt(r, c int) float64 {
 // ensureGrad allocates the gradient buffer on demand.
 func (t *Tensor) ensureGrad() {
 	if t.Grad == nil {
+		if t.wsOwned && t.tape != nil && t.tape.ws != nil {
+			t.Grad = t.tape.ws.grabF64(t.Len())
+			return
+		}
 		t.Grad = make([]float64, t.Len())
 	}
 }
@@ -65,9 +74,13 @@ func (t *Tensor) Clone() *Tensor {
 	return c
 }
 
-// Tape records operations for reverse-mode differentiation.
+// Tape records operations for reverse-mode differentiation. A tape
+// built by NewTapeWS (or Workspace.Tape) draws op-result storage from
+// its workspace; a plain NewTape allocates, and both produce
+// byte-identical values.
 type Tape struct {
 	backwards []func()
+	ws        *Workspace
 }
 
 // NewTape returns an empty tape.
@@ -127,8 +140,12 @@ func (tp *Tape) Constant(t *Tensor) *Tensor {
 	return t
 }
 
-// result builds the output tensor of an op.
+// result builds the output tensor of an op, pooled when the tape has a
+// workspace.
 func (tp *Tape) result(rows, cols int, reqGrad bool) *Tensor {
+	if tp.ws != nil {
+		return tp.ws.tensor(tp, rows, cols, reqGrad)
+	}
 	out := &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols), tape: tp, requiresGrad: reqGrad}
 	if reqGrad {
 		out.ensureGrad()
@@ -568,7 +585,7 @@ func (tp *Tape) GatherRows(a *Tensor, idx []int32) (*Tensor, error) {
 		copy(out.Data[i*a.Cols:(i+1)*a.Cols], a.Data[int(r)*a.Cols:(int(r)+1)*a.Cols])
 	}
 	if out.requiresGrad {
-		rows := append([]int32(nil), idx...)
+		rows := tp.captureI32(idx)
 		tp.record(func() {
 			a.ensureGrad()
 			for i, r := range rows {
@@ -598,7 +615,7 @@ func (tp *Tape) SegmentSum(a *Tensor, seg []int32, nOut int) (*Tensor, error) {
 		}
 	}
 	if out.requiresGrad {
-		ids := append([]int32(nil), seg...)
+		ids := tp.captureI32(seg)
 		tp.record(func() {
 			a.ensureGrad()
 			for i, s := range ids {
@@ -617,7 +634,7 @@ func (tp *Tape) SegmentMean(a *Tensor, seg []int32, nOut int) (*Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts := make([]float64, nOut)
+	counts := tp.scratchF64(nOut)
 	for _, s := range seg {
 		counts[s]++
 	}
@@ -705,8 +722,8 @@ func (tp *Tape) SegmentLSE(a *Tensor, seg []int32, nOut int, gamma float64) (*Te
 	if len(seg) != a.Rows {
 		return nil, fmt.Errorf("tensor: %d segment ids for %d rows", len(seg), a.Rows)
 	}
-	maxV := make([]float64, nOut)
-	seen := make([]bool, nOut)
+	maxV := tp.scratchF64(nOut)
+	seen := tp.scratchBool(nOut)
 	for i, s := range seg {
 		if s < 0 || int(s) >= nOut {
 			return nil, fmt.Errorf("tensor: segment id %d of %d", s, nOut)
@@ -716,7 +733,7 @@ func (tp *Tape) SegmentLSE(a *Tensor, seg []int32, nOut int, gamma float64) (*Te
 			seen[s] = true
 		}
 	}
-	sums := make([]float64, nOut)
+	sums := tp.scratchF64(nOut)
 	for i, s := range seg {
 		sums[s] += math.Exp((a.Data[i] - maxV[s]) / gamma)
 	}
@@ -727,7 +744,7 @@ func (tp *Tape) SegmentLSE(a *Tensor, seg []int32, nOut int, gamma float64) (*Te
 		}
 	}
 	if out.requiresGrad {
-		ids := append([]int32(nil), seg...)
+		ids := tp.captureI32(seg)
 		tp.record(func() {
 			a.ensureGrad()
 			for i, s := range ids {

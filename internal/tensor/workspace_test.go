@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildGraph runs a small op graph touching every pooled code path
+// (results, grad buffers, index captures, op-internal scratch) and
+// returns the loss value plus the leaf gradient.
+func buildGraph(tp *Tape, data []float64) (float64, []float64, error) {
+	x, err := FromSlice(len(data), 1, data)
+	if err != nil {
+		return 0, nil, err
+	}
+	tp.Leaf(x)
+	g, err := tp.GatherRows(x, []int32{0, 2, 1, 3, 0})
+	if err != nil {
+		return 0, nil, err
+	}
+	s, err := tp.SegmentSum(g, []int32{0, 1, 0, 1, 1}, 2)
+	if err != nil {
+		return 0, nil, err
+	}
+	mn, err := tp.SegmentMean(g, []int32{1, 1, 0, 0, 1}, 2)
+	if err != nil {
+		return 0, nil, err
+	}
+	l, err := tp.SegmentLSE(g, []int32{0, 0, 1, 1, 1}, 2, 0.3)
+	if err != nil {
+		return 0, nil, err
+	}
+	a, err := tp.Add(s, mn)
+	if err != nil {
+		return 0, nil, err
+	}
+	a, err = tp.Add(a, l)
+	if err != nil {
+		return 0, nil, err
+	}
+	a, err = tp.Tanh(a)
+	if err != nil {
+		return 0, nil, err
+	}
+	loss, err := tp.Sum(a)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := tp.Backward(loss); err != nil {
+		return 0, nil, err
+	}
+	return loss.Data[0], append([]float64(nil), x.Grad...), nil
+}
+
+// TestWorkspaceOpsByteIdentical re-runs the same graph on a plain tape
+// and on a reused workspace tape (several times, so reuse actually
+// kicks in) and requires bit-identical values and gradients.
+func TestWorkspaceOpsByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 4)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	wantLoss, wantGrad, err := buildGraph(NewTape(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	for round := 0; round < 3; round++ {
+		loss, grad, err := buildGraph(ws.Tape(), data)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if loss != wantLoss {
+			t.Fatalf("round %d: loss %v != %v", round, loss, wantLoss)
+		}
+		for i := range grad {
+			if grad[i] != wantGrad[i] {
+				t.Fatalf("round %d: grad[%d] %v != %v", round, i, grad[i], wantGrad[i])
+			}
+		}
+	}
+	st := ws.Stats()
+	if st.Grabs == 0 {
+		t.Fatal("workspace never grabbed a buffer")
+	}
+	if st.Hits == 0 {
+		t.Fatal("workspace reuse never hit the free list across identical rounds")
+	}
+}
+
+// TestWorkspaceResetZeroes proves reset purity: a buffer polluted in one
+// round must come back zeroed in the next.
+func TestWorkspaceResetZeroes(t *testing.T) {
+	ws := NewWorkspace()
+	tp := ws.Tape()
+	a := tp.Zeros(3, 2)
+	for i := range a.Data {
+		a.Data[i] = 42
+	}
+	tp = ws.Tape() // reset: the same storage must be handed out zeroed
+	b := tp.Zeros(3, 2)
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("reused buffer element %d = %v, want 0", i, v)
+		}
+	}
+	if ws.Stats().Hits == 0 {
+		t.Fatal("expected the second Zeros to reuse the first buffer")
+	}
+}
+
+func TestAliasSharesBacking(t *testing.T) {
+	tp := NewTape()
+	data := []float64{1, 2, 3}
+	a, err := tp.Alias(3, 1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a.Data[0] != &data[0] {
+		t.Fatal("Alias copied instead of sharing")
+	}
+	if _, err := tp.Alias(2, 2, data); err == nil {
+		t.Fatal("Alias accepted a shape mismatch")
+	}
+}
+
+func TestCopyInCopies(t *testing.T) {
+	ws := NewWorkspace()
+	tp := ws.Tape()
+	data := []float64{4, 5}
+	c, err := tp.CopyIn(2, 1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c.Data[0] == &data[0] {
+		t.Fatal("CopyIn aliased the input")
+	}
+	if c.Data[0] != 4 || c.Data[1] != 5 {
+		t.Fatalf("CopyIn values %v", c.Data)
+	}
+	if _, err := tp.CopyIn(3, 1, data); err == nil {
+		t.Fatal("CopyIn accepted a shape mismatch")
+	}
+}
+
+// TestWorkspaceLeafGradPersistence: a Leaf attached to a workspace tape
+// but not built by it (a model parameter) must keep an ordinary heap
+// gradient buffer that survives workspace resets.
+func TestWorkspaceLeafGradPersistence(t *testing.T) {
+	ws := NewWorkspace()
+	tp := ws.Tape()
+	p, _ := FromSlice(2, 1, []float64{1, 2})
+	tp.Leaf(p)
+	grad := p.Grad
+	if grad == nil {
+		t.Fatal("Leaf did not allocate a gradient")
+	}
+	ws.Tape() // reset
+	if &p.Grad[0] != &grad[0] {
+		t.Fatal("parameter gradient buffer was replaced")
+	}
+}

@@ -209,6 +209,18 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 	// read-only arithmetic over already-computed gradients, so enabling
 	// telemetry never changes the Adam trajectory.
 	wantGradSq := opt.Obs.Enabled()
+	// Pooled evaluation state, reused across epochs: the sequential
+	// trajectory keeps one tensor workspace; the accumulation mode keeps
+	// a pool of (clone, workspace) pairs plus per-slot gradient buffers.
+	// Buffer reuse never changes results — workspace purity makes every
+	// gradient a function of (parameters, sample) alone.
+	var ws *tensor.Workspace
+	var pool *accumPool
+	if opt.Accumulate {
+		pool = newAccumPool(m, len(trainSet))
+	} else {
+		ws = tensor.NewWorkspace()
+	}
 	for ep := startEp; ep < opt.Epochs; ep++ {
 		if reason, over := opt.Budget.ExceededWall(); over {
 			opt.Obs.Add("train.budget_cutoffs", 1)
@@ -218,7 +230,7 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 		order := rng.Perm(len(trainSet))
 		epochLoss, epochGradSq := 0.0, 0.0
 		if opt.Accumulate {
-			loss, gradSq, err := accumulateStep(m, adam, trainSet, order, opt.Workers, wantGradSq, opt.Fault)
+			loss, gradSq, err := accumulateStep(m, adam, trainSet, order, opt.Workers, wantGradSq, opt.Fault, pool)
 			if err != nil {
 				return 0, err
 			}
@@ -227,7 +239,7 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 		} else {
 			for _, si := range order {
 				s := trainSet[si]
-				loss, gradSq, err := step(m, adam, s, wantGradSq, opt.Fault)
+				loss, gradSq, err := step(m, adam, s, ws, wantGradSq, opt.Fault)
 				if err != nil {
 					return 0, fmt.Errorf("train: %s: %w", s.Name, err)
 				}
@@ -280,6 +292,63 @@ func guardGrads(params []*tensor.Tensor, inj *fault.Injector) error {
 	return nil
 }
 
+// evalScratch is one worker's reusable evaluation state: a model clone
+// (tapes attach to parameter tensors, so clones are never shared) and a
+// tensor workspace.
+type evalScratch struct {
+	clone *gnn.Model
+	ws    *tensor.Workspace
+}
+
+// accumPool recycles evalScratch pairs and per-slot gradient buffers
+// across accumulation epochs. The free list is a non-blocking buffered
+// channel: a worker that finds it empty builds fresh scratch, so pool
+// contention can change how many clones exist but never what any of them
+// computes.
+type accumPool struct {
+	free chan *evalScratch
+	// gradBufs[k] holds slot k's per-parameter gradient copies; slot k
+	// is owned exclusively by the task at position k of the epoch's
+	// permutation, then read by the fixed-order reduction.
+	gradBufs [][][]float64
+}
+
+func newAccumPool(m *gnn.Model, nSlots int) *accumPool {
+	p := &accumPool{free: make(chan *evalScratch, 16)}
+	params := m.Params()
+	p.gradBufs = make([][][]float64, nSlots)
+	for k := range p.gradBufs {
+		bufs := make([][]float64, len(params))
+		for pi, pr := range params {
+			bufs[pi] = make([]float64, pr.Len())
+		}
+		p.gradBufs[k] = bufs
+	}
+	return p
+}
+
+// get returns scratch whose clone carries m's current parameters and
+// zeroed gradients.
+func (p *accumPool) get(m *gnn.Model) *evalScratch {
+	select {
+	case sc := <-p.free:
+		sc.clone.SyncParamsFrom(m)
+		for _, pr := range sc.clone.Params() {
+			pr.ZeroGrad()
+		}
+		return sc
+	default:
+		return &evalScratch{clone: m.Clone(), ws: tensor.NewWorkspace()}
+	}
+}
+
+func (p *accumPool) put(sc *evalScratch) {
+	select {
+	case p.free <- sc:
+	default:
+	}
+}
+
 // accumulateStep computes every sample's gradient in parallel against the
 // current parameters (each task on its own model clone, so tapes and
 // gradient buffers are never shared), reduces the gradients in the fixed
@@ -288,19 +357,16 @@ func guardGrads(params []*tensor.Tensor, inj *fault.Injector) error {
 // parameters are byte-identical for every worker count. When wantGradSq is
 // set, the squared L2 norm of the reduced gradient is returned for
 // telemetry (read-only; computed after the reduction, before the step).
-func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order []int, workers int, wantGradSq bool, inj *fault.Injector) (float64, float64, error) {
-	type grads struct {
-		loss   float64
-		byProp [][]float64
-	}
-	outs, err := par.Map(workers, order, func(_ int, si int) (grads, error) {
+func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order []int, workers int, wantGradSq bool, inj *fault.Injector, pool *accumPool) (float64, float64, error) {
+	outs, err := par.Map(workers, order, func(k int, si int) (float64, error) {
 		s := trainSet[si]
-		clone := m.Clone()
-		loss, g, err := sampleGrad(clone, s)
+		sc := pool.get(m)
+		loss, err := sampleGradInto(sc.ws.Tape(), sc.clone, s, pool.gradBufs[k])
+		pool.put(sc)
 		if err != nil {
-			return grads{}, fmt.Errorf("train: %s: %w", s.Name, err)
+			return 0, fmt.Errorf("train: %s: %w", s.Name, err)
 		}
-		return grads{loss: loss, byProp: g}, nil
+		return loss, nil
 	})
 	if err != nil {
 		return 0, 0, err
@@ -308,9 +374,9 @@ func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order [
 	adam.ZeroGrad()
 	params := m.Params()
 	total := 0.0
-	for _, o := range outs { // fixed order: the epoch permutation
-		total += o.loss
-		for pi, g := range o.byProp {
+	for k := range outs { // fixed order: the epoch permutation
+		total += outs[k]
+		for pi, g := range pool.gradBufs[k] {
 			p := params[pi]
 			if p.Grad == nil {
 				p.Grad = make([]float64, p.Len())
@@ -342,23 +408,22 @@ func paramGradSq(params []*tensor.Tensor) float64 {
 	return sq
 }
 
-// sampleGrad runs one forward/backward on a sample and returns the loss
-// plus the per-parameter gradients (in Params() order).
-func sampleGrad(m *gnn.Model, s *Sample) (float64, [][]float64, error) {
-	tp := tensor.NewTape()
+// sampleGradInto runs one forward/backward on a sample and copies the
+// per-parameter gradients (in Params() order) into dst — copies, because
+// the model clone and its gradient buffers are recycled across tasks
+// while dst survives until the epoch's reduction.
+func sampleGradInto(tp *tensor.Tape, m *gnn.Model, s *Sample, dst [][]float64) (float64, error) {
 	loss, err := sampleLoss(tp, m, s)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
 	if err := tp.Backward(loss); err != nil {
-		return 0, nil, err
+		return 0, err
 	}
-	params := m.Params()
-	out := make([][]float64, len(params))
-	for i, p := range params {
-		out[i] = p.Grad
+	for i, p := range m.Params() {
+		copy(dst[i], p.Grad)
 	}
-	return loss.Data[0], out, nil
+	return loss.Data[0], nil
 }
 
 // sampleLoss builds the per-pin arrival MSE loss for one sample on tp.
@@ -371,11 +436,10 @@ func sampleLoss(tp *tensor.Tape, m *gnn.Model, s *Sample) (*tensor.Tensor, error
 	if err != nil {
 		return nil, err
 	}
-	labels, err := tensor.FromSlice(len(s.Labels), 1, s.Labels)
+	labels, err := tp.Alias(len(s.Labels), 1, s.Labels)
 	if err != nil {
 		return nil, err
 	}
-	tp.Constant(labels)
 	diff, err := tp.Sub(pred.Arrival, labels)
 	if err != nil {
 		return nil, err
@@ -400,9 +464,10 @@ func sampleLoss(tp *tensor.Tape, m *gnn.Model, s *Sample) (*tensor.Tensor, error
 
 // step runs one forward/backward/update on a sample and returns the loss,
 // plus (when wantGradSq is set) the squared gradient norm of the step for
-// telemetry.
-func step(m *gnn.Model, adam *tensor.Adam, s *Sample, wantGradSq bool, inj *fault.Injector) (float64, float64, error) {
-	tp := tensor.NewTape()
+// telemetry. ws is the trainer's reused workspace; parameters are not
+// workspace-owned, so their gradient buffers persist across resets.
+func step(m *gnn.Model, adam *tensor.Adam, s *Sample, ws *tensor.Workspace, wantGradSq bool, inj *fault.Injector) (float64, float64, error) {
+	tp := ws.Tape()
 	adam.ZeroGrad()
 	loss, err := sampleLoss(tp, m, s)
 	if err != nil {
