@@ -43,6 +43,7 @@ func main() {
 		refine  = flag.Bool("refine", false, "train an evaluator and refine Steiner points before sign-off")
 		epochs  = flag.Int("epochs", 60, "evaluator training epochs (-refine)")
 		iters   = flag.Int("iters", 25, "max refinement iterations N (-refine)")
+	lanes   = flag.Int("lanes", 0, "line-search candidates per fused batched forward (0 = sequential; -refine)")
 		seed    = flag.Int64("seed", 2023, "random seed (-refine)")
 	)
 	shared := obs.RegisterFlags(flag.CommandLine)
@@ -115,7 +116,7 @@ func main() {
 
 	finalForest := prepared.Forest
 	if *refine {
-		res, err := refineDesign(prepared, timing, rep, *epochs, *iters, *seed, shared, budget, sink)
+		res, err := refineDesign(prepared, timing, rep, *epochs, *iters, *lanes, *seed, shared, budget, sink)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -151,7 +152,7 @@ func main() {
 // refineDesign trains an evaluator on this design (plus perturbed
 // variants) and runs TSteiner refinement — the same recipe cmd/tsteiner
 // applies to bundled benchmarks, for loaded designs.
-func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, epochs, iters int, seed int64, shared *obs.Flags, budget *guard.Budget, sink *obs.Sink) (*core.Result, error) {
+func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, epochs, iters, lanes int, seed int64, shared *obs.Flags, budget *guard.Budget, sink *obs.Sink) (*core.Result, error) {
 	workers := shared.Workers
 	batch, err := gnn.NewBatch(p.Design, p.Forest)
 	if err != nil {
@@ -198,6 +199,7 @@ func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, e
 
 	ropt := core.DefaultOptions()
 	ropt.N = iters
+	ropt.CandidateLanes = lanes
 	ropt.Budget = budget
 	if shared.CheckpointDir != "" {
 		ropt.CheckpointPath = filepath.Join(shared.CheckpointDir, "refine.ckpt")

@@ -39,6 +39,7 @@ func main() {
 		baselineOnly = flag.Bool("baseline-only", false, "run only the baseline flow")
 		epochs       = flag.Int("epochs", 150, "evaluator training epochs")
 		iters        = flag.Int("iters", 25, "max refinement iterations N")
+		lanes        = flag.Int("lanes", 0, "line-search candidates per fused batched forward (0 = sequential)")
 		rounds       = flag.Int("rounds", 1, "successive refinement rounds (re-anchored trust region)")
 		modelPath    = flag.String("model", "", "load/save the evaluator at this path")
 		seed         = flag.Int64("seed", 2023, "random seed")
@@ -145,6 +146,7 @@ func main() {
 
 	opt := core.DefaultOptions()
 	opt.N = *iters
+	opt.CandidateLanes = *lanes
 	opt.Budget = budget
 	if shared.CheckpointDir != "" {
 		opt.CheckpointPath = filepath.Join(shared.CheckpointDir, "refine.ckpt")

@@ -16,6 +16,14 @@
 //     re-measures allocs/op and fails when the pooled refine loop regresses
 //     more than 10% over the baseline, or stops being at least 2x leaner
 //     than the allocating reference path.
+//   - TestBatchReplayByteIdentical does the same replay for the
+//     BatchLanes-candidate refine loop: fused ForwardBatch vs sequential
+//     forwards, across worker counts, against metrics_batched.
+//   - TestBatchedBaselineMargin statically holds the committed
+//     gnn_forward_batched record to >=1.5x less per-candidate time than
+//     gnn_forward_sequential; the recorder enforces the margin when the
+//     baseline is rewritten, and the alloc gate re-measures it live with
+//     a noise-tolerant 1.3x floor.
 //
 // Refresh the baseline after intentional changes with
 // `go test ./internal/bench -run TestBenchUpdateBaseline -benchupdate`.
@@ -47,6 +55,14 @@ const (
 	ModelSeed     = 7
 	RefineIters   = 6
 	BaselineFile  = "BENCH_refine.json"
+
+	// BatchLanes pins the candidate count K of the batched benchmarks and
+	// of the batched replay gate: one fused ForwardBatch evaluates
+	// BatchLanes candidate coordinate sets against the shared graph
+	// structure. Batched records in BENCH_refine.json are normalized to
+	// per-candidate cost (divided by BatchLanes, with the lane count
+	// recorded) so entries stay comparable across batch sizes.
+	BatchLanes = 4
 )
 
 // Workload is the fixed seeded benchmark state shared by every
@@ -93,6 +109,23 @@ func (w *Workload) RunRefine(disableWS bool) (*RefineOutcome, error) {
 	opt := core.DefaultOptions()
 	opt.N = RefineIters
 	opt.DisableWorkspace = disableWS
+	return w.runRefine(opt)
+}
+
+// RunRefineBatched runs the pinned refine loop with CandidateLanes =
+// BatchLanes: each iteration evaluates BatchLanes line-search candidates
+// in one fused forward (or, with disableWS, in BatchLanes sequential
+// forwards — the byte-identical reference side of the batched replay
+// gate).
+func (w *Workload) RunRefineBatched(disableWS bool) (*RefineOutcome, error) {
+	opt := core.DefaultOptions()
+	opt.N = RefineIters
+	opt.DisableWorkspace = disableWS
+	opt.CandidateLanes = BatchLanes
+	return w.runRefine(opt)
+}
+
+func (w *Workload) runRefine(opt core.Options) (*RefineOutcome, error) {
 	r, err := core.NewRefiner(w.Model, w.Batch, w.Prepared, opt)
 	if err != nil {
 		return nil, err
@@ -111,6 +144,26 @@ func (w *Workload) RunRefine(disableWS bool) (*RefineOutcome, error) {
 		Converged:  res.ConvergedByRatio,
 		CoordHash:  coordHash(xs, ys),
 	}, nil
+}
+
+// CandidateCoords stages `lanes` deterministic candidate coordinate sets
+// around the prepared forest's Steiner positions, lane-major: lane k
+// shifts every point by k·(+7.5, −4.25) DBU — distinct per-lane inputs,
+// as the refine loop's line search produces.
+func (w *Workload) CandidateCoords(lanes int) (xs, ys []float64, err error) {
+	n := w.Batch.NSteiner
+	xs = make([]float64, lanes*n)
+	ys = make([]float64, lanes*n)
+	if err := w.Batch.FillSteinerCoords(w.Prepared.Forest, xs[:n], ys[:n]); err != nil {
+		return nil, nil, err
+	}
+	for k := 1; k < lanes; k++ {
+		for i := 0; i < n; i++ {
+			xs[k*n+i] = xs[i] + float64(k)*7.5
+			ys[k*n+i] = ys[i] - float64(k)*4.25
+		}
+	}
+	return xs, ys, nil
 }
 
 func coordHash(xs, ys []float64) string {
@@ -158,11 +211,15 @@ func (s *STAState) Run() (*sta.Result, error) {
 	return sta.Run(s.w.Prepared.Design, s.rcs)
 }
 
-// Record is one benchmark's measured cost.
+// Record is one benchmark's measured cost. For batched benchmarks Lanes
+// is the candidate count K and the costs are normalized per candidate
+// (total divided by K), keeping records comparable across batch sizes;
+// unbatched records leave Lanes at zero.
 type Record struct {
 	NsOp     float64 `json:"ns_op"`
 	BytesOp  int64   `json:"bytes_op"`
 	AllocsOp int64   `json:"allocs_op"`
+	Lanes    int     `json:"lanes,omitempty"`
 }
 
 // Baseline is the committed shape of BENCH_refine.json.
@@ -173,6 +230,9 @@ type Baseline struct {
 	Iters      int               `json:"refine_iters"`
 	Benchmarks map[string]Record `json:"benchmarks"`
 	Metrics    RefineOutcome     `json:"metrics"`
+	// MetricsBatched is the outcome of the BatchLanes-candidate refine
+	// run — the reference the batched replay gate compares against.
+	MetricsBatched RefineOutcome `json:"metrics_batched"`
 }
 
 // BaselinePath locates BENCH_refine.json at the repository root by

@@ -32,6 +32,19 @@ type evalSession struct {
 	tp           *tensor.Tape
 	xs, ys       *tensor.Tensor
 	pred         *gnn.Prediction
+
+	// Batched candidate memo: the last ForwardBatch's tape with its
+	// lane-major coordinates. laneGradients serves a gradient request
+	// whose coordinates are bit-identical to one lane by appending the
+	// penalty and backward-propagating a lane slice — the second forward
+	// Algorithm 1 would otherwise pay at the accepted candidate's
+	// positions. Shares the workspace with the unbatched memo, so at
+	// most one of the two is valid at a time.
+	bX, bY []float64
+	bLanes int
+	bTp    *tensor.Tape
+	bp     *gnn.BatchPrediction
+	bValid bool
 }
 
 func newEvalSession(r *Refiner) *evalSession {
@@ -56,11 +69,13 @@ func (r *Refiner) session() *evalSession {
 	return r.sess
 }
 
-// invalidate drops the memoized forward pass (the workspace storage
-// itself is reclaimed by the next forward's reset).
+// invalidate drops the memoized forward passes — unbatched and batched —
+// (the workspace storage itself is reclaimed by the next forward's reset).
 func (s *evalSession) invalidate() {
 	s.memoValid = false
 	s.tp, s.xs, s.ys, s.pred = nil, nil, nil, nil
+	s.bValid = false
+	s.bTp, s.bp = nil, nil
 }
 
 func sliceEq(a, b []float64) bool {
@@ -98,4 +113,75 @@ func (s *evalSession) forward(f *rsmt.Forest) (*tensor.Tape, *tensor.Tensor, *te
 	s.tp, s.xs, s.ys, s.pred = tp, xs, ys, pred
 	s.memoValid = true
 	return tp, xs, ys, pred, nil
+}
+
+// forwardBatch runs one fused K-lane forward at the staged candidate
+// coordinates (lane-major), memoizing the tape so a following gradient
+// request at one lane's exact coordinates can reuse it.
+func (s *evalSession) forwardBatch(lanes int, laneXs, laneYs []float64) (*gnn.BatchPrediction, error) {
+	s.invalidate()
+	tp := s.ws.Tape()
+	bp, err := s.r.Model.ForwardBatch(tp, s.r.Batch, lanes, laneXs, laneYs, false)
+	if err != nil {
+		return nil, err
+	}
+	n := lanes * s.r.Batch.NSteiner
+	if cap(s.bX) < n {
+		s.bX = make([]float64, n)
+		s.bY = make([]float64, n)
+	}
+	s.bX, s.bY = s.bX[:n], s.bY[:n]
+	copy(s.bX, laneXs)
+	copy(s.bY, laneYs)
+	s.bLanes, s.bTp, s.bp, s.bValid = lanes, tp, bp, true
+	return bp, nil
+}
+
+// laneGradients serves a gradient request from the batched memo when f's
+// coordinates are bit-identical to one memoized lane: the penalty is
+// appended per-lane on the K-lane slack, a lane slice selects the
+// matching candidate's scalar, and Backward leaves that candidate's
+// exact gradient in its lane of the coordinate leaves (the other lanes
+// receive exact zeros). ok reports whether the request was served; a
+// miss falls back to a fresh forward.
+func (s *evalSession) laneGradients(f *rsmt.Forest, lw, lt float64) (gx, gy []float64, pval float64, ok bool, err error) {
+	if !s.bValid {
+		return nil, nil, 0, false, nil
+	}
+	if err := s.r.Batch.FillSteinerCoords(f, s.curX, s.curY); err != nil {
+		return nil, nil, 0, false, err
+	}
+	n := s.r.Batch.NSteiner
+	lane := -1
+	for k := 0; k < s.bLanes; k++ {
+		if sliceEq(s.curX, s.bX[k*n:(k+1)*n]) && sliceEq(s.curY, s.bY[k*n:(k+1)*n]) {
+			lane = k
+			break
+		}
+	}
+	if lane < 0 {
+		return nil, nil, 0, false, nil
+	}
+	s.r.sink().Add("core.memo_hits", 1)
+	s.r.sink().Add("core.lane_memo_hits", 1)
+	tp, bp := s.bTp, s.bp
+	// The memo is consumed either way: penalty ops dirty the tape and
+	// Backward accumulates into its leaves.
+	defer s.invalidate()
+	p, err := s.r.penaltyOn(tp, bp.Slack, lw, lt)
+	if err != nil {
+		return nil, nil, 0, true, err
+	}
+	loss, err := tp.SliceLane(p, lane)
+	if err != nil {
+		return nil, nil, 0, true, err
+	}
+	if err := tp.Backward(loss); err != nil {
+		return nil, nil, 0, true, err
+	}
+	// Copies: workspace storage is reclaimed on the next forward, and
+	// callers hold the slices across further gradient calls.
+	gx = append([]float64(nil), bp.Xs.LaneGrad(lane)...)
+	gy = append([]float64(nil), bp.Ys.LaneGrad(lane)...)
+	return gx, gy, loss.Data[0], true, nil
 }

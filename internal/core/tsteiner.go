@@ -101,6 +101,21 @@ type Options struct {
 	// Allocating holds them together); the flag exists for that gate and
 	// for the bench harness's before/after comparison.
 	DisableWorkspace bool
+
+	// CandidateLanes sets the number K of candidate steps evaluated per
+	// iteration in one fused batched forward pass: lane 0 takes the full
+	// SO step (exactly the single-candidate update) and lane k scales the
+	// displacement by 2^-k — a backtracking line search along the SO
+	// direction whose K evaluations share one amortized forward over the
+	// batch's precomputed structure tables. The lane with the best hard
+	// metrics (max WNS, ties by TNS, then lowest lane) becomes the
+	// iteration's candidate and meets the usual accept rule. 0 or 1
+	// preserves the single-candidate algorithm byte-for-byte. With
+	// DisableWorkspace the same K candidates are evaluated by K
+	// sequential forwards instead — byte-identical trajectories, no
+	// batched kernels (the differential gate
+	// TestBatchedRefineMatchesSequential holds the two together).
+	CandidateLanes int
 }
 
 // DefaultOptions mirrors the paper's experiment settings.
@@ -125,9 +140,12 @@ func DefaultOptions() Options {
 
 // IterRecord traces one refinement iteration.
 type IterRecord struct {
-	WNS, TNS float64 // evaluated metrics of the candidate
+	WNS, TNS float64 // evaluated metrics of the chosen candidate
 	Accepted bool
 	Theta    float64
+	// Lane is the chosen candidate's lane (step scale 2^-Lane) when
+	// CandidateLanes > 1; always 0 on the single-candidate path.
+	Lane int
 }
 
 // Result is the outcome of a refinement run.
@@ -228,6 +246,12 @@ func (r *Refiner) gradients(f *rsmt.Forest, lw, lt float64) (gx, gy []float64, p
 	var xs, ys *tensor.Tensor
 	var pred *gnn.Prediction
 	if s := r.session(); s != nil {
+		// A memoized batched candidate pass may already hold the forward
+		// at f's exact coordinates in one of its lanes; extracting the
+		// lane's gradient there skips the whole forward.
+		if gx, gy, pval, ok, lerr := s.laneGradients(f, lw, lt); ok || lerr != nil {
+			return gx, gy, pval, lerr
+		}
 		tp, xs, ys, pred, err = s.forward(f)
 		// Appending penalty ops and running Backward consume the
 		// memoized tape: gradients accumulate, so it must not be
@@ -256,12 +280,22 @@ func (r *Refiner) gradients(f *rsmt.Forest, lw, lt float64) (gx, gy []float64, p
 	return append([]float64(nil), xs.Grad...), append([]float64(nil), ys.Grad...), p.Data[0], nil
 }
 
-// penalty builds P_γ = λ_w·w_γ + λ_t·t_γ on the tape (Eq. 4–6):
+// penalty builds P_γ = λ_w·w_γ + λ_t·t_γ on the tape (Eq. 4–6) from a
+// prediction's slack.
+func (r *Refiner) penalty(tp *tensor.Tape, pred *gnn.Prediction, lw, lt float64) (*tensor.Tensor, error) {
+	return r.penaltyOn(tp, pred.Slack, lw, lt)
+}
+
+// penaltyOn builds the smoothed penalty directly on a slack tensor:
 //
 //	w_γ = −LSE(−s; γ)                (smooth min over endpoint slacks)
 //	t_γ = −γ·Σ softplus(−s/γ)        (smooth Σ min(0, s))
-func (r *Refiner) penalty(tp *tensor.Tape, pred *gnn.Prediction, lw, lt float64) (*tensor.Tensor, error) {
-	negS, err := tp.Scale(pred.Slack, -1)
+//
+// Every op is lane-transparent, so a K-lane slack yields a K-lane 1×1
+// penalty whose lane k is bit-identical to the unbatched penalty of
+// candidate k — the property the lane-granular gradient memo relies on.
+func (r *Refiner) penaltyOn(tp *tensor.Tape, slack *tensor.Tensor, lw, lt float64) (*tensor.Tensor, error) {
+	negS, err := tp.Scale(slack, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +307,7 @@ func (r *Refiner) penalty(tp *tensor.Tape, pred *gnn.Prediction, lw, lt float64)
 	if err != nil {
 		return nil, err
 	}
-	scaled, err := tp.Scale(pred.Slack, -1/r.Opt.Gamma)
+	scaled, err := tp.Scale(slack, -1/r.Opt.Gamma)
 	if err != nil {
 		return nil, err
 	}
@@ -528,11 +562,30 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 
 	// Persistent per-loop storage, reused across iterations instead of
 	// cloned: the candidate forest (SetSteinerPositions overwrites every
-	// Steiner coordinate, and pin nodes are identical across clones) and
-	// the coordinate staging buffers the SO step mutates.
+	// Steiner coordinate, and pin nodes are identical across clones), the
+	// coordinate staging buffers the SO step mutates, and the staged
+	// per-coordinate displacement.
 	cand := startForest.Clone()
 	xsBuf := make([]float64, nVars)
 	ysBuf := make([]float64, nVars)
+	dxBuf := make([]float64, nVars)
+	dyBuf := make([]float64, nVars)
+	// Multi-candidate staging (CandidateLanes ≥ 2): lane-major candidate
+	// coordinate blocks, per-lane metrics, and the scratch forest that
+	// realizes each lane's die clamp.
+	K := opt.CandidateLanes
+	if K < 1 {
+		K = 1
+	}
+	var laneXs, laneYs, laneWNS, laneTNS []float64
+	var scratch *rsmt.Forest
+	if K > 1 {
+		laneXs = make([]float64, K*nVars)
+		laneYs = make([]float64, K*nVars)
+		laneWNS = make([]float64, K)
+		laneTNS = make([]float64, K)
+		scratch = startForest.Clone()
+	}
 
 	for t := startIter; t < opt.N && !res.ConvergedByRatio; t++ {
 		iterM0 := r.sink().Mallocs()
@@ -577,14 +630,16 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 			t--
 			continue
 		}
-		cur.CopySteinerPositionsInto(xsBuf, ysBuf)
-		xs, ys := xsBuf, ysBuf
+		// The SO update is staged as a per-coordinate displacement first
+		// (moments update, MaxMove clamp), then applied — at full scale on
+		// the single-candidate path, at K geometric scales on the
+		// multi-candidate path.
 		// stepSq/clamped observe the update for telemetry only; they are
 		// derived from the same deterministic arithmetic, never fed back.
 		var stepSq float64
 		var clamped int
-		step := func(pos, g, mAcc, vAcc []float64) {
-			for i := range pos {
+		step := func(g, mAcc, vAcc, disp []float64) {
+			for i := range disp {
 				var d float64
 				if opt.RawGradient {
 					d = theta * g[i]
@@ -603,32 +658,54 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 						clamped++
 					}
 				}
-				pos[i] -= d
+				disp[i] = d
 				stepSq += d * d
 			}
 		}
-		step(xs, gx, mX, vX)
-		step(ys, gy, mY, vY)
-		if rr := opt.TrustRadiusDBU; rr > 0 {
-			for i := range xs {
-				cx := clampTo(xs[i], x0[i]-rr, x0[i]+rr)
-				cy := clampTo(ys[i], y0[i]-rr, y0[i]+rr)
-				if cx != xs[i] {
-					clamped++
-				}
-				if cy != ys[i] {
-					clamped++
-				}
-				xs[i], ys[i] = cx, cy
-			}
-		}
-		if err := cand.SetSteinerPositions(xs, ys, idx, r.Prep.Design.Die); err != nil {
-			return nil, err
-		}
+		step(gx, mX, vX, dxBuf)
+		step(gy, mY, vY, dyBuf)
+		cur.CopySteinerPositionsInto(xsBuf, ysBuf)
 
-		wns, tns, err := r.evalMetrics(cand)
-		if err != nil {
-			return nil, err
+		var wns, tns float64
+		lane := 0
+		if K > 1 {
+			if err := r.stageCandidates(K, xsBuf, ysBuf, dxBuf, dyBuf, x0, y0, idx, scratch, laneXs, laneYs, &clamped); err != nil {
+				return nil, err
+			}
+			if err := r.evalCandidates(K, laneXs, laneYs, laneWNS, laneTNS); err != nil {
+				return nil, err
+			}
+			lane = chooseLane(laneWNS, laneTNS)
+			wns, tns = laneWNS[lane], laneTNS[lane]
+			if err := cand.SetSteinerPositions(laneXs[lane*nVars:(lane+1)*nVars], laneYs[lane*nVars:(lane+1)*nVars], idx, r.Prep.Design.Die); err != nil {
+				return nil, err
+			}
+		} else {
+			xs, ys := xsBuf, ysBuf
+			for i := range xs {
+				xs[i] -= dxBuf[i]
+				ys[i] -= dyBuf[i]
+			}
+			if rr := opt.TrustRadiusDBU; rr > 0 {
+				for i := range xs {
+					cx := clampTo(xs[i], x0[i]-rr, x0[i]+rr)
+					cy := clampTo(ys[i], y0[i]-rr, y0[i]+rr)
+					if cx != xs[i] {
+						clamped++
+					}
+					if cy != ys[i] {
+						clamped++
+					}
+					xs[i], ys[i] = cx, cy
+				}
+			}
+			if err := cand.SetSteinerPositions(xs, ys, idx, r.Prep.Design.Die); err != nil {
+				return nil, err
+			}
+			wns, tns, err = r.evalMetrics(cand)
+			if err != nil {
+				return nil, err
+			}
 		}
 		accepted := opt.AlwaysAccept || wns > res.BestWNS || tns > res.BestTNS
 		if accepted {
@@ -644,7 +721,7 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 			cur, cand = cand, cur
 		}
 		// On rejection cur is kept: S_T^(t+1) ← S_T^(t) (Alg. 1 line 13).
-		res.History = append(res.History, IterRecord{WNS: wns, TNS: tns, Accepted: accepted, Theta: theta})
+		res.History = append(res.History, IterRecord{WNS: wns, TNS: tns, Accepted: accepted, Theta: theta, Lane: lane})
 		res.Iterations = t + 1
 		r.sink().Add("core.iterations", 1)
 		if r.sink().Enabled() {
@@ -659,6 +736,7 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 			obs.KV{K: "theta", V: theta},
 			obs.KV{K: "step_norm", V: math.Sqrt(stepSq)},
 			obs.KV{K: "clamped", V: clamped},
+			obs.KV{K: "lane", V: lane},
 			obs.KV{K: "accepted", V: accepted},
 			obs.KV{K: "best_wns", V: res.BestWNS}, obs.KV{K: "best_tns", V: res.BestTNS})
 
@@ -704,6 +782,114 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 	}
 	r.sink().Event("core.done", done...)
 	return res, nil
+}
+
+// stageCandidates fills lane-major candidate coordinate blocks: lane k
+// moves the base positions by the staged SO displacement scaled by 2^-k
+// (lane 0 = the full step), then applies the trust-region clamp and — by
+// routing the positions through the scratch forest — the die clamp, so
+// each lane block holds exactly the coordinates the evaluator will see.
+// The blocks double as SetSteinerPositions inputs because the batch's
+// variable order is the forest's Steiner order (FillSteinerCoords
+// verifies this on every call).
+func (r *Refiner) stageCandidates(lanes int, baseX, baseY, dx, dy, x0, y0 []float64, idx []rsmt.SteinerRef, scratch *rsmt.Forest, laneXs, laneYs []float64, clamped *int) error {
+	n := len(baseX)
+	scale := 1.0
+	for k := 0; k < lanes; k++ {
+		lx := laneXs[k*n : (k+1)*n]
+		ly := laneYs[k*n : (k+1)*n]
+		for i := 0; i < n; i++ {
+			lx[i] = baseX[i] - scale*dx[i]
+			ly[i] = baseY[i] - scale*dy[i]
+		}
+		if rr := r.Opt.TrustRadiusDBU; rr > 0 {
+			for i := 0; i < n; i++ {
+				cx := clampTo(lx[i], x0[i]-rr, x0[i]+rr)
+				cy := clampTo(ly[i], y0[i]-rr, y0[i]+rr)
+				if cx != lx[i] {
+					*clamped++
+				}
+				if cy != ly[i] {
+					*clamped++
+				}
+				lx[i], ly[i] = cx, cy
+			}
+		}
+		if err := scratch.SetSteinerPositions(lx, ly, idx, r.Prep.Design.Die); err != nil {
+			return err
+		}
+		if err := r.Batch.FillSteinerCoords(scratch, lx, ly); err != nil {
+			return err
+		}
+		scale *= 0.5
+	}
+	return nil
+}
+
+// evalCandidates produces the hard metrics of the staged candidates: one
+// fused ForwardBatch over all lanes on the session path, K plain forwards
+// on the allocating reference path — byte-identical per lane by the
+// tensor package's lane contract.
+func (r *Refiner) evalCandidates(lanes int, laneXs, laneYs, wns, tns []float64) error {
+	r.sink().Add("core.evals", int64(lanes))
+	if s := r.session(); s != nil {
+		t0 := time.Now()
+		bp, err := s.forwardBatch(lanes, laneXs, laneYs)
+		if err != nil {
+			return err
+		}
+		// Telemetry: lanes evaluated per batched pass and the amortized
+		// per-candidate forward cost (side channel, never fed back).
+		r.sink().Add("core.batch_lanes", int64(lanes))
+		r.sink().Observe("gnn.batch_amortized_ns", float64(time.Since(t0).Nanoseconds())/float64(lanes))
+		for k := 0; k < lanes; k++ {
+			wns[k], tns[k] = hardMetrics(bp.LaneSlack(k))
+		}
+		return nil
+	}
+	n := r.Batch.NSteiner
+	for k := 0; k < lanes; k++ {
+		tp := tensor.NewTape()
+		xs, ys, err := r.Batch.LeavesFromCoords(tp, laneXs[k*n:(k+1)*n], laneYs[k*n:(k+1)*n])
+		if err != nil {
+			return err
+		}
+		pred, err := r.Model.Forward(tp, r.Batch, xs, ys, false)
+		if err != nil {
+			return err
+		}
+		wns[k], tns[k] = hardMetrics(pred.Slack.Data)
+	}
+	return nil
+}
+
+// chooseLane picks the candidate Algorithm 1 tests against the best
+// solution: maximum WNS, ties broken by maximum TNS, remaining ties by
+// the lowest lane (the largest step). Non-finite metrics never displace
+// finite ones, so a poisoned lane cannot win the selection.
+func chooseLane(wns, tns []float64) int {
+	best := 0
+	for k := 1; k < len(wns); k++ {
+		if laneBetter(wns[k], tns[k], wns[best], tns[best]) {
+			best = k
+		}
+	}
+	return best
+}
+
+func laneBetter(w1, t1, w0, t0 float64) bool {
+	f1 := finite(w1) && finite(t1)
+	f0 := finite(w0) && finite(t0)
+	if f1 != f0 {
+		return f1
+	}
+	if !f1 {
+		return false
+	}
+	if w1 != w0 {
+		return w1 > w0
+	}
+	return t1 > t0
 }
 
 func clampTo(v, lo, hi float64) float64 {

@@ -1,0 +1,202 @@
+package gnn
+
+import (
+	"testing"
+
+	"tsteiner/internal/tensor"
+)
+
+// candidateCoords builds K deterministic candidate coordinate sets around
+// the forest's current Steiner positions, lane-major.
+func candidateCoords(t *testing.T, b *Batch, base *[2][]float64, K int) (xs, ys []float64) {
+	t.Helper()
+	n := b.NSteiner
+	xs = make([]float64, K*n)
+	ys = make([]float64, K*n)
+	for k := 0; k < K; k++ {
+		for i := 0; i < n; i++ {
+			xs[k*n+i] = base[0][i] + float64(k)*7.5
+			ys[k*n+i] = base[1][i] - float64(k)*4.25
+		}
+	}
+	return xs, ys
+}
+
+// TestBatchedForwardMatchesSequential is the byte-equivalence gate for
+// the fused K-candidate forward: batched K=1 must equal the existing
+// Forward exactly, and lane k of a K-lane pass must equal the k-th of K
+// sequential Forward calls exactly — on both the allocating and the
+// workspace paths.
+func TestBatchedForwardMatchesSequential(t *testing.T) {
+	p := prepared(t, "spm", 1.0)
+	b, err := NewBatch(p.Design, p.Forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(DefaultConfig(), 7)
+	bx, by, _ := p.Forest.SteinerPositions()
+	if len(bx) == 0 {
+		t.Skip("no Steiner points")
+	}
+	base := [2][]float64{bx, by}
+	const K = 4
+	cx, cy := candidateCoords(t, b, &base, K)
+	n := b.NSteiner
+
+	seqForward := func(tp *tensor.Tape, k int) *Prediction {
+		xs, ys, err := b.LeavesFromCoords(tp, cx[k*n:(k+1)*n], cy[k*n:(k+1)*n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := m.Forward(tp, b, xs, ys, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pred
+	}
+
+	for _, tc := range []struct {
+		name string
+		ws   *tensor.Workspace
+	}{
+		{name: "allocating"},
+		{name: "workspace", ws: tensor.NewWorkspace()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tape := func() *tensor.Tape {
+				if tc.ws != nil {
+					return tc.ws.Tape()
+				}
+				return tensor.NewTape()
+			}
+
+			// K=1 batched vs plain Forward.
+			bp1, err := m.ForwardBatch(tape(), b, 1, cx[:n], cy[:n], false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arr1 := append([]float64(nil), bp1.Arrival.Data...)
+			slack1 := append([]float64(nil), bp1.Slack.Data...)
+			ref := seqForward(tape(), 0)
+			for i := range ref.Arrival.Data {
+				if arr1[i] != ref.Arrival.Data[i] {
+					t.Fatalf("K=1 arrival[%d]: batched %v != Forward %v", i, arr1[i], ref.Arrival.Data[i])
+				}
+			}
+			for i := range ref.Slack.Data {
+				if slack1[i] != ref.Slack.Data[i] {
+					t.Fatalf("K=1 slack[%d] mismatch", i)
+				}
+			}
+
+			// K-lane batched vs K sequential calls.
+			bpK, err := m.ForwardBatch(tape(), b, K, cx, cy, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bpK.Arrival.LaneCount() != K || bpK.Slack.LaneCount() != K {
+				t.Fatalf("lanes=%d/%d want %d", bpK.Arrival.LaneCount(), bpK.Slack.LaneCount(), K)
+			}
+			arrK := append([]float64(nil), bpK.Arrival.Data...)
+			slackK := append([]float64(nil), bpK.Slack.Data...)
+			epK := append([]float64(nil), bpK.EndpointArrival.Data...)
+			arrStride := bpK.Arrival.Rows
+			slackStride := bpK.Slack.Rows
+			for k := 0; k < K; k++ {
+				pred := seqForward(tape(), k)
+				for i, v := range pred.Arrival.Data {
+					if arrK[k*arrStride+i] != v {
+						t.Fatalf("lane %d arrival[%d]: batched %v != sequential %v", k, i, arrK[k*arrStride+i], v)
+					}
+				}
+				for i, v := range pred.Slack.Data {
+					if slackK[k*slackStride+i] != v {
+						t.Fatalf("lane %d slack[%d] mismatch", k, i)
+					}
+				}
+				for i, v := range pred.EndpointArrival.Data {
+					if epK[k*slackStride+i] != v {
+						t.Fatalf("lane %d endpoint arrival[%d] mismatch", k, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedGradientMatchesSequential pins the lane-granular gradient
+// contract the refine loop's memo relies on: Backward through a
+// lane-sliced loss of a K-lane forward yields, in lane k of the leaf
+// gradients, exactly the gradient a sequential forward+backward on
+// candidate k produces — and exact +0.0 in every other lane.
+func TestBatchedGradientMatchesSequential(t *testing.T) {
+	p := prepared(t, "spm", 1.0)
+	b, err := NewBatch(p.Design, p.Forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(DefaultConfig(), 7)
+	bx, by, _ := p.Forest.SteinerPositions()
+	if len(bx) == 0 {
+		t.Skip("no Steiner points")
+	}
+	base := [2][]float64{bx, by}
+	const K = 3
+	cx, cy := candidateCoords(t, b, &base, K)
+	n := b.NSteiner
+	const pick = 1 // lane whose gradient we extract
+
+	ws := tensor.NewWorkspace()
+	tp := ws.Tape()
+	bp, err := m.ForwardBatch(tp, b, K, cx, cy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLane, err := tp.Sum(bp.EndpointArrival) // K-lane scalar
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := tp.SliceLane(perLane, pick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Backward(loss); err != nil {
+		t.Fatal(err)
+	}
+	gx := append([]float64(nil), bp.Xs.Grad...)
+	gy := append([]float64(nil), bp.Ys.Grad...)
+
+	stp := tensor.NewTape()
+	xs, ys, err := b.LeavesFromCoords(stp, cx[pick*n:(pick+1)*n], cy[pick*n:(pick+1)*n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Forward(stp, b, xs, ys, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sloss, err := stp.Sum(pred.EndpointArrival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stp.Backward(sloss); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		if gx[pick*n+i] != xs.Grad[i] || gy[pick*n+i] != ys.Grad[i] {
+			t.Fatalf("picked-lane grad[%d]: batched (%v,%v) != sequential (%v,%v)",
+				i, gx[pick*n+i], gy[pick*n+i], xs.Grad[i], ys.Grad[i])
+		}
+	}
+	for k := 0; k < K; k++ {
+		if k == pick {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if gx[k*n+i] != 0 || gy[k*n+i] != 0 {
+				t.Fatalf("unpicked lane %d grad[%d] = (%v,%v), want exact zero", k, i, gx[k*n+i], gy[k*n+i])
+			}
+		}
+	}
+}

@@ -14,12 +14,21 @@ import (
 	"math"
 )
 
-// Tensor is a dense row-major tensor of rank 1 or 2.
+// Tensor is a dense row-major tensor of rank 1 or 2, optionally carrying a
+// leading batch ("lane") axis for evaluating K candidate inputs in one
+// recorded op. Data is laid out structure-of-arrays: lane-major, then
+// row-major — element (l, r, c) lives at Data[l*Rows*Cols + r*Cols + c].
+// Lanes <= 1 means unbatched; every op treats a 1-lane tensor against a
+// K-lane operand as a broadcast constant shared by all lanes, and loops
+// lanes outermost so each lane's floating-point evaluation order is
+// bit-identical to running the unbatched op on that lane alone.
 type Tensor struct {
-	// Rows and Cols give the shape; a vector has Cols == 1.
+	// Rows and Cols give the per-lane shape; a vector has Cols == 1.
 	Rows, Cols int
-	Data       []float64
-	Grad       []float64
+	// Lanes is the batch-axis length; 0 and 1 both mean unbatched.
+	Lanes int
+	Data  []float64
+	Grad  []float64
 
 	requiresGrad bool
 	tape         *Tape
@@ -30,14 +39,43 @@ type Tensor struct {
 	wsOwned bool
 }
 
-// Len returns the element count.
-func (t *Tensor) Len() int { return t.Rows * t.Cols }
+// Len returns the total element count across all lanes.
+func (t *Tensor) Len() int { return t.LaneCount() * t.Rows * t.Cols }
+
+// LaneCount returns the effective batch-axis length (1 when unbatched).
+func (t *Tensor) LaneCount() int {
+	if t.Lanes <= 1 {
+		return 1
+	}
+	return t.Lanes
+}
+
+// laneStride is the element count of one lane's [Rows×Cols] block.
+func (t *Tensor) laneStride() int { return t.Rows * t.Cols }
 
 // RequiresGrad reports whether gradients flow into this tensor.
 func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
 
-// At returns element (r, c).
+// At returns element (r, c) of lane 0.
 func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// LaneAt returns element (r, c) of lane l.
+func (t *Tensor) LaneAt(l, r, c int) float64 { return t.Data[l*t.laneStride()+r*t.Cols+c] }
+
+// LaneData returns the [Rows×Cols] slice backing lane l (no copy).
+func (t *Tensor) LaneData(l int) []float64 {
+	st := t.laneStride()
+	return t.Data[l*st : (l+1)*st]
+}
+
+// LaneGrad returns the gradient slice of lane l, nil before Backward.
+func (t *Tensor) LaneGrad(l int) []float64 {
+	if t.Grad == nil {
+		return nil
+	}
+	st := t.laneStride()
+	return t.Grad[l*st : (l+1)*st]
+}
 
 // Set writes element (r, c).
 func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
@@ -70,7 +108,7 @@ func (t *Tensor) ZeroGrad() {
 
 // Clone returns a detached copy of values (no tape, no grad flow).
 func (t *Tensor) Clone() *Tensor {
-	c := &Tensor{Rows: t.Rows, Cols: t.Cols, Data: append([]float64(nil), t.Data...)}
+	c := &Tensor{Rows: t.Rows, Cols: t.Cols, Lanes: t.Lanes, Data: append([]float64(nil), t.Data...)}
 	return c
 }
 
@@ -96,7 +134,7 @@ func (tp *Tape) record(fn func()) { tp.backwards = append(tp.backwards, fn) }
 // recorded tensor. loss must be a 1×1 tensor produced on this tape.
 func (tp *Tape) Backward(loss *Tensor) error {
 	if loss.Len() != 1 {
-		return fmt.Errorf("tensor: Backward needs a scalar, got %dx%d", loss.Rows, loss.Cols)
+		return fmt.Errorf("tensor: Backward needs a scalar, got %dx%d with %d lanes (reduce with SumLanes first)", loss.Rows, loss.Cols, loss.LaneCount())
 	}
 	if loss.tape != tp {
 		return fmt.Errorf("tensor: loss was not computed on this tape")
@@ -140,17 +178,35 @@ func (tp *Tape) Constant(t *Tensor) *Tensor {
 	return t
 }
 
-// result builds the output tensor of an op, pooled when the tape has a
-// workspace.
+// result builds the unbatched output tensor of an op, pooled when the
+// tape has a workspace.
 func (tp *Tape) result(rows, cols int, reqGrad bool) *Tensor {
+	return tp.resultL(1, rows, cols, reqGrad)
+}
+
+// resultL builds an op output with an explicit lane count and zeroed
+// Data, laid out lane-major ([lanes×rows×cols]). Gradient buffers are
+// NOT allocated here: ensureGrad materializes them on first use during
+// Backward, so a forward-only pass pays nothing for them and a backward
+// pass skips ops whose outputs never received a gradient.
+func (tp *Tape) resultL(lanes, rows, cols int, reqGrad bool) *Tensor {
 	if tp.ws != nil {
-		return tp.ws.tensor(tp, rows, cols, reqGrad)
+		return tp.ws.tensor(tp, lanes, rows, cols, reqGrad, true)
 	}
-	out := &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols), tape: tp, requiresGrad: reqGrad}
-	if reqGrad {
-		out.ensureGrad()
-	}
+	out := &Tensor{Rows: rows, Cols: cols, Lanes: lanes, tape: tp, requiresGrad: reqGrad}
+	out.Data = make([]float64, out.Len())
 	return out
+}
+
+// resultRaw is resultL for kernels that write every element of Data
+// before any read: a reused workspace buffer is handed over un-zeroed,
+// skipping the memclr that dominates large batched forwards. Without a
+// workspace the allocator zeroes regardless.
+func (tp *Tape) resultRaw(lanes, rows, cols int, reqGrad bool) *Tensor {
+	if tp.ws != nil {
+		return tp.ws.tensor(tp, lanes, rows, cols, reqGrad, false)
+	}
+	return tp.resultL(lanes, rows, cols, reqGrad)
 }
 
 func sameShape(a, b *Tensor) error {
@@ -160,27 +216,83 @@ func sameShape(a, b *Tensor) error {
 	return nil
 }
 
-// Add returns a + b (same shape).
+// laneCompat validates the lane axes of a binary op: operands must have
+// equal lane counts, or one side must be unbatched (a 1-lane broadcast
+// constant shared by every lane). Returns the output lane count.
+func laneCompat(a, b *Tensor) (int, error) {
+	la, lb := a.LaneCount(), b.LaneCount()
+	switch {
+	case la == lb:
+		return la, nil
+	case la == 1:
+		return lb, nil
+	case lb == 1:
+		return la, nil
+	}
+	return 0, fmt.Errorf("tensor: lane mismatch %d vs %d", la, lb)
+}
+
+// opLane returns operand t's data block feeding output lane l — its own
+// lane l when batched, its single block when it broadcasts.
+func opLane(t *Tensor, l int) []float64 {
+	st := t.laneStride()
+	if t.LaneCount() == 1 {
+		return t.Data[:st]
+	}
+	return t.Data[l*st : (l+1)*st]
+}
+
+// opLaneGrad returns the grad block of operand t receiving output lane
+// l's gradient (t.Grad must be allocated). A broadcast operand returns
+// its single block for every lane, so looping lanes outermost
+// accumulates its gradient over lanes in fixed lane order.
+func opLaneGrad(t *Tensor, l int) []float64 {
+	st := t.laneStride()
+	if t.LaneCount() == 1 {
+		return t.Grad[:st]
+	}
+	return t.Grad[l*st : (l+1)*st]
+}
+
+// Add returns a + b (same per-lane shape; a 1-lane operand broadcasts
+// across the other's lanes).
 func (tp *Tape) Add(a, b *Tensor) (*Tensor, error) {
 	if err := sameShape(a, b); err != nil {
 		return nil, err
 	}
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad || b.requiresGrad)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
+	lanes, err := laneCompat(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := tp.resultRaw(lanes, a.Rows, a.Cols, a.requiresGrad || b.requiresGrad)
+	st := out.laneStride()
+	for l := 0; l < lanes; l++ {
+		ad, bd, od := opLane(a, l), opLane(b, l), out.Data[l*st:(l+1)*st]
+		for i := range od {
+			od[i] = ad[i] + bd[i]
+		}
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			if a.requiresGrad {
 				a.ensureGrad()
-				for i := range out.Grad {
-					a.Grad[i] += out.Grad[i]
+				for l := 0; l < lanes; l++ {
+					ag, og := opLaneGrad(a, l), out.Grad[l*st:(l+1)*st]
+					for i := range og {
+						ag[i] += og[i]
+					}
 				}
 			}
 			if b.requiresGrad {
 				b.ensureGrad()
-				for i := range out.Grad {
-					b.Grad[i] += out.Grad[i]
+				for l := 0; l < lanes; l++ {
+					bg, og := opLaneGrad(b, l), out.Grad[l*st:(l+1)*st]
+					for i := range og {
+						bg[i] += og[i]
+					}
 				}
 			}
 		})
@@ -197,27 +309,44 @@ func (tp *Tape) Sub(a, b *Tensor) (*Tensor, error) {
 	return tp.Add(a, nb)
 }
 
-// Mul returns the elementwise product a ⊙ b.
+// Mul returns the elementwise product a ⊙ b (1-lane operands broadcast).
 func (tp *Tape) Mul(a, b *Tensor) (*Tensor, error) {
 	if err := sameShape(a, b); err != nil {
 		return nil, err
 	}
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad || b.requiresGrad)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
+	lanes, err := laneCompat(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := tp.resultRaw(lanes, a.Rows, a.Cols, a.requiresGrad || b.requiresGrad)
+	st := out.laneStride()
+	for l := 0; l < lanes; l++ {
+		ad, bd, od := opLane(a, l), opLane(b, l), out.Data[l*st:(l+1)*st]
+		for i := range od {
+			od[i] = ad[i] * bd[i]
+		}
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			if a.requiresGrad {
 				a.ensureGrad()
-				for i := range out.Grad {
-					a.Grad[i] += out.Grad[i] * b.Data[i]
+				for l := 0; l < lanes; l++ {
+					ag, bd, og := opLaneGrad(a, l), opLane(b, l), out.Grad[l*st:(l+1)*st]
+					for i := range og {
+						ag[i] += og[i] * bd[i]
+					}
 				}
 			}
 			if b.requiresGrad {
 				b.ensureGrad()
-				for i := range out.Grad {
-					b.Grad[i] += out.Grad[i] * a.Data[i]
+				for l := 0; l < lanes; l++ {
+					bg, ad, og := opLaneGrad(b, l), opLane(a, l), out.Grad[l*st:(l+1)*st]
+					for i := range og {
+						bg[i] += og[i] * ad[i]
+					}
 				}
 			}
 		})
@@ -227,12 +356,15 @@ func (tp *Tape) Mul(a, b *Tensor) (*Tensor, error) {
 
 // Scale returns s·a.
 func (tp *Tape) Scale(a *Tensor, s float64) (*Tensor, error) {
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	out := tp.resultRaw(a.LaneCount(), a.Rows, a.Cols, a.requiresGrad)
 	for i := range out.Data {
 		out.Data[i] = a.Data[i] * s
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
 			for i := range out.Grad {
 				a.Grad[i] += out.Grad[i] * s
@@ -244,12 +376,15 @@ func (tp *Tape) Scale(a *Tensor, s float64) (*Tensor, error) {
 
 // AddScalar returns a + s (elementwise).
 func (tp *Tape) AddScalar(a *Tensor, s float64) (*Tensor, error) {
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	out := tp.resultRaw(a.LaneCount(), a.Rows, a.Cols, a.requiresGrad)
 	for i := range out.Data {
 		out.Data[i] = a.Data[i] + s
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
 			for i := range out.Grad {
 				a.Grad[i] += out.Grad[i]
@@ -259,90 +394,171 @@ func (tp *Tape) AddScalar(a *Tensor, s float64) (*Tensor, error) {
 	return out, nil
 }
 
-// MulBroadcast returns a scaled elementwise by the 1×1 tensor s, with
-// gradients flowing to both operands (used for learned scalar gains).
+// MulBroadcast returns a scaled elementwise by the 1×1-per-lane tensor s,
+// with gradients flowing to both operands (used for learned scalar
+// gains). s may be unbatched against a batched a (the usual shared
+// parameter) or carry one scalar per lane.
 func (tp *Tape) MulBroadcast(a, s *Tensor) (*Tensor, error) {
-	if s.Len() != 1 {
+	if s.Rows != 1 || s.Cols != 1 {
 		return nil, fmt.Errorf("tensor: MulBroadcast scale must be 1x1, got %dx%d", s.Rows, s.Cols)
 	}
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad || s.requiresGrad)
-	sv := s.Data[0]
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] * sv
+	lanes, err := laneCompat(a, s)
+	if err != nil {
+		return nil, err
+	}
+	out := tp.resultRaw(lanes, a.Rows, a.Cols, a.requiresGrad || s.requiresGrad)
+	st := out.laneStride()
+	for l := 0; l < lanes; l++ {
+		ad, od := opLane(a, l), out.Data[l*st:(l+1)*st]
+		sv := opLane(s, l)[0]
+		for i := range od {
+			od[i] = ad[i] * sv
+		}
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			if a.requiresGrad {
 				a.ensureGrad()
-				for i := range out.Grad {
-					a.Grad[i] += out.Grad[i] * sv
+				for l := 0; l < lanes; l++ {
+					ag, og := opLaneGrad(a, l), out.Grad[l*st:(l+1)*st]
+					sv := opLane(s, l)[0]
+					for i := range og {
+						ag[i] += og[i] * sv
+					}
 				}
 			}
 			if s.requiresGrad {
 				s.ensureGrad()
-				var g float64
-				for i := range out.Grad {
-					g += out.Grad[i] * a.Data[i]
+				for l := 0; l < lanes; l++ {
+					ad, og := opLane(a, l), out.Grad[l*st:(l+1)*st]
+					var g float64
+					for i := range og {
+						g += og[i] * ad[i]
+					}
+					opLaneGrad(s, l)[0] += g
 				}
-				s.Grad[0] += g
 			}
 		})
 	}
 	return out, nil
 }
 
-// MatMul returns a·b for a [m×k] and b [k×n].
+// MatMul returns a·b for a [m×k] and b [k×n], per lane; a 1-lane operand
+// (shared weights against K-lane activations, or vice versa) broadcasts
+// and its gradient accumulates over lanes in fixed lane order.
 func (tp *Tape) MatMul(a, b *Tensor) (*Tensor, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("tensor: matmul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
+	lanes, err := laneCompat(a, b)
+	if err != nil {
+		return nil, err
+	}
 	m, k, n := a.Rows, a.Cols, b.Cols
-	out := tp.result(m, n, a.requiresGrad || b.requiresGrad)
-	for i := 0; i < m; i++ {
-		ar := a.Data[i*k : (i+1)*k]
-		or := out.Data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := ar[kk]
-			if av == 0 {
-				continue
+	out := tp.resultRaw(lanes, m, n, a.requiresGrad || b.requiresGrad)
+	st := out.laneStride()
+	// Each output element accumulates av·b[kk][j] over kk in index order
+	// starting from 0, exactly as the classic zeroed-output loop would —
+	// the stack accumulator only removes the per-kk load/store of the
+	// output row, never reorders a floating-point addition.
+	var acc [32]float64
+	for l := 0; l < lanes; l++ {
+		ad, bd, od := opLane(a, l), opLane(b, l), out.Data[l*st:(l+1)*st]
+		switch {
+		case n == 1:
+			for i := 0; i < m; i++ {
+				ar := ad[i*k : (i+1)*k]
+				var s float64
+				for kk, av := range ar {
+					if av == 0 {
+						continue
+					}
+					s += av * bd[kk]
+				}
+				od[i] = s
 			}
-			br := b.Data[kk*n : (kk+1)*n]
-			for j := 0; j < n; j++ {
-				or[j] += av * br[j]
+		case n <= len(acc):
+			for i := 0; i < m; i++ {
+				ar := ad[i*k : (i+1)*k]
+				ac := acc[:n]
+				for j := range ac {
+					ac[j] = 0
+				}
+				for kk := 0; kk < k; kk++ {
+					av := ar[kk]
+					if av == 0 {
+						continue
+					}
+					br := bd[kk*n : (kk+1)*n : (kk+1)*n]
+					for j := range ac {
+						ac[j] += av * br[j]
+					}
+				}
+				copy(od[i*n:(i+1)*n], ac)
+			}
+		default:
+			for i := 0; i < m; i++ {
+				ar := ad[i*k : (i+1)*k]
+				or := od[i*n : (i+1)*n]
+				for j := range or {
+					or[j] = 0
+				}
+				for kk := 0; kk < k; kk++ {
+					av := ar[kk]
+					if av == 0 {
+						continue
+					}
+					br := bd[kk*n : (kk+1)*n]
+					for j := 0; j < n; j++ {
+						or[j] += av * br[j]
+					}
+				}
 			}
 		}
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			if a.requiresGrad {
 				a.ensureGrad()
 				// dA = dOut · Bᵀ
-				for i := 0; i < m; i++ {
-					gr := out.Grad[i*n : (i+1)*n]
-					agr := a.Grad[i*k : (i+1)*k]
-					for kk := 0; kk < k; kk++ {
-						br := b.Data[kk*n : (kk+1)*n]
-						var s float64
-						for j := 0; j < n; j++ {
-							s += gr[j] * br[j]
+				for l := 0; l < lanes; l++ {
+					ag, bd, og := opLaneGrad(a, l), opLane(b, l), out.Grad[l*st:(l+1)*st]
+					for i := 0; i < m; i++ {
+						gr := og[i*n : (i+1)*n]
+						agr := ag[i*k : (i+1)*k]
+						for kk := 0; kk < k; kk++ {
+							br := bd[kk*n : (kk+1)*n]
+							var s float64
+							for j := 0; j < n; j++ {
+								s += gr[j] * br[j]
+							}
+							agr[kk] += s
 						}
-						agr[kk] += s
 					}
 				}
 			}
 			if b.requiresGrad {
 				b.ensureGrad()
 				// dB = Aᵀ · dOut
-				for kk := 0; kk < k; kk++ {
-					bgr := b.Grad[kk*n : (kk+1)*n]
-					for i := 0; i < m; i++ {
-						av := a.Data[i*k+kk]
-						if av == 0 {
-							continue
-						}
-						gr := out.Grad[i*n : (i+1)*n]
-						for j := 0; j < n; j++ {
-							bgr[j] += av * gr[j]
+				for l := 0; l < lanes; l++ {
+					bg, ad, og := opLaneGrad(b, l), opLane(a, l), out.Grad[l*st:(l+1)*st]
+					for kk := 0; kk < k; kk++ {
+						bgr := bg[kk*n : (kk+1)*n]
+						for i := 0; i < m; i++ {
+							av := ad[i*k+kk]
+							if av == 0 {
+								continue
+							}
+							gr := og[i*n : (i+1)*n]
+							for j := 0; j < n; j++ {
+								bgr[j] += av * gr[j]
+							}
 						}
 					}
 				}
@@ -353,30 +569,48 @@ func (tp *Tape) MatMul(a, b *Tensor) (*Tensor, error) {
 }
 
 // AddRowVector returns a + broadcast(v) where v is a 1×n (or n×1) bias
-// added to every row of the m×n matrix a.
+// added to every row of the m×n matrix a, per lane; v may be unbatched
+// (a shared bias) or carry one vector per lane.
 func (tp *Tape) AddRowVector(a, v *Tensor) (*Tensor, error) {
-	if v.Len() != a.Cols {
-		return nil, fmt.Errorf("tensor: bias of %d for %d cols", v.Len(), a.Cols)
+	if v.laneStride() != a.Cols {
+		return nil, fmt.Errorf("tensor: bias of %d for %d cols", v.laneStride(), a.Cols)
 	}
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad || v.requiresGrad)
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			out.Data[i*a.Cols+j] = a.Data[i*a.Cols+j] + v.Data[j]
+	lanes, err := laneCompat(a, v)
+	if err != nil {
+		return nil, err
+	}
+	out := tp.resultRaw(lanes, a.Rows, a.Cols, a.requiresGrad || v.requiresGrad)
+	st := out.laneStride()
+	for l := 0; l < lanes; l++ {
+		ad, vd, od := opLane(a, l), opLane(v, l), out.Data[l*st:(l+1)*st]
+		for i := 0; i < a.Rows; i++ {
+			for j := 0; j < a.Cols; j++ {
+				od[i*a.Cols+j] = ad[i*a.Cols+j] + vd[j]
+			}
 		}
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			if a.requiresGrad {
 				a.ensureGrad()
-				for i := range out.Grad {
-					a.Grad[i] += out.Grad[i]
+				for l := 0; l < lanes; l++ {
+					ag, og := opLaneGrad(a, l), out.Grad[l*st:(l+1)*st]
+					for i := range og {
+						ag[i] += og[i]
+					}
 				}
 			}
 			if v.requiresGrad {
 				v.ensureGrad()
-				for i := 0; i < a.Rows; i++ {
-					for j := 0; j < a.Cols; j++ {
-						v.Grad[j] += out.Grad[i*a.Cols+j]
+				for l := 0; l < lanes; l++ {
+					vg, og := opLaneGrad(v, l), out.Grad[l*st:(l+1)*st]
+					for i := 0; i < a.Rows; i++ {
+						for j := 0; j < a.Cols; j++ {
+							vg[j] += og[i*a.Cols+j]
+						}
 					}
 				}
 			}
@@ -387,14 +621,19 @@ func (tp *Tape) AddRowVector(a, v *Tensor) (*Tensor, error) {
 
 // ReLU returns max(0, a) elementwise.
 func (tp *Tape) ReLU(a *Tensor) (*Tensor, error) {
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	out := tp.resultRaw(a.LaneCount(), a.Rows, a.Cols, a.requiresGrad)
 	for i, v := range a.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
 			for i := range out.Grad {
 				if a.Data[i] > 0 {
@@ -408,12 +647,15 @@ func (tp *Tape) ReLU(a *Tensor) (*Tensor, error) {
 
 // Tanh returns tanh(a) elementwise.
 func (tp *Tape) Tanh(a *Tensor) (*Tensor, error) {
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	out := tp.resultRaw(a.LaneCount(), a.Rows, a.Cols, a.requiresGrad)
 	for i, v := range a.Data {
 		out.Data[i] = math.Tanh(v)
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
 			for i := range out.Grad {
 				y := out.Data[i]
@@ -426,12 +668,15 @@ func (tp *Tape) Tanh(a *Tensor) (*Tensor, error) {
 
 // Sigmoid returns 1/(1+e^-a) elementwise.
 func (tp *Tape) Sigmoid(a *Tensor) (*Tensor, error) {
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	out := tp.resultRaw(a.LaneCount(), a.Rows, a.Cols, a.requiresGrad)
 	for i, v := range a.Data {
 		out.Data[i] = 1 / (1 + math.Exp(-v))
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
 			for i := range out.Grad {
 				y := out.Data[i]
@@ -444,12 +689,15 @@ func (tp *Tape) Sigmoid(a *Tensor) (*Tensor, error) {
 
 // Softplus returns log(1+e^a) elementwise, computed stably.
 func (tp *Tape) Softplus(a *Tensor) (*Tensor, error) {
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	out := tp.resultRaw(a.LaneCount(), a.Rows, a.Cols, a.requiresGrad)
 	for i, v := range a.Data {
 		out.Data[i] = softplus(v)
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
 			for i := range out.Grad {
 				a.Grad[i] += out.Grad[i] / (1 + math.Exp(-a.Data[i]))
@@ -471,12 +719,15 @@ func softplus(v float64) float64 {
 
 // Abs returns |a| elementwise (subgradient 0 at 0).
 func (tp *Tape) Abs(a *Tensor) (*Tensor, error) {
-	out := tp.result(a.Rows, a.Cols, a.requiresGrad)
+	out := tp.resultRaw(a.LaneCount(), a.Rows, a.Cols, a.requiresGrad)
 	for i, v := range a.Data {
 		out.Data[i] = math.Abs(v)
 	}
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
 			for i := range out.Grad {
 				switch {
@@ -491,7 +742,23 @@ func (tp *Tape) Abs(a *Tensor) (*Tensor, error) {
 	return out, nil
 }
 
-// ConcatCols concatenates matrices with equal row counts along columns.
+// concatLanes validates the lane axes of a variadic concat: every part
+// must be unbatched or share one common lane count. Returns it.
+func concatLanes(ts []*Tensor) (int, error) {
+	lanes := 1
+	for _, t := range ts {
+		if lt := t.LaneCount(); lt != 1 {
+			if lanes != 1 && lanes != lt {
+				return 0, fmt.Errorf("tensor: lane mismatch %d vs %d", lanes, lt)
+			}
+			lanes = lt
+		}
+	}
+	return lanes, nil
+}
+
+// ConcatCols concatenates matrices with equal row counts along columns,
+// per lane; unbatched parts are replicated into every lane.
 func (tp *Tape) ConcatCols(ts ...*Tensor) (*Tensor, error) {
 	if len(ts) == 0 {
 		return nil, fmt.Errorf("tensor: empty concat")
@@ -506,35 +773,52 @@ func (tp *Tape) ConcatCols(ts ...*Tensor) (*Tensor, error) {
 		cols += t.Cols
 		req = req || t.requiresGrad
 	}
-	out := tp.result(rows, cols, req)
-	off := 0
-	for _, t := range ts {
-		for i := 0; i < rows; i++ {
-			copy(out.Data[i*cols+off:i*cols+off+t.Cols], t.Data[i*t.Cols:(i+1)*t.Cols])
+	lanes, err := concatLanes(ts)
+	if err != nil {
+		return nil, err
+	}
+	out := tp.resultRaw(lanes, rows, cols, req)
+	st := out.laneStride()
+	for l := 0; l < lanes; l++ {
+		od := out.Data[l*st : (l+1)*st]
+		off := 0
+		for _, t := range ts {
+			td := opLane(t, l)
+			for i := 0; i < rows; i++ {
+				copy(od[i*cols+off:i*cols+off+t.Cols], td[i*t.Cols:(i+1)*t.Cols])
+			}
+			off += t.Cols
 		}
-		off += t.Cols
 	}
 	if req {
 		parts := append([]*Tensor(nil), ts...)
 		tp.record(func() {
-			off := 0
-			for _, t := range parts {
-				if t.requiresGrad {
-					t.ensureGrad()
-					for i := 0; i < rows; i++ {
-						for j := 0; j < t.Cols; j++ {
-							t.Grad[i*t.Cols+j] += out.Grad[i*cols+off+j]
+			if out.Grad == nil {
+				return
+			}
+			for l := 0; l < lanes; l++ {
+				og := out.Grad[l*st : (l+1)*st]
+				off := 0
+				for _, t := range parts {
+					if t.requiresGrad {
+						t.ensureGrad()
+						tg := opLaneGrad(t, l)
+						for i := 0; i < rows; i++ {
+							for j := 0; j < t.Cols; j++ {
+								tg[i*t.Cols+j] += og[i*cols+off+j]
+							}
 						}
 					}
+					off += t.Cols
 				}
-				off += t.Cols
 			}
 		})
 	}
 	return out, nil
 }
 
-// ConcatRows stacks matrices with equal column counts along rows.
+// ConcatRows stacks matrices with equal column counts along rows, per
+// lane; unbatched parts are replicated into every lane.
 func (tp *Tape) ConcatRows(ts ...*Tensor) (*Tensor, error) {
 	if len(ts) == 0 {
 		return nil, fmt.Errorf("tensor: empty row concat")
@@ -549,48 +833,100 @@ func (tp *Tape) ConcatRows(ts ...*Tensor) (*Tensor, error) {
 		rows += t.Rows
 		req = req || t.requiresGrad
 	}
-	out := tp.result(rows, cols, req)
-	off := 0
-	for _, t := range ts {
-		copy(out.Data[off:off+t.Len()], t.Data)
-		off += t.Len()
+	lanes, err := concatLanes(ts)
+	if err != nil {
+		return nil, err
+	}
+	out := tp.resultRaw(lanes, rows, cols, req)
+	st := out.laneStride()
+	for l := 0; l < lanes; l++ {
+		od := out.Data[l*st : (l+1)*st]
+		off := 0
+		for _, t := range ts {
+			td := opLane(t, l)
+			copy(od[off:off+len(td)], td)
+			off += len(td)
+		}
 	}
 	if req {
 		parts := append([]*Tensor(nil), ts...)
 		tp.record(func() {
-			off := 0
-			for _, t := range parts {
-				if t.requiresGrad {
-					t.ensureGrad()
-					for i := 0; i < t.Len(); i++ {
-						t.Grad[i] += out.Grad[off+i]
+			if out.Grad == nil {
+				return
+			}
+			for l := 0; l < lanes; l++ {
+				og := out.Grad[l*st : (l+1)*st]
+				off := 0
+				for _, t := range parts {
+					n := t.laneStride()
+					if t.requiresGrad {
+						t.ensureGrad()
+						tg := opLaneGrad(t, l)
+						for i := 0; i < n; i++ {
+							tg[i] += og[off+i]
+						}
 					}
+					off += n
 				}
-				off += t.Len()
 			}
 		})
 	}
 	return out, nil
 }
 
-// GatherRows returns a matrix whose i-th row is a's row idx[i].
-func (tp *Tape) GatherRows(a *Tensor, idx []int32) (*Tensor, error) {
-	for _, r := range idx {
-		if r < 0 || int(r) >= a.Rows {
-			return nil, fmt.Errorf("tensor: gather row %d of %d", r, a.Rows)
+// IndexError reports an out-of-range (or negative) index handed to a
+// gather/scatter op. Hostile index vectors produce this typed error, never
+// a panic; callers can unwrap it with errors.As.
+type IndexError struct {
+	Op    string // op that rejected the index, e.g. "GatherRows"
+	Pos   int    // position in the index slice
+	Index int32  // offending value
+	N     int    // valid half-open range is [0, N)
+}
+
+func (e *IndexError) Error() string {
+	return fmt.Sprintf("tensor: %s index %d at position %d out of range [0,%d)", e.Op, e.Index, e.Pos, e.N)
+}
+
+// checkIndices validates every index against [0, n), returning a typed
+// *IndexError for the first violation.
+func checkIndices(op string, idx []int32, n int) error {
+	for i, r := range idx {
+		if r < 0 || int(r) >= n {
+			return &IndexError{Op: op, Pos: i, Index: r, N: n}
 		}
 	}
-	out := tp.result(len(idx), a.Cols, a.requiresGrad)
-	for i, r := range idx {
-		copy(out.Data[i*a.Cols:(i+1)*a.Cols], a.Data[int(r)*a.Cols:(int(r)+1)*a.Cols])
+	return nil
+}
+
+// GatherRows returns a matrix whose i-th row is a's row idx[i], applied
+// identically within every lane.
+func (tp *Tape) GatherRows(a *Tensor, idx []int32) (*Tensor, error) {
+	if err := checkIndices("GatherRows", idx, a.Rows); err != nil {
+		return nil, err
+	}
+	lanes := a.LaneCount()
+	out := tp.resultRaw(lanes, len(idx), a.Cols, a.requiresGrad)
+	st, ast := out.laneStride(), a.laneStride()
+	for l := 0; l < lanes; l++ {
+		ad, od := a.Data[l*ast:(l+1)*ast], out.Data[l*st:(l+1)*st]
+		for i, r := range idx {
+			copy(od[i*a.Cols:(i+1)*a.Cols], ad[int(r)*a.Cols:(int(r)+1)*a.Cols])
+		}
 	}
 	if out.requiresGrad {
 		rows := tp.captureI32(idx)
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
-			for i, r := range rows {
-				for j := 0; j < a.Cols; j++ {
-					a.Grad[int(r)*a.Cols+j] += out.Grad[i*a.Cols+j]
+			for l := 0; l < lanes; l++ {
+				ag, og := a.Grad[l*ast:(l+1)*ast], out.Grad[l*st:(l+1)*st]
+				for i, r := range rows {
+					for j := 0; j < a.Cols; j++ {
+						ag[int(r)*a.Cols+j] += og[i*a.Cols+j]
+					}
 				}
 			}
 		})
@@ -598,29 +934,39 @@ func (tp *Tape) GatherRows(a *Tensor, idx []int32) (*Tensor, error) {
 	return out, nil
 }
 
-// SegmentSum sums rows of a into nOut buckets: out[seg[i]] += a[i].
+// SegmentSum sums rows of a into nOut buckets per lane: out[l][seg[i]] +=
+// a[l][i].
 func (tp *Tape) SegmentSum(a *Tensor, seg []int32, nOut int) (*Tensor, error) {
 	if len(seg) != a.Rows {
 		return nil, fmt.Errorf("tensor: %d segment ids for %d rows", len(seg), a.Rows)
 	}
-	for _, s := range seg {
-		if s < 0 || int(s) >= nOut {
-			return nil, fmt.Errorf("tensor: segment id %d of %d", s, nOut)
-		}
+	if err := checkIndices("SegmentSum", seg, nOut); err != nil {
+		return nil, err
 	}
-	out := tp.result(nOut, a.Cols, a.requiresGrad)
-	for i, s := range seg {
-		for j := 0; j < a.Cols; j++ {
-			out.Data[int(s)*a.Cols+j] += a.Data[i*a.Cols+j]
+	lanes := a.LaneCount()
+	out := tp.resultL(lanes, nOut, a.Cols, a.requiresGrad)
+	st, ast := out.laneStride(), a.laneStride()
+	for l := 0; l < lanes; l++ {
+		ad, od := a.Data[l*ast:(l+1)*ast], out.Data[l*st:(l+1)*st]
+		for i, s := range seg {
+			for j := 0; j < a.Cols; j++ {
+				od[int(s)*a.Cols+j] += ad[i*a.Cols+j]
+			}
 		}
 	}
 	if out.requiresGrad {
 		ids := tp.captureI32(seg)
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
-			for i, s := range ids {
-				for j := 0; j < a.Cols; j++ {
-					a.Grad[i*a.Cols+j] += out.Grad[int(s)*a.Cols+j]
+			for l := 0; l < lanes; l++ {
+				ag, og := a.Grad[l*ast:(l+1)*ast], out.Grad[l*st:(l+1)*st]
+				for i, s := range ids {
+					for j := 0; j < a.Cols; j++ {
+						ag[i*a.Cols+j] += og[int(s)*a.Cols+j]
+					}
 				}
 			}
 		})
@@ -638,7 +984,7 @@ func (tp *Tape) SegmentMean(a *Tensor, seg []int32, nOut int) (*Tensor, error) {
 	for _, s := range seg {
 		counts[s]++
 	}
-	inv := tp.result(nOut, a.Cols, false)
+	inv := tp.resultRaw(1, nOut, a.Cols, false)
 	for r := 0; r < nOut; r++ {
 		c := counts[r]
 		if c == 0 {
@@ -651,20 +997,32 @@ func (tp *Tape) SegmentMean(a *Tensor, seg []int32, nOut int) (*Tensor, error) {
 	return tp.Mul(sum, inv)
 }
 
-// Sum reduces all elements to a scalar.
+// Sum reduces each lane to a scalar: unbatched input yields 1×1, K-lane
+// input a K-lane 1×1 (one total per candidate; reduce further with
+// SumLanes before Backward).
 func (tp *Tape) Sum(a *Tensor) (*Tensor, error) {
-	out := tp.result(1, 1, a.requiresGrad)
-	var s float64
-	for _, v := range a.Data {
-		s += v
+	lanes := a.LaneCount()
+	out := tp.resultRaw(lanes, 1, 1, a.requiresGrad)
+	ast := a.laneStride()
+	for l := 0; l < lanes; l++ {
+		var s float64
+		for _, v := range a.Data[l*ast : (l+1)*ast] {
+			s += v
+		}
+		out.Data[l] = s
 	}
-	out.Data[0] = s
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
-			g := out.Grad[0]
-			for i := range a.Grad {
-				a.Grad[i] += g
+			for l := 0; l < lanes; l++ {
+				g := out.Grad[l]
+				ag := a.Grad[l*ast : (l+1)*ast]
+				for i := range ag {
+					ag[i] += g
+				}
 			}
 		})
 	}
@@ -684,34 +1042,51 @@ func (tp *Tape) LSE(a *Tensor, gamma float64) (*Tensor, error) {
 	if a.Len() == 0 {
 		return nil, fmt.Errorf("tensor: LSE of empty tensor")
 	}
-	out := tp.result(1, 1, a.requiresGrad)
-	maxV := a.Data[0]
-	for _, v := range a.Data {
-		if v > maxV {
-			maxV = v
+	lanes := a.LaneCount()
+	ast := a.laneStride()
+	out := tp.resultRaw(lanes, 1, 1, a.requiresGrad)
+	shifts := tp.scratchF64(lanes)
+	sums := tp.scratchF64(lanes)
+	for l := 0; l < lanes; l++ {
+		ad := a.Data[l*ast : (l+1)*ast]
+		maxV := ad[0]
+		for _, v := range ad {
+			if v > maxV {
+				maxV = v
+			}
 		}
+		var s float64
+		for _, v := range ad {
+			s += math.Exp((v - maxV) / gamma)
+		}
+		shifts[l], sums[l] = maxV, s
+		out.Data[l] = maxV + gamma*math.Log(s)
 	}
-	var s float64
-	for _, v := range a.Data {
-		s += math.Exp((v - maxV) / gamma)
-	}
-	out.Data[0] = maxV + gamma*math.Log(s)
 	if out.requiresGrad {
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
-			g := out.Grad[0]
-			for i, v := range a.Data {
-				a.Grad[i] += g * math.Exp((v-maxV)/gamma) / s
+			for l := 0; l < lanes; l++ {
+				g := out.Grad[l]
+				maxV, s := shifts[l], sums[l]
+				ad := a.Data[l*ast : (l+1)*ast]
+				ag := a.Grad[l*ast : (l+1)*ast]
+				for i, v := range ad {
+					ag[i] += g * math.Exp((v-maxV)/gamma) / s
+				}
 			}
 		})
 	}
 	return out, nil
 }
 
-// SegmentLSE computes, per segment, the Log-Sum-Exp smooth maximum of a
-// column vector: out[s] = γ·log Σ_{i: seg[i]=s} exp(a_i/γ). Segments with
-// no members yield 0. This is the smooth replacement for the per-pin max
-// over fanin arrivals in the timing evaluator.
+// SegmentLSE computes, per segment and per lane, the Log-Sum-Exp smooth
+// maximum of a column vector: out[l][s] = γ·log Σ_{i: seg[i]=s}
+// exp(a[l][i]/γ). Segments with no members yield 0. This is the smooth
+// replacement for the per-pin max over fanin arrivals in the timing
+// evaluator.
 func (tp *Tape) SegmentLSE(a *Tensor, seg []int32, nOut int, gamma float64) (*Tensor, error) {
 	if a.Cols != 1 {
 		return nil, fmt.Errorf("tensor: SegmentLSE needs a column vector")
@@ -722,34 +1097,52 @@ func (tp *Tape) SegmentLSE(a *Tensor, seg []int32, nOut int, gamma float64) (*Te
 	if len(seg) != a.Rows {
 		return nil, fmt.Errorf("tensor: %d segment ids for %d rows", len(seg), a.Rows)
 	}
-	maxV := tp.scratchF64(nOut)
-	seen := tp.scratchBool(nOut)
-	for i, s := range seg {
-		if s < 0 || int(s) >= nOut {
-			return nil, fmt.Errorf("tensor: segment id %d of %d", s, nOut)
-		}
-		if !seen[s] || a.Data[i] > maxV[s] {
-			maxV[s] = a.Data[i]
-			seen[s] = true
-		}
+	if err := checkIndices("SegmentLSE", seg, nOut); err != nil {
+		return nil, err
 	}
-	sums := tp.scratchF64(nOut)
-	for i, s := range seg {
-		sums[s] += math.Exp((a.Data[i] - maxV[s]) / gamma)
-	}
-	out := tp.result(nOut, 1, a.requiresGrad)
-	for s := 0; s < nOut; s++ {
-		if seen[s] {
-			out.Data[s] = maxV[s] + gamma*math.Log(sums[s])
+	lanes := a.LaneCount()
+	ast := a.laneStride()
+	maxV := tp.scratchF64(lanes * nOut)
+	seen := tp.scratchBool(lanes * nOut)
+	sums := tp.scratchF64(lanes * nOut)
+	out := tp.resultRaw(lanes, nOut, 1, a.requiresGrad)
+	for l := 0; l < lanes; l++ {
+		ad := a.Data[l*ast : (l+1)*ast]
+		mv, sn, sm := maxV[l*nOut:(l+1)*nOut], seen[l*nOut:(l+1)*nOut], sums[l*nOut:(l+1)*nOut]
+		for i, s := range seg {
+			if !sn[s] || ad[i] > mv[s] {
+				mv[s] = ad[i]
+				sn[s] = true
+			}
+		}
+		for i, s := range seg {
+			sm[s] += math.Exp((ad[i] - mv[s]) / gamma)
+		}
+		od := out.Data[l*nOut : (l+1)*nOut]
+		for s := 0; s < nOut; s++ {
+			if sn[s] {
+				od[s] = mv[s] + gamma*math.Log(sm[s])
+			} else {
+				od[s] = 0
+			}
 		}
 	}
 	if out.requiresGrad {
 		ids := tp.captureI32(seg)
 		tp.record(func() {
+			if out.Grad == nil {
+				return
+			}
 			a.ensureGrad()
-			for i, s := range ids {
-				w := math.Exp((a.Data[i]-maxV[s])/gamma) / sums[s]
-				a.Grad[i] += out.Grad[s] * w
+			for l := 0; l < lanes; l++ {
+				ad := a.Data[l*ast : (l+1)*ast]
+				ag := a.Grad[l*ast : (l+1)*ast]
+				og := out.Grad[l*nOut : (l+1)*nOut]
+				mv, sm := maxV[l*nOut:(l+1)*nOut], sums[l*nOut:(l+1)*nOut]
+				for i, s := range ids {
+					w := math.Exp((ad[i]-mv[s])/gamma) / sm[s]
+					ag[i] += og[s] * w
+				}
 			}
 		})
 	}

@@ -94,6 +94,18 @@ func (ws *Workspace) Stats() WorkspaceStats {
 
 // grabF64 returns a zeroed length-n float64 slice from the pool.
 func (ws *Workspace) grabF64(n int) []float64 {
+	b := ws.grabF64Raw(n)
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// grabF64Raw returns a length-n float64 slice from the pool WITHOUT
+// zeroing a reused buffer. Only for op outputs whose kernel writes every
+// element (a fresh pool miss is still zeroed by the allocator, so the
+// contents must never be read before being written anyway).
+func (ws *Workspace) grabF64Raw(n int) []float64 {
 	if n == 0 {
 		return nil
 	}
@@ -102,9 +114,6 @@ func (ws *Workspace) grabF64(n int) []float64 {
 	if free := ws.f64[n]; len(free) > 0 {
 		b = free[len(free)-1]
 		ws.f64[n] = free[:len(free)-1]
-		for i := range b {
-			b[i] = 0
-		}
 		ws.hits++
 	} else {
 		b = make([]float64, n)
@@ -167,17 +176,23 @@ func (ws *Workspace) header() *Tensor {
 	return t
 }
 
-// tensor builds an op-result tensor backed by pooled storage.
-func (ws *Workspace) tensor(tp *Tape, rows, cols int, reqGrad bool) *Tensor {
+// tensor builds an op-result tensor backed by pooled storage; lanes sets
+// the batch-axis length (1 for unbatched). zeroed selects whether a
+// reused Data buffer is cleared — accumulating kernels (MatMul,
+// SegmentSum) need it, fully-overwriting kernels skip the memclr.
+// Gradient buffers are allocated lazily by ensureGrad during Backward,
+// so forward-only evaluation never touches them.
+func (ws *Workspace) tensor(tp *Tape, lanes, rows, cols int, reqGrad, zeroed bool) *Tensor {
 	t := ws.header()
-	t.Rows, t.Cols = rows, cols
-	t.Data = ws.grabF64(rows * cols)
+	t.Rows, t.Cols, t.Lanes = rows, cols, lanes
+	if zeroed {
+		t.Data = ws.grabF64(lanes * rows * cols)
+	} else {
+		t.Data = ws.grabF64Raw(lanes * rows * cols)
+	}
 	t.tape = tp
 	t.requiresGrad = reqGrad
 	t.wsOwned = true
-	if reqGrad {
-		t.Grad = ws.grabF64(rows * cols)
-	}
 	return t
 }
 

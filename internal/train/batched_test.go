@@ -1,0 +1,112 @@
+package train
+
+import (
+	"testing"
+
+	"tsteiner/internal/gnn"
+)
+
+// TestGroupByBatch pins the grouping of the batched accumulation mode:
+// partition by shared *gnn.Batch, group order = first appearance in the
+// permutation, lane order = permutation order within the group.
+func TestGroupByBatch(t *testing.T) {
+	b1, b2 := &gnn.Batch{}, &gnn.Batch{}
+	set := []*Sample{{Batch: b1}, {Batch: b2}, {Batch: b1}, {Batch: b2}, {Batch: b1}}
+	groups := groupByBatch(set, []int{3, 0, 4, 1, 2})
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if groups[0].batch != b2 || groups[1].batch != b1 {
+		t.Fatal("group order is not first-seen order")
+	}
+	want0, want1 := []int{3, 1}, []int{0, 4, 2}
+	for i, si := range want0 {
+		if groups[0].sis[i] != si {
+			t.Fatalf("group 0 lanes %v, want %v", groups[0].sis, want0)
+		}
+	}
+	for i, si := range want1 {
+		if groups[1].sis[i] != si {
+			t.Fatalf("group 1 lanes %v, want %v", groups[1].sis, want1)
+		}
+	}
+}
+
+// The batched accumulation mode must land on byte-identical parameters
+// for every worker count: group order is the permutation's first-seen
+// order and each group's gradient is lane-reduced on its own tape, so
+// neither scheduling nor pool contention can reorder a single addition.
+func TestBatchedAccumulateWorkerCountInvariant(t *testing.T) {
+	s := sample(t, "spm", 1.0, true)
+	aug, err := Augment(s, 3, 10, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := append([]*Sample{s}, aug...)
+
+	trained := func(workers int) *gnn.Model {
+		m := gnn.NewModel(gnn.DefaultConfig(), 5)
+		opt := Options{Epochs: 8, LR: 1e-2, Seed: 1, Accumulate: true, BatchedAccumulate: true, Workers: workers}
+		if _, err := Train(m, samples, opt); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	serial, parallel := trained(1), trained(4)
+	sp, pp := serial.Params(), parallel.Params()
+	for i := range sp {
+		for j := range sp[i].Data {
+			if sp[i].Data[j] != pp[i].Data[j] {
+				t.Fatalf("param %d element %d differs: %g vs %g",
+					i, j, sp[i].Data[j], pp[i].Data[j])
+			}
+		}
+	}
+}
+
+// With every group a single lane, the fused loss graph degenerates to the
+// per-sample one (ForwardBatch at K=1 is Forward, and the lane reduction
+// is an identity copy), so batched accumulation must reproduce plain
+// accumulation byte-for-byte.
+func TestBatchedAccumulateSingleLaneMatchesAccumulate(t *testing.T) {
+	s := sample(t, "spm", 1.0, true)
+	trained := func(batched bool) *gnn.Model {
+		m := gnn.NewModel(gnn.DefaultConfig(), 5)
+		opt := Options{Epochs: 10, LR: 1e-2, Seed: 1, Accumulate: true, BatchedAccumulate: batched, Workers: 2}
+		if _, err := Train(m, []*Sample{s}, opt); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	plain, batched := trained(false), trained(true)
+	pp, bp := plain.Params(), batched.Params()
+	for i := range pp {
+		for j := range pp[i].Data {
+			if pp[i].Data[j] != bp[i].Data[j] {
+				t.Fatalf("param %d element %d differs: %g vs %g",
+					i, j, pp[i].Data[j], bp[i].Data[j])
+			}
+		}
+	}
+}
+
+// The batched accumulation trajectory must still learn.
+func TestBatchedAccumulateReducesLoss(t *testing.T) {
+	s := sample(t, "spm", 1.0, true)
+	aug, err := Augment(s, 2, 10, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := append([]*Sample{s}, aug...)
+	m := gnn.NewModel(gnn.DefaultConfig(), 5)
+	var losses []float64
+	opt := Options{Epochs: 60, LR: 1e-2, Seed: 1, Accumulate: true, BatchedAccumulate: true, Workers: 2,
+		Verbose: func(_ int, l float64) { losses = append(losses, l) }}
+	final, err := Train(m, samples, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final >= losses[0] {
+		t.Fatalf("batched accumulate training did not reduce loss: %g -> %g", losses[0], final)
+	}
+}

@@ -116,6 +116,17 @@ type Options struct {
 	// step per epoch. A different (batch-style) trajectory, but one whose
 	// result is byte-identical for every worker count.
 	Accumulate bool
+	// BatchedAccumulate (with Accumulate) fuses the per-sample forwards of
+	// samples sharing a graph batch — Augment variants reuse the base
+	// sample's batch — into one K-lane ForwardBatch per group, amortizing
+	// the batch's structure tables, tape recording and op dispatch across
+	// the group. The parameters join the fused tape as unbatched leaves,
+	// so Backward hands each group's gradient back pre-summed over its
+	// lanes; groups are then reduced in the permutation's first-seen
+	// order. Yet another trajectory (group sums associate differently
+	// than per-sample sums), but byte-identical for every worker count
+	// (TestBatchedAccumulateWorkerCountInvariant is the gate).
+	BatchedAccumulate bool
 	// Verbose receives per-epoch losses when non-nil.
 	Verbose func(epoch int, loss float64)
 	// Obs receives the training span, per-epoch loss/grad-norm events and
@@ -230,7 +241,11 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 		order := rng.Perm(len(trainSet))
 		epochLoss, epochGradSq := 0.0, 0.0
 		if opt.Accumulate {
-			loss, gradSq, err := accumulateStep(m, adam, trainSet, order, opt.Workers, wantGradSq, opt.Fault, pool)
+			accum := accumulateStep
+			if opt.BatchedAccumulate {
+				accum = accumulateStepBatched
+			}
+			loss, gradSq, err := accum(m, adam, trainSet, order, opt.Workers, wantGradSq, opt.Fault, pool)
 			if err != nil {
 				return 0, err
 			}
@@ -395,6 +410,143 @@ func accumulateStep(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order [
 	}
 	adam.Step()
 	return total / float64(len(order)), gradSq, nil
+}
+
+// batchGroup is one fused task of the batched accumulation mode: the
+// samples (by train-set index, in permutation order) that share one graph
+// batch, evaluated as lanes of a single forward.
+type batchGroup struct {
+	batch *gnn.Batch
+	sis   []int
+}
+
+// groupByBatch partitions the epoch's permuted samples by shared
+// *gnn.Batch, preserving the permutation's first-seen order — a
+// deterministic function of the permutation alone, independent of
+// workers (the map is lookup-only; group order comes from the slice).
+func groupByBatch(trainSet []*Sample, order []int) []*batchGroup {
+	var groups []*batchGroup
+	byBatch := map[*gnn.Batch]*batchGroup{}
+	for _, si := range order {
+		b := trainSet[si].Batch
+		g := byBatch[b]
+		if g == nil {
+			g = &batchGroup{batch: b}
+			byBatch[b] = g
+			groups = append(groups, g)
+		}
+		g.sis = append(g.sis, si)
+	}
+	return groups
+}
+
+// accumulateStepBatched is accumulateStep with one fused K-lane
+// forward/backward per group of samples sharing a graph batch, instead of
+// one forward per sample. Each group's gradient comes back pre-summed
+// over its lanes (the parameters are unbatched leaves on the fused tape,
+// so Backward accumulates the lanes in fixed lane order), and the
+// cross-group reduction follows the permutation's first-seen group order
+// — byte-identical at every worker count.
+func accumulateStepBatched(m *gnn.Model, adam *tensor.Adam, trainSet []*Sample, order []int, workers int, wantGradSq bool, inj *fault.Injector, pool *accumPool) (float64, float64, error) {
+	groups := groupByBatch(trainSet, order)
+	outs, err := par.Map(workers, groups, func(k int, g *batchGroup) (float64, error) {
+		sc := pool.get(m)
+		loss, err := groupGradInto(sc.ws.Tape(), sc.clone, trainSet, g, pool.gradBufs[k])
+		pool.put(sc)
+		if err != nil {
+			return 0, err
+		}
+		return loss, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	adam.ZeroGrad()
+	params := m.Params()
+	total := 0.0
+	for k := range outs { // fixed order: first-seen group order
+		total += outs[k]
+		for pi, g := range pool.gradBufs[k] {
+			p := params[pi]
+			if p.Grad == nil {
+				p.Grad = make([]float64, p.Len())
+			}
+			for j, v := range g {
+				p.Grad[j] += v
+			}
+		}
+	}
+	if err := guardGrads(params, inj); err != nil {
+		return 0, 0, err
+	}
+	gradSq := 0.0
+	if wantGradSq {
+		gradSq = paramGradSq(params)
+	}
+	adam.Step()
+	return total / float64(len(order)), gradSq, nil
+}
+
+// groupGradInto runs one fused forward/backward over a group's samples —
+// lane k carries sample k's Steiner coordinates and labels — and copies
+// the group-summed per-parameter gradients into dst. Returns the sum of
+// the group's per-sample MSE losses.
+func groupGradInto(tp *tensor.Tape, m *gnn.Model, trainSet []*Sample, g *batchGroup, dst [][]float64) (float64, error) {
+	lanes := len(g.sis)
+	b := g.batch
+	n := b.NSteiner
+	nl := len(trainSet[g.sis[0]].Labels)
+	cx := make([]float64, lanes*n)
+	cy := make([]float64, lanes*n)
+	labels := make([]float64, lanes*nl)
+	for k, si := range g.sis {
+		s := trainSet[si]
+		if len(s.Labels) != nl {
+			return 0, fmt.Errorf("train: %s: %d labels in a group expecting %d", s.Name, len(s.Labels), nl)
+		}
+		if err := b.FillSteinerCoords(s.Forest, cx[k*n:(k+1)*n], cy[k*n:(k+1)*n]); err != nil {
+			return 0, fmt.Errorf("train: %s: %w", s.Name, err)
+		}
+		copy(labels[k*nl:(k+1)*nl], s.Labels)
+	}
+	bp, err := m.ForwardBatch(tp, b, lanes, cx, cy, true)
+	if err != nil {
+		return 0, err
+	}
+	lab, err := tp.CopyInLanes(lanes, nl, 1, labels)
+	if err != nil {
+		return 0, err
+	}
+	diff, err := tp.Sub(bp.Arrival, lab)
+	if err != nil {
+		return 0, err
+	}
+	sq, err := tp.Mul(diff, diff)
+	if err != nil {
+		return 0, err
+	}
+	sum, err := tp.Sum(sq) // per-lane 1×1: each lane's squared-error sum
+	if err != nil {
+		return 0, err
+	}
+	perLane, err := tp.Scale(sum, 1/float64(nl))
+	if err != nil {
+		return 0, err
+	}
+	if err := tensor.CheckFinite(perLane); err != nil {
+		return 0, err
+	}
+	loss, err := tp.SumLanes(perLane)
+	if err != nil {
+		return 0, err
+	}
+	if err := tp.Backward(loss); err != nil {
+		return 0, err
+	}
+	for i, p := range m.Params() {
+		copy(dst[i], p.Grad)
+	}
+	return loss.Data[0], nil
 }
 
 // paramGradSq sums the squared gradient entries across parameters.
