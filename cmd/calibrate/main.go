@@ -19,6 +19,7 @@ import (
 
 	"tsteiner/internal/flow"
 	"tsteiner/internal/guard"
+	"tsteiner/internal/lib"
 	"tsteiner/internal/metrics"
 	"tsteiner/internal/obs"
 	"tsteiner/internal/report"
@@ -37,6 +38,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer closeObs()
+
+	manifest := shared.Manifest("calibrate", flag.CommandLine)
+	manifest.LibFingerprint = lib.Default().Fingerprint()
+	manifest.Emit(sink)
+	if shared.Out != "" {
+		if err := manifest.WriteNextTo(shared.Out); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	specs := synth.Benchmarks()
 	if *designs != "" {

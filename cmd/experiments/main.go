@@ -18,10 +18,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"tsteiner/internal/exp"
 	"tsteiner/internal/guard"
+	"tsteiner/internal/lib"
 	"tsteiner/internal/obs"
 )
 
@@ -55,6 +57,17 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Workers = shared.Workers
 	cfg.Obs = sink
+
+	manifest := shared.Manifest("experiments", flag.CommandLine)
+	manifest.Seed = cfg.Seed
+	manifest.Lanes = cfg.Refine.CandidateLanes
+	manifest.LibFingerprint = lib.Default().Fingerprint()
+	manifest.Emit(sink)
+	if shared.Out != "" {
+		if err := manifest.WriteNextTo(shared.Out); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if shared.Deadline > 0 {
 		budget := &guard.Budget{Wall: shared.Deadline}
 		budget.Start()
@@ -64,6 +77,9 @@ func main() {
 	}
 	if shared.CheckpointDir != "" {
 		if err := os.MkdirAll(shared.CheckpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := manifest.WriteFile(filepath.Join(shared.CheckpointDir, "manifest.json")); err != nil {
 			log.Fatal(err)
 		}
 		cfg.CheckpointDir = shared.CheckpointDir
@@ -104,6 +120,9 @@ func main() {
 		}
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
+		if err := manifest.WriteNextTo(*outPath); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	runAll := *all || (*table == 0 && *figure == 0 && !*ablations && !*studies)
@@ -230,6 +249,10 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := m.Save(*modelPath); err != nil {
+			log.Fatal(err)
+		}
+		manifest.ModelHash = m.Hash()
+		if err := manifest.WriteNextTo(*modelPath); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("model saved to %s", *modelPath)

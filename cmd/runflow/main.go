@@ -58,6 +58,17 @@ func main() {
 	}
 	defer closeObs()
 
+	manifest := shared.Manifest("runflow", flag.CommandLine)
+	manifest.Seed = *seed
+	manifest.Lanes = *lanes
+	manifest.LibFingerprint = lib.Default().Fingerprint()
+	manifest.Emit(sink)
+	if shared.Out != "" {
+		if err := manifest.WriteNextTo(shared.Out); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	var budget *guard.Budget
 	if shared.Deadline > 0 {
 		budget = &guard.Budget{Wall: shared.Deadline}
@@ -65,6 +76,9 @@ func main() {
 	}
 	if shared.CheckpointDir != "" {
 		if err := os.MkdirAll(shared.CheckpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := manifest.WriteFile(filepath.Join(shared.CheckpointDir, "manifest.json")); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -116,7 +130,7 @@ func main() {
 
 	finalForest := prepared.Forest
 	if *refine {
-		res, err := refineDesign(prepared, timing, rep, *epochs, *iters, *lanes, *seed, shared, budget, sink)
+		res, err := refineDesign(prepared, timing, rep, *epochs, *iters, *lanes, *seed, shared, budget, sink, manifest)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -145,6 +159,9 @@ func main() {
 		if err := viz.WriteLayoutSVG(out, prepared.Design, finalForest, viz.DefaultLayoutOptions()); err != nil {
 			log.Fatal(err)
 		}
+		if err := manifest.WriteNextTo(*svgPath); err != nil {
+			log.Fatal(err)
+		}
 		log.Printf("layout written to %s", *svgPath)
 	}
 }
@@ -152,7 +169,7 @@ func main() {
 // refineDesign trains an evaluator on this design (plus perturbed
 // variants) and runs TSteiner refinement — the same recipe cmd/tsteiner
 // applies to bundled benchmarks, for loaded designs.
-func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, epochs, iters, lanes int, seed int64, shared *obs.Flags, budget *guard.Budget, sink *obs.Sink) (*core.Result, error) {
+func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, epochs, iters, lanes int, seed int64, shared *obs.Flags, budget *guard.Budget, sink *obs.Sink, manifest *obs.Manifest) (*core.Result, error) {
 	workers := shared.Workers
 	batch, err := gnn.NewBatch(p.Design, p.Forest)
 	if err != nil {
@@ -188,6 +205,7 @@ func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, e
 	if _, err := train.Train(m, samples, topt); err != nil {
 		return nil, err
 	}
+	manifest.ModelHash = m.Hash()
 	sc, err := train.Evaluate(m, smp)
 	if err != nil {
 		return nil, err

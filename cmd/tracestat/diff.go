@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tsteiner/internal/report"
+)
+
+// writeDiff renders the A/B comparison and returns how many regressions
+// it flagged. A span regresses when its new total exceeds minMS and grew
+// by more than timeRatio over the base; refine allocations regress when
+// the mean per-iteration allocation count grew by more than allocRatio.
+// Spans present on only one side are reported but never flagged — a
+// phase that appeared or vanished is a structural change the reader must
+// judge, not a timing regression.
+func writeDiff(w io.Writer, a, b *trace, timeRatio, allocRatio, minMS float64) (int, error) {
+	fmt.Fprintf(w, "base: %s (%d events)\nnew:  %s (%d events)\n", a.Path, a.Events, b.Path, b.Events)
+
+	names := map[string]bool{}
+	for n := range a.Spans {
+		names[n] = true
+	}
+	for n := range b.Spans {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	regressions := 0
+	t := report.Table{
+		Title:  "span totals (ms)",
+		Header: []string{"span", "base", "new", "ratio", "flag"},
+	}
+	for _, n := range sorted {
+		sa, sb := a.Spans[n], b.Spans[n]
+		switch {
+		case sa == nil:
+			t.AddRow(n, "-", report.F(sb.Total, 1), "-", "new")
+		case sb == nil:
+			t.AddRow(n, report.F(sa.Total, 1), "-", "-", "gone")
+		default:
+			ratio := 0.0
+			if sa.Total > 0 {
+				ratio = sb.Total / sa.Total
+			}
+			flag := ""
+			if sb.Total >= minMS && sa.Total > 0 && ratio > timeRatio {
+				flag = "REGRESSION"
+				regressions++
+			}
+			t.AddRow(n, report.F(sa.Total, 1), report.F(sb.Total, 1), report.F(ratio, 2), flag)
+		}
+	}
+	fmt.Fprintln(w)
+	if err := t.Render(w); err != nil {
+		return 0, err
+	}
+
+	ha, hb := a.Values["core.iter_allocs"], b.Values["core.iter_allocs"]
+	if ha != nil && hb != nil && ha.Count > 0 && hb.Count > 0 {
+		ratio := 0.0
+		if ha.Mean() > 0 {
+			ratio = hb.Mean() / ha.Mean()
+		}
+		flag := ""
+		if ha.Mean() > 0 && ratio > allocRatio {
+			flag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "\nrefine allocs/iter: base %.1f new %.1f (ratio %.2f)%s\n",
+			ha.Mean(), hb.Mean(), ratio, flag)
+	}
+	return regressions, nil
+}

@@ -1,0 +1,209 @@
+// Command tracestat analyzes NDJSON traces written with -obs-out and
+// scrapes live -obs-listen endpoints: an offline companion to the obs
+// layer that turns a raw event stream back into the tables an engineer
+// asks for first — where did the time go (per-phase self vs child
+// rollup), how bad are the tails (bucketed duration quantiles on the
+// same log-bucket scheme /metrics serves), and did the run converge
+// (per-iteration penalty/WNS/TNS/theta table).
+//
+// Usage:
+//
+//	tracestat trace.ndjson                    analyze one trace
+//	tracestat -diff base.ndjson new.ndjson    A/B compare; exit 1 on regression
+//	tracestat -scrape http://127.0.0.1:9090   validate a live /metrics endpoint
+//
+// Diff mode flags spans whose total time grew beyond -time-ratio (and
+// -min-ms) and refine iterations whose mean allocation count grew beyond
+// -alloc-ratio, and exits nonzero so verify gates can script it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"tsteiner/internal/obs/export"
+	"tsteiner/internal/report"
+)
+
+func main() {
+	var (
+		diff       = flag.Bool("diff", false, "compare two traces: tracestat -diff base.ndjson new.ndjson")
+		timeRatio  = flag.Float64("time-ratio", 1.5, "diff: flag spans whose total time grew by more than this factor")
+		allocRatio = flag.Float64("alloc-ratio", 1.5, "diff: flag refine iterations whose mean allocs grew by more than this factor")
+		minMS      = flag.Float64("min-ms", 5.0, "diff: ignore spans whose new total is below this (noise floor)")
+		top        = flag.Int("top", 0, "limit the span rollup to the N largest totals (0 = all)")
+		scrapeURL  = flag.String("scrape", "", "scrape a live -obs-listen endpoint (base URL) and validate its exposition")
+		retries    = flag.Int("scrape-retries", 50, "scrape: connection attempts before giving up")
+		waitMS     = flag.Int("scrape-wait", 100, "scrape: delay between attempts (ms)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: tracestat [flags] trace.ndjson\n"+
+				"       tracestat -diff base.ndjson new.ndjson\n"+
+				"       tracestat -scrape http://host:port\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("tracestat: ")
+
+	switch {
+	case *scrapeURL != "":
+		if err := scrape(os.Stdout, *scrapeURL, *retries, *waitMS); err != nil {
+			log.Fatal(err)
+		}
+	case *diff:
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		a, err := parseFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := parseFile(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		regressions, err := writeDiff(os.Stdout, a, b, *timeRatio, *allocRatio, *minMS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if regressions > 0 {
+			log.Printf("%d regression(s) detected", regressions)
+			os.Exit(1)
+		}
+	default:
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		tr, err := parseFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeAnalysis(os.Stdout, tr, *top); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeAnalysis renders the single-trace report: provenance, the span
+// rollup, duration quantiles, event-derived histograms, the refinement
+// convergence table and the training summary.
+func writeAnalysis(w *os.File, tr *trace, top int) error {
+	fmt.Fprintf(w, "%s: %d events", tr.Path, tr.Events)
+	if tr.DroppedSpans > 0 {
+		fmt.Fprintf(w, " (%d span_start without span_end)", tr.DroppedSpans)
+	}
+	fmt.Fprintln(w)
+	if tr.Manifest != nil {
+		fmt.Fprintf(w, "manifest: %s\n", manifestLine(tr.Manifest))
+	}
+
+	rollup := tr.Rollup()
+	if top > 0 && top < len(rollup) {
+		rollup = rollup[:top]
+	}
+	if len(rollup) > 0 {
+		t := report.Table{
+			Title:  "span rollup (self = total minus direct children)",
+			Header: []string{"span", "count", "total_ms", "self_ms", "max_ms"},
+		}
+		for _, r := range rollup {
+			t.AddRow(r.Name, report.I(int(r.Count)),
+				report.F(r.TotalMS, 1), report.F(r.SelfMS, 1), report.F(r.MaxMS, 1))
+		}
+		fmt.Fprintln(w)
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if hq := tr.histTable("span duration quantiles (ms, bucketed)", tr.SpanDur); hq != nil {
+		fmt.Fprintln(w)
+		if err := hq.Render(w); err != nil {
+			return err
+		}
+	}
+	if hq := tr.histTable("event-derived histograms", tr.Values); hq != nil {
+		fmt.Fprintln(w)
+		if err := hq.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if len(tr.Iters) > 0 {
+		t := report.Table{
+			Title:  "refinement convergence (core.iter)",
+			Header: []string{"iter", "penalty", "WNS", "TNS", "theta", "lane", "accepted"},
+		}
+		for _, it := range tr.Iters {
+			acc := ""
+			if it.Accepted {
+				acc = "yes"
+			}
+			t.AddRow(report.I(it.Iter), report.F(it.Penalty, 4),
+				report.F(it.WNS, 4), report.F(it.TNS, 2),
+				report.F(it.Theta, 3), report.I(it.Lane), acc)
+		}
+		fmt.Fprintln(w)
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if len(tr.Epochs) > 0 {
+		first, last := tr.Epochs[0], tr.Epochs[len(tr.Epochs)-1]
+		fmt.Fprintf(w, "\ntraining: %d epochs, loss %.6g -> %.6g\n",
+			len(tr.Epochs), first.Loss, last.Loss)
+	}
+	return nil
+}
+
+// manifestLine flattens the run manifest event into one sorted k=v line.
+func manifestLine(m map[string]any) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if k == "t" || k == "ev" || k == "flags" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%v", k, m[k])
+	}
+	return s
+}
+
+// histTable renders one quantile table over a family of bucketed
+// histograms, or nil when the family is empty.
+func (tr *trace) histTable(title string, fam map[string]*export.Hist) *report.Table {
+	if len(fam) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(fam))
+	for n := range fam {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := &report.Table{
+		Title:  title,
+		Header: []string{"name", "count", "mean", "p50", "p95", "p99", "max"},
+	}
+	for _, n := range names {
+		h := fam[n]
+		t.AddRow(n, report.I(int(h.Count)), report.F(h.Mean(), 3),
+			report.F(h.Quantile(0.5), 3), report.F(h.Quantile(0.95), 3),
+			report.F(h.Quantile(0.99), 3), report.F(h.Max, 3))
+	}
+	return t
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/obs"
+)
+
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata", name)
+}
+
+// TestSmoke drives every tracestat mode: help and the misuse/regression
+// exit codes through a compiled binary, the analyze / clean-diff / scrape
+// paths through main() in process so coverage attributes them.
+func TestSmoke(t *testing.T) {
+	bin := check.GoBuild(t, "tsteiner/cmd/tracestat")
+	dir := t.TempDir()
+	a := fixture(t, "trace_a.ndjson")
+	b := fixture(t, "trace_b.ndjson")
+
+	help := check.RunOK(t, dir, bin, "-h")
+	if !strings.Contains(help, "-diff") || !strings.Contains(help, "-scrape") {
+		t.Fatalf("help output lacks mode flags:\n%s", help)
+	}
+
+	out := check.RunMain(t, dir, main, a)
+	for _, want := range []string{
+		"span rollup", "span duration quantiles",
+		"refinement convergence", "manifest:", "tool=tsteiner",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analysis lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Diffing a trace against itself must be regression-free (exit 0 —
+	// RunMain requires a normal return).
+	out = check.RunMain(t, dir, main, "-diff", a, a)
+	if strings.Contains(out, "REGRESSION") {
+		t.Fatalf("self-diff flagged a regression:\n%s", out)
+	}
+
+	// The committed B trace carries a seeded 30x span slowdown and a 20x
+	// allocation inflation — diff must flag both and exit nonzero.
+	out = check.RunFail(t, dir, bin, "-diff", "-min-ms", "1", a, b)
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "flow.signoff/sta") {
+		t.Fatalf("seeded regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "refine allocs/iter") {
+		t.Fatalf("alloc regression line missing:\n%s", out)
+	}
+
+	// Misuse: no input file, and diff with the wrong arity.
+	check.RunFail(t, dir, bin)
+	check.RunFail(t, dir, bin, "-diff", a)
+	check.RunFail(t, dir, bin, filepath.Join(dir, "no_such_trace.ndjson"))
+}
+
+// TestScrape points -scrape at a real obs.Serve endpoint.
+func TestScrape(t *testing.T) {
+	sink := obs.New(nil)
+	sink.Add("ops", 2)
+	sink.Observe("v", 1.5)
+	sv, err := obs.Serve("127.0.0.1:0", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+
+	dir := t.TempDir()
+	out := check.RunMain(t, dir, main, "-scrape", sv.URL())
+	if !strings.Contains(out, "scrape ok:") {
+		t.Fatalf("scrape output: %s", out)
+	}
+
+	// An unreachable endpoint must fail fast and nonzero.
+	bin := check.GoBuild(t, "tsteiner/cmd/tracestat")
+	check.RunFail(t, dir, bin, "-scrape", "127.0.0.1:1", "-scrape-retries", "2", "-scrape-wait", "10")
+}
+
+// TestParseTruncatedSpan: a trace cut off mid-phase reports the open
+// span instead of crashing or miscounting.
+func TestParseTruncatedSpan(t *testing.T) {
+	tr, err := parse(strings.NewReader(
+		`{"t":1,"ev":"span_start","span":1,"name":"a"}` + "\n" +
+			`{"t":2,"ev":"span_start","span":2,"name":"a/b"}` + "\n" +
+			`{"t":3,"ev":"span_end","span":2,"name":"a/b","dur_ms":1.5}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DroppedSpans != 1 {
+		t.Fatalf("DroppedSpans = %d, want 1", tr.DroppedSpans)
+	}
+	if tr.Spans["a/b"] == nil || tr.Spans["a/b"].Count != 1 {
+		t.Fatalf("spans: %+v", tr.Spans)
+	}
+	if _, err := parse(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+// TestRollupSelfTime: self = total minus direct children only.
+func TestRollupSelfTime(t *testing.T) {
+	tr := &trace{Spans: map[string]*spanStat{
+		"p":     {Count: 1, Total: 10, Max: 10},
+		"p/a":   {Count: 2, Total: 4, Max: 3},
+		"p/a/x": {Count: 1, Total: 1, Max: 1},
+		"p/b":   {Count: 1, Total: 3, Max: 3},
+	}}
+	rows := tr.Rollup()
+	self := map[string]float64{}
+	for _, r := range rows {
+		self[r.Name] = r.SelfMS
+	}
+	if self["p"] != 3 { // 10 - (4 + 3); grandchild x must not double-count
+		t.Fatalf("self(p) = %g, want 3", self["p"])
+	}
+	if self["p/a"] != 3 { // 4 - 1
+		t.Fatalf("self(p/a) = %g, want 3", self["p/a"])
+	}
+	if rows[0].Name != "p" {
+		t.Fatalf("rollup not sorted by total: %+v", rows)
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tsteiner/internal/obs/export"
+)
+
+// scrape validates a live -obs-listen endpoint: wait for /healthz to
+// answer (the target run may still be starting), then fetch /metrics and
+// run the exposition through the export grammar checker. Prints one
+// summary line on success so shell gates can grep it.
+func scrape(w io.Writer, base string, retries, waitMS int) error {
+	base = strings.TrimRight(base, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var lastErr error
+	for i := 0; i < retries; i++ {
+		if i > 0 {
+			time.Sleep(time.Duration(waitMS) * time.Millisecond)
+		}
+		body, err := get(client, base+"/healthz")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if strings.TrimSpace(body) != "ok" {
+			return fmt.Errorf("scrape: %s/healthz answered %q, want \"ok\"", base, strings.TrimSpace(body))
+		}
+		lastErr = nil
+		break
+	}
+	if lastErr != nil {
+		return fmt.Errorf("scrape: %s/healthz unreachable after %d attempts: %w", base, retries, lastErr)
+	}
+
+	metrics, err := get(client, base+"/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape: %w", err)
+	}
+	samples, err := export.ValidateText(strings.NewReader(metrics))
+	if err != nil {
+		return fmt.Errorf("scrape: %s/metrics: %w", base, err)
+	}
+	fmt.Fprintf(w, "scrape ok: %d samples from %s/metrics\n", samples, base)
+	return nil
+}
+
+func get(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return string(body), nil
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"tsteiner/internal/obs/export"
+)
+
+// trace is the aggregate view of one NDJSON event stream. Durations are
+// kept in milliseconds (the unit the stream carries); histograms reuse
+// the export bucket scheme so quantiles here match what /metrics served
+// while the run was live.
+type trace struct {
+	Path   string
+	Events int
+	// Manifest is the first "manifest" event (run provenance), nil when
+	// the trace predates manifests or was truncated before it.
+	Manifest map[string]any
+	// DroppedSpans counts span_start ids that never saw a span_end —
+	// usually a run cut off mid-phase.
+	DroppedSpans int
+
+	Spans   map[string]*spanStat    // per span name, from span_end
+	SpanDur map[string]*export.Hist // span_end dur_ms distributions
+	// Values holds event-derived sample families: refine per-iteration
+	// allocation counts and pool utilization, bucketed like the live sink.
+	Values map[string]*export.Hist
+
+	Iters  []iterRec  // core.iter convergence records, in stream order
+	Epochs []epochRec // train.epoch records, in stream order
+}
+
+type spanStat struct {
+	Count int64
+	Total float64 // ms
+	Max   float64 // ms
+}
+
+type iterRec struct {
+	Iter     int
+	Penalty  float64
+	WNS, TNS float64
+	Theta    float64
+	Lane     int
+	Accepted bool
+	Allocs   float64
+}
+
+type epochRec struct {
+	Epoch int
+	Loss  float64
+	DurMS float64
+}
+
+func parseFile(path string) (*trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	tr.Path = path
+	return tr, nil
+}
+
+// parse folds an NDJSON stream into a trace. Unknown events only count
+// toward Events — the analyzer must keep working as instrumentation
+// grows. A malformed line is an error: traces are machine-written, so
+// corruption means the file is not what the caller thinks it is.
+func parse(r io.Reader) (*trace, error) {
+	tr := &trace{
+		Spans:   map[string]*spanStat{},
+		SpanDur: map[string]*export.Hist{},
+		Values:  map[string]*export.Hist{},
+	}
+	open := map[float64]bool{} // span id -> started, not yet ended
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		tr.Events++
+		name, _ := ev["ev"].(string)
+		switch name {
+		case "manifest":
+			if tr.Manifest == nil {
+				tr.Manifest = ev
+			}
+		case "span_start":
+			open[num(ev, "span")] = true
+		case "span_end":
+			delete(open, num(ev, "span"))
+			sn, _ := ev["name"].(string)
+			dur := num(ev, "dur_ms")
+			st := tr.Spans[sn]
+			if st == nil {
+				st = &spanStat{}
+				tr.Spans[sn] = st
+			}
+			st.Count++
+			st.Total += dur
+			if dur > st.Max {
+				st.Max = dur
+			}
+			observe(tr.SpanDur, sn, dur)
+		case "core.iter":
+			tr.Iters = append(tr.Iters, iterRec{
+				Iter:     int(num(ev, "iter")),
+				Penalty:  num(ev, "penalty"),
+				WNS:      num(ev, "wns"),
+				TNS:      num(ev, "tns"),
+				Theta:    num(ev, "theta"),
+				Lane:     int(num(ev, "lane")),
+				Accepted: ev["accepted"] == true,
+				Allocs:   num(ev, "allocs"),
+			})
+			observe(tr.Values, "core.iter_allocs", num(ev, "allocs"))
+		case "train.epoch":
+			tr.Epochs = append(tr.Epochs, epochRec{
+				Epoch: int(num(ev, "epoch")),
+				Loss:  num(ev, "loss"),
+				DurMS: num(ev, "dur_ms"),
+			})
+			observe(tr.Values, "train.epoch_ms", num(ev, "dur_ms"))
+		case "par.pool":
+			observe(tr.Values, "par.pool_util", num(ev, "util"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr.DroppedSpans = len(open)
+	return tr, nil
+}
+
+func num(ev map[string]any, key string) float64 {
+	v, _ := ev[key].(float64)
+	return v
+}
+
+func observe(fam map[string]*export.Hist, name string, v float64) {
+	h := fam[name]
+	if h == nil {
+		h = &export.Hist{Name: name}
+		fam[name] = h
+	}
+	h.Observe(v)
+}
+
+// rollupRow is one span family with its self time: total minus the
+// totals of its direct children (one more '/'-separated level).
+type rollupRow struct {
+	Name    string
+	Count   int64
+	TotalMS float64
+	SelfMS  float64
+	MaxMS   float64
+}
+
+// Rollup computes per-span self-vs-child time, largest total first
+// (name-ordered on ties, so output is deterministic for a given trace).
+func (tr *trace) Rollup() []rollupRow {
+	childTotal := map[string]float64{}
+	for name, st := range tr.Spans {
+		if i := strings.LastIndex(name, "/"); i > 0 {
+			childTotal[name[:i]] += st.Total
+		}
+	}
+	rows := make([]rollupRow, 0, len(tr.Spans))
+	for name, st := range tr.Spans {
+		self := st.Total - childTotal[name]
+		if self < 0 {
+			self = 0
+		}
+		rows = append(rows, rollupRow{
+			Name: name, Count: st.Count,
+			TotalMS: st.Total, SelfMS: self, MaxMS: st.Max,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TotalMS != rows[j].TotalMS {
+			return rows[i].TotalMS > rows[j].TotalMS
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}

@@ -26,11 +26,22 @@ import (
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
 	"tsteiner/internal/guard"
+	"tsteiner/internal/lib"
 	"tsteiner/internal/obs"
 	"tsteiner/internal/report"
 	"tsteiner/internal/train"
 	"tsteiner/internal/viz"
 )
+
+// manifest carries this run's provenance record; every artifact write
+// drops a <artifact>.manifest.json beside its output through saveManifest.
+var manifest *obs.Manifest
+
+func saveManifest(artifactPath string) {
+	if err := manifest.WriteNextTo(artifactPath); err != nil {
+		log.Fatal(err)
+	}
+}
 
 func main() {
 	var (
@@ -58,6 +69,15 @@ func main() {
 	defer closeObs()
 	workers := &shared.Workers
 
+	manifest = shared.Manifest("tsteiner", flag.CommandLine)
+	manifest.Seed = *seed
+	manifest.Lanes = *lanes
+	manifest.LibFingerprint = lib.Default().Fingerprint()
+	manifest.Emit(sink)
+	if shared.Out != "" {
+		saveManifest(shared.Out)
+	}
+
 	var budget *guard.Budget
 	if shared.Deadline > 0 {
 		budget = &guard.Budget{Wall: shared.Deadline}
@@ -65,6 +85,9 @@ func main() {
 	}
 	if shared.CheckpointDir != "" {
 		if err := os.MkdirAll(shared.CheckpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := manifest.WriteFile(filepath.Join(shared.CheckpointDir, "manifest.json")); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -85,6 +108,7 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
+		saveManifest(*designPath)
 		log.Printf("design written to %s", *designPath)
 	}
 	if *verilogPath != "" {
@@ -93,6 +117,7 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
+		saveManifest(*verilogPath)
 		log.Printf("verilog written to %s", *verilogPath)
 	}
 	if *baselineOnly {
@@ -132,7 +157,15 @@ func main() {
 			if err := m.Save(*modelPath); err != nil {
 				log.Fatal(err)
 			}
+			manifest.ModelHash = m.Hash()
+			saveManifest(*modelPath)
 			log.Printf("saved evaluator to %s", *modelPath)
+		}
+	}
+	manifest.ModelHash = m.Hash()
+	if shared.CheckpointDir != "" {
+		if err := manifest.WriteFile(filepath.Join(shared.CheckpointDir, "manifest.json")); err != nil {
+			log.Fatal(err)
 		}
 	}
 	sc, err := train.Evaluate(m, smp)
@@ -214,6 +247,7 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
+		saveManifest(*svgPath)
 		log.Printf("layout SVG written to %s", *svgPath)
 	}
 	if *forestPath != "" {
@@ -222,6 +256,7 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
+		saveManifest(*forestPath)
 		log.Printf("refined forest written to %s", *forestPath)
 	}
 }

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"tsteiner/internal/check"
+	"tsteiner/internal/obs"
 )
 
 // TestSmoke exercises help and the misuse path through a compiled
@@ -38,6 +40,18 @@ func TestSmoke(t *testing.T) {
 		}
 		if st.Size() == 0 {
 			t.Fatalf("artifact %s is empty", f)
+		}
+		// Every artifact carries its provenance record alongside.
+		raw, err := os.ReadFile(filepath.Join(dir, f+".manifest.json"))
+		if err != nil {
+			t.Fatalf("artifact %s has no manifest: %v", f, err)
+		}
+		var m obs.Manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("manifest for %s corrupt: %v", f, err)
+		}
+		if m.Tool != "tsteiner" || m.Seed != 2023 || m.LibFingerprint == "" {
+			t.Fatalf("manifest for %s incomplete: %+v", f, m)
 		}
 	}
 

@@ -42,6 +42,8 @@ import (
 	"tsteiner/internal/flow"
 	"tsteiner/internal/gnn"
 	"tsteiner/internal/grid"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/obs"
 	"tsteiner/internal/rc"
 	"tsteiner/internal/route"
 	"tsteiner/internal/sta"
@@ -268,11 +270,21 @@ func LoadBaseline(path string) (*Baseline, error) {
 }
 
 // Write serializes the baseline with stable key order (encoding/json
-// sorts map keys) so re-recording produces minimal diffs.
+// sorts map keys) so re-recording produces minimal diffs. A provenance
+// manifest is written beside the baseline so every recorded number stays
+// attributable to the exact workload configuration that produced it.
 func (b *Baseline) Write(path string) error {
 	raw, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	m := obs.NewManifest("bench-update")
+	m.Seed = ModelSeed
+	m.Lanes = BatchLanes
+	m.LibFingerprint = lib.Default().Fingerprint()
+	m.ModelHash = gnn.NewModel(gnn.DefaultConfig(), ModelSeed).Hash()
+	return m.WriteNextTo(path)
 }

@@ -589,6 +589,7 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 
 	for t := startIter; t < opt.N && !res.ConvergedByRatio; t++ {
 		iterM0 := r.sink().Mallocs()
+		iterT0 := time.Now()
 		if reason, over := opt.Budget.Exceeded(t); over {
 			res.Cutoff = reason
 			r.sink().Add("core.budget_cutoffs", 1)
@@ -724,10 +725,15 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 		res.History = append(res.History, IterRecord{WNS: wns, TNS: tns, Accepted: accepted, Theta: theta, Lane: lane})
 		res.Iterations = t + 1
 		r.sink().Add("core.iterations", 1)
+		var iterAllocs int64
 		if r.sink().Enabled() {
-			// Per-iteration allocation count — the quantity this PR's
-			// workspace path drives toward zero. Telemetry only.
-			r.sink().Observe("core.iter_allocs", float64(r.sink().Mallocs()-iterM0))
+			// Per-iteration allocation count — the quantity the workspace
+			// path drives toward zero — and wall time, both into the
+			// bucketed histograms so /metrics can serve tail latencies.
+			// Telemetry only.
+			iterAllocs = int64(r.sink().Mallocs() - iterM0)
+			r.sink().Observe("core.iter_allocs", float64(iterAllocs))
+			r.sink().Observe("core.iter_ms", float64(time.Since(iterT0))/float64(time.Millisecond))
 		}
 		r.sink().Event("core.iter",
 			obs.KV{K: "iter", V: t + 1},
@@ -738,6 +744,7 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 			obs.KV{K: "clamped", V: clamped},
 			obs.KV{K: "lane", V: lane},
 			obs.KV{K: "accepted", V: accepted},
+			obs.KV{K: "allocs", V: iterAllocs},
 			obs.KV{K: "best_wns", V: res.BestWNS}, obs.KV{K: "best_tns", V: res.BestTNS})
 
 		if t+1 >= opt.EscalateAfter {

@@ -3,6 +3,8 @@ package exp
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -73,6 +75,62 @@ func runObsFlow(t *testing.T, workers int, sink *obs.Sink) string {
 	}
 	b.Write(fb.Bytes())
 	return b.String()
+}
+
+// TestObsServerByteIdentical extends the telemetry gate to the live
+// observability surface: running the pipeline with an attached /metrics
+// server being scraped concurrently must produce byte-identical
+// algorithmic output to running with no telemetry at all. Serving is
+// read-only (snapshots under the sink lock), so this holds at any
+// scrape rate.
+func TestObsServerByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: runs the spm pipeline twice")
+	}
+	sink := obs.New(io.Discard)
+	sink.EnableRing(256)
+	sv, err := obs.Serve("127.0.0.1:0", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	scraped := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				scraped <- n
+				return
+			default:
+			}
+			for _, ep := range []string{"/metrics", "/trace?n=20", "/healthz"} {
+				resp, err := http.Get(sv.URL() + ep)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					n++
+				}
+			}
+		}
+	}()
+
+	par.SetObserver(sink)
+	withServer := runObsFlow(t, 4, sink)
+	par.SetObserver(nil)
+	close(stop)
+	if n := <-scraped; n == 0 {
+		t.Fatal("scraper never reached the server")
+	}
+	if err := sv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+
+	without := runObsFlow(t, 4, nil)
+	if withServer != without {
+		t.Fatalf("serving /metrics changed algorithmic output:\n--- with server ---\n%s\n--- without ---\n%s",
+			withServer, without)
+	}
 }
 
 // TestObsDisabledByteIdentical is the telemetry determinism gate: the full

@@ -311,6 +311,7 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	}
 	cfg.Obs.Add("flow.gr_runs", 1)
 	cfg.Obs.Observe("flow.gr_overflow", float64(gr.Overflow))
+	cfg.Obs.Observe("flow.gr_ms", grSec*1e3)
 	if cfg.Obs.Enabled() {
 		cfg.Obs.Observe("flow.gr_allocs", float64(cfg.Obs.Mallocs()-grM0))
 	}
@@ -351,6 +352,7 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 		return nil, nil, fmt.Errorf("flow: sta: %w", err)
 	}
 	cfg.Obs.Add("flow.sta_runs", 1)
+	cfg.Obs.Observe("flow.sta_ms", staSec*1e3)
 	if cfg.Obs.Enabled() {
 		cfg.Obs.Observe("flow.sta_allocs", float64(cfg.Obs.Mallocs()-staM0))
 	}

@@ -1,8 +1,11 @@
 package gnn
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"os"
 
@@ -698,6 +701,23 @@ type modelJSON struct {
 	Cfg    Config
 	Params [][]float64
 	Shapes [][2]int
+}
+
+// Hash returns a short stable digest of the model: the config plus the
+// raw bits of every parameter, in parameter order. Run manifests record
+// it so every refined result is attributable to the exact evaluator that
+// produced it — two models with equal hashes are bit-identical.
+func (m *Model) Hash() string {
+	h := fnv.New64a()
+	json.NewEncoder(h).Encode(m.Cfg)
+	var b [8]byte
+	for _, p := range m.Params() {
+		for _, v := range p.Data {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			h.Write(b[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Save writes the model to path as JSON. The write is atomic (temp file +

@@ -2,6 +2,7 @@ package guard
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -39,6 +40,17 @@ func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
 		return fmt.Errorf("guard: atomic write %s: %w", path, err)
 	}
 	return nil
+}
+
+// AtomicWriteJSON marshals v as indented JSON (with a trailing newline)
+// and writes it atomically — the serializer behind run manifests and
+// other small provenance records.
+func AtomicWriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("guard: atomic write %s: %w", path, err)
+	}
+	return AtomicWriteFile(path, append(data, '\n'), 0o644)
 }
 
 // AtomicWriteFunc renders through fn into memory and writes the result

@@ -1,0 +1,66 @@
+package guard
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAtomicWriteJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	type rec struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	if err := AtomicWriteJSON(path, rec{A: 1, B: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[len(raw)-1] != '\n' {
+		t.Fatal("missing trailing newline")
+	}
+	var got rec
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != (rec{A: 1, B: "x"}) {
+		t.Fatalf("round trip: %+v", got)
+	}
+
+	// Overwrite replaces the whole file, never appends or truncates badly.
+	if err := AtomicWriteJSON(path, rec{A: 2, B: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := os.ReadFile(path)
+	var got2 rec
+	if err := json.Unmarshal(raw2, &got2); err != nil {
+		t.Fatalf("overwritten file corrupt: %v\n%s", err, raw2)
+	}
+	if got2.A != 2 {
+		t.Fatalf("overwrite lost: %+v", got2)
+	}
+
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1 (temp file leaked)", len(entries))
+	}
+
+	// Unencodable values fail without touching the destination.
+	if err := AtomicWriteJSON(path, map[string]any{"f": func() {}}); err == nil {
+		t.Fatal("encoding a func succeeded")
+	}
+	var still rec
+	raw3, _ := os.ReadFile(path)
+	if err := json.Unmarshal(raw3, &still); err != nil || still.A != 2 {
+		t.Fatalf("failed write damaged destination: %v %+v", err, still)
+	}
+}

@@ -1,6 +1,10 @@
 package lib
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
 
 // Arc is a characterized timing arc from one input pin to the output pin of
 // a cell, carrying NLDM delay and output-slew tables.
@@ -95,6 +99,21 @@ func (l *Library) MustCell(name string) *Cell {
 
 // Layers returns the number of routing layers in the technology.
 func (l *Library) Layers() int { return len(l.LayerRes) }
+
+// Fingerprint returns a short stable digest of the complete library —
+// every cell parameter plus the interconnect technology — for run
+// manifests: two runs with equal fingerprints used identical timing
+// models. encoding/json sorts map keys, so the serialization (and hence
+// the digest) is deterministic.
+func (l *Library) Fingerprint() string {
+	h := fnv.New64a()
+	if err := json.NewEncoder(h).Encode(l); err != nil {
+		// Library is plain data; encoding cannot fail in practice. Keep
+		// the signature error-free and make the failure visible instead.
+		return "unhashable"
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
 
 // Default characterization axes, spanning typical slews and loads for a
 // 130nm-class library.

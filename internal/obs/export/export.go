@@ -1,0 +1,376 @@
+// Package export renders telemetry snapshots in the Prometheus text
+// exposition format (version 0.0.4) and owns the fixed-log-bucket
+// histogram scheme shared by the live sink, the exit summary and the
+// offline trace analyzer (cmd/tracestat).
+//
+// The package is a leaf: it imports nothing from the repository, so
+// internal/obs can depend on it (Sink.Snapshot returns *Snapshot) without
+// a cycle, and cmd/tracestat can rebuild byte-compatible histograms from
+// an NDJSON trace using the same buckets.
+//
+// Determinism contract: WriteText output is a pure function of the
+// snapshot — every section and every series within a section is sorted by
+// name, float formatting is strconv-exact, and bucket boundaries are
+// compile-time constants. Two snapshots with equal values render to
+// identical bytes, which is what the golden-file test pins.
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The bucket scheme: NumBuckets geometric buckets with upper bounds
+// BucketBase·2^i. Bucket i counts samples v with upper(i-1) < v ≤
+// upper(i); values ≤ BucketBase (including zero and negatives) land in
+// bucket 0, and values above the last finite bound are counted only by
+// Count (the implicit +Inf bucket). The range BucketBase·[2^0, 2^59]
+// spans 1 µs to ~6.7 days when the unit is milliseconds, and 10^-3 to
+// ~5.8·10^14 for dimensionless series (allocation counts, overflow),
+// which covers every quantity the sink observes.
+const (
+	NumBuckets = 60
+	BucketBase = 1e-3
+)
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) float64 {
+	return BucketBase * math.Pow(2, float64(i))
+}
+
+// BucketIndex returns the bucket for v, or -1 when v exceeds the last
+// finite bound (such samples count only toward the +Inf bucket).
+func BucketIndex(v float64) int {
+	if !(v > BucketBase) { // NaN, zero, negatives and tiny values
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(v / BucketBase)))
+	// Log rounding can land one bucket low at exact boundaries; correct
+	// upward so the invariant v <= BucketUpper(i) holds.
+	for i < NumBuckets && v > BucketUpper(i) {
+		i++
+	}
+	if i >= NumBuckets {
+		return -1
+	}
+	return i
+}
+
+// Hist is one fixed-log-bucket histogram. Buckets is allocated on first
+// Observe and always has NumBuckets entries; Count may exceed the bucket
+// total when samples overflowed the last finite bound.
+type Hist struct {
+	Name     string
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	Buckets  []int64
+}
+
+// Observe adds one sample.
+func (h *Hist) Observe(v float64) {
+	if h.Count == 0 {
+		h.Min, h.Max = v, v
+	}
+	h.Count++
+	h.Sum += v
+	if v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	if h.Buckets == nil {
+		h.Buckets = make([]int64, NumBuckets)
+	}
+	if i := BucketIndex(v); i >= 0 {
+		h.Buckets[i]++
+	}
+}
+
+// Mean returns the arithmetic mean (0 for an empty histogram).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the buckets by
+// linear interpolation inside the bucket holding the rank, clamped to the
+// exact observed [Min, Max]. With one sample it returns that sample. The
+// estimate is deterministic: it depends only on the bucket counts.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := 0.0
+			if i > 0 {
+				lo = BucketUpper(i - 1)
+			}
+			hi := BucketUpper(i)
+			v := lo + (hi-lo)*(rank-cum)/float64(c)
+			return math.Max(h.Min, math.Min(h.Max, v))
+		}
+		cum = next
+	}
+	// Rank beyond the finite buckets: overflow samples.
+	return h.Max
+}
+
+// Counter, Gauge and Span are the remaining snapshot series, plain data
+// so the package stays leaf.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+type Gauge struct {
+	Name  string
+	Value float64
+}
+
+type Span struct {
+	Name     string
+	Count    int64
+	TotalSec float64
+	MaxSec   float64
+}
+
+// Snapshot is one consistent copy of a sink's aggregates, taken under the
+// sink's lock. All slices are sorted by name.
+type Snapshot struct {
+	UptimeSec     float64
+	Events        int64
+	DroppedWrites int64
+	Counters      []Counter
+	Gauges        []Gauge
+	Spans         []Span
+	Hists         []Hist
+}
+
+// Sort orders every series slice by name; WriteText calls it, so callers
+// constructing snapshots by hand need not.
+func (s *Snapshot) Sort() {
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Name < s.Spans[j].Name })
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func fnum(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the snapshot as a Prometheus text-format exposition.
+// Series order is deterministic: fixed family order, names sorted within
+// each family, buckets ascending with a trailing +Inf.
+func WriteText(w io.Writer, s *Snapshot) error {
+	var b strings.Builder
+	family := func(name, help, typ string) {
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(help)
+		b.WriteString("\n# TYPE ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(typ)
+		b.WriteByte('\n')
+	}
+	named := func(metric, name string, value string) {
+		b.WriteString(metric)
+		b.WriteString(`{name="`)
+		b.WriteString(escapeLabel(name))
+		b.WriteString(`"} `)
+		b.WriteString(value)
+		b.WriteByte('\n')
+	}
+
+	family("tsteiner_obs_uptime_seconds", "Seconds since the telemetry sink was created.", "gauge")
+	fmt.Fprintf(&b, "tsteiner_obs_uptime_seconds %s\n", fnum(s.UptimeSec))
+	family("tsteiner_obs_events_total", "Trace events recorded by the sink.", "counter")
+	fmt.Fprintf(&b, "tsteiner_obs_events_total %d\n", s.Events)
+	family("tsteiner_obs_dropped_trace_writes_total", "NDJSON trace lines lost to stream write errors.", "counter")
+	fmt.Fprintf(&b, "tsteiner_obs_dropped_trace_writes_total %d\n", s.DroppedWrites)
+
+	s.Sort()
+	if len(s.Counters) > 0 {
+		family("tsteiner_counter_total", "Monotonic sink counters, keyed by name.", "counter")
+		for _, c := range s.Counters {
+			named("tsteiner_counter_total", c.Name, strconv.FormatInt(c.Value, 10))
+		}
+	}
+	if len(s.Gauges) > 0 {
+		family("tsteiner_gauge", "Last-value sink gauges, keyed by name.", "gauge")
+		for _, g := range s.Gauges {
+			named("tsteiner_gauge", g.Name, fnum(g.Value))
+		}
+	}
+	if len(s.Spans) > 0 {
+		family("tsteiner_span_count", "Completed spans per name.", "counter")
+		for _, sp := range s.Spans {
+			named("tsteiner_span_count", sp.Name, strconv.FormatInt(sp.Count, 10))
+		}
+		family("tsteiner_span_seconds_total", "Cumulative span wall time per name.", "counter")
+		for _, sp := range s.Spans {
+			named("tsteiner_span_seconds_total", sp.Name, fnum(sp.TotalSec))
+		}
+		family("tsteiner_span_seconds_max", "Longest single span per name.", "gauge")
+		for _, sp := range s.Spans {
+			named("tsteiner_span_seconds_max", sp.Name, fnum(sp.MaxSec))
+		}
+	}
+	if len(s.Hists) > 0 {
+		family("tsteiner_hist", "Fixed-log-bucket sink histograms, keyed by name.", "histogram")
+		for hi := range s.Hists {
+			h := &s.Hists[hi]
+			// Emit buckets cumulatively up to the one covering Max, then
+			// +Inf; trailing empty buckets carry no information.
+			last := BucketIndex(h.Max)
+			if last < 0 {
+				last = NumBuckets - 1
+			}
+			var cum int64
+			for i := 0; i <= last && i < len(h.Buckets); i++ {
+				cum += h.Buckets[i]
+				fmt.Fprintf(&b, "tsteiner_hist_bucket{name=%q,le=%q} %d\n",
+					escapeLabel(h.Name), fnum(BucketUpper(i)), cum)
+			}
+			fmt.Fprintf(&b, "tsteiner_hist_bucket{name=%q,le=\"+Inf\"} %d\n", escapeLabel(h.Name), h.Count)
+			named("tsteiner_hist_sum", h.Name, fnum(h.Sum))
+			named("tsteiner_hist_count", h.Name, strconv.FormatInt(h.Count, 10))
+		}
+		family("tsteiner_hist_min", "Smallest observed sample per histogram.", "gauge")
+		for _, h := range s.Hists {
+			named("tsteiner_hist_min", h.Name, fnum(h.Min))
+		}
+		family("tsteiner_hist_max", "Largest observed sample per histogram.", "gauge")
+		for _, h := range s.Hists {
+			named("tsteiner_hist_max", h.Name, fnum(h.Max))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ValidateText parses a text exposition and returns the number of sample
+// lines. It checks the line grammar (comments are HELP/TYPE, samples are
+// name{labels} value), that every value parses as a float, and that
+// histogram bucket series are cumulative. It is the assertion behind the
+// verify.sh scrape gate and the /metrics tests.
+func ValidateText(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	lastBucket := map[string]int64{} // histogram name → previous cumulative count
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) < 4 || (f[1] != "HELP" && f[1] != "TYPE") {
+				return samples, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return samples, fmt.Errorf("line %d: no value separator in %q", lineNo, line)
+		}
+		series, value := line[:sp], line[sp+1:]
+		v, perr := strconv.ParseFloat(value, 64)
+		if perr != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return samples, fmt.Errorf("line %d: bad value %q", lineNo, value)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return samples, fmt.Errorf("line %d: unterminated label set in %q", lineNo, series)
+			}
+			name = series[:i]
+		}
+		if !validMetricName(name) {
+			return samples, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		if name == "tsteiner_hist_bucket" && perr == nil {
+			key := bucketKey(series)
+			if prev, ok := lastBucket[key]; ok && int64(v) < prev {
+				return samples, fmt.Errorf("line %d: non-cumulative bucket series %q", lineNo, series)
+			}
+			lastBucket[key] = int64(v)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("exposition contains no samples")
+	}
+	return samples, nil
+}
+
+// bucketKey extracts the name label from a bucket series so cumulativity
+// is checked per histogram.
+func bucketKey(series string) string {
+	const tag = `name="`
+	i := strings.Index(series, tag)
+	if i < 0 {
+		return series
+	}
+	rest := series[i+len(tag):]
+	if j := strings.IndexByte(rest, '"'); j >= 0 {
+		return rest[:j]
+	}
+	return series
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

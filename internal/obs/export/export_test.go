@@ -1,0 +1,200 @@
+package export
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestBucketScheme pins the log-bucket invariants every consumer (live
+// sink, exit summary, tracestat) relies on: values at or below the base
+// land in bucket 0, each bucket's upper bound is inclusive, and samples
+// beyond the last finite bound report -1 (the implicit +Inf bucket).
+func TestBucketScheme(t *testing.T) {
+	for _, v := range []float64{-5, 0, 1e-9, BucketBase} {
+		if got := BucketIndex(v); got != 0 {
+			t.Errorf("BucketIndex(%g) = %d, want 0", v, got)
+		}
+	}
+	if got := BucketIndex(math.NaN()); got != 0 {
+		t.Errorf("BucketIndex(NaN) = %d, want 0", got)
+	}
+	// Exact boundaries are inclusive: v == BucketUpper(i) must land in i.
+	for i := 0; i < NumBuckets; i++ {
+		v := BucketUpper(i)
+		if got := BucketIndex(v); got != i {
+			t.Errorf("BucketIndex(BucketUpper(%d)=%g) = %d, want %d", i, v, got, i)
+		}
+	}
+	// Any in-range sample must satisfy upper(i-1) < v <= upper(i).
+	for v := 2 * BucketBase; v < BucketUpper(NumBuckets-1); v *= 1.7 {
+		i := BucketIndex(v)
+		if i < 0 {
+			t.Fatalf("BucketIndex(%g) overflowed inside the finite range", v)
+		}
+		if v > BucketUpper(i) {
+			t.Errorf("v=%g above its bucket's bound: bucket %d upper %g", v, i, BucketUpper(i))
+		}
+		if i > 0 && v <= BucketUpper(i-1) {
+			t.Errorf("v=%g belongs in a lower bucket than %d", v, i)
+		}
+	}
+	if got := BucketIndex(BucketUpper(NumBuckets-1) * 1.01); got != -1 {
+		t.Errorf("overflow sample: BucketIndex = %d, want -1", got)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var empty Hist
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+
+	var one Hist
+	one.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 42 {
+			t.Errorf("single-sample Quantile(%g) = %g, want 42", q, got)
+		}
+	}
+
+	var h Hist
+	for v := 1.0; v <= 1000; v++ {
+		h.Observe(v)
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+	for q, got := range map[float64]float64{0.5: p50, 0.95: p95, 0.99: p99} {
+		if got < h.Min || got > h.Max {
+			t.Errorf("Quantile(%g) = %g outside [%g, %g]", q, got, h.Min, h.Max)
+		}
+	}
+	// Log buckets are coarse, but the estimate must stay in the right
+	// ballpark: p50 of uniform 1..1000 is 500, bucket width at that
+	// magnitude is 2x.
+	if p50 < 250 || p50 > 1000 {
+		t.Errorf("p50 = %g wildly off for uniform 1..1000", p50)
+	}
+
+	var of Hist
+	of.Observe(1)
+	of.Observe(BucketUpper(NumBuckets-1) * 10) // counts only toward +Inf
+	if of.Count != 2 {
+		t.Fatalf("Count = %d, want 2", of.Count)
+	}
+	if got := of.Quantile(0.99); got != of.Max {
+		t.Errorf("overflow quantile = %g, want Max %g", got, of.Max)
+	}
+}
+
+// goldenSnapshot is a fixed snapshot covering every family, label
+// escaping and bucket overflow — the input the golden file pins.
+func goldenSnapshot() *Snapshot {
+	h1 := Hist{Name: "core.iter_ms"}
+	for _, v := range []float64{0.5, 1.25, 2.5, 40, 41, 1e15} {
+		h1.Observe(v)
+	}
+	h2 := Hist{Name: `quo"te\slash`}
+	h2.Observe(3.5)
+	return &Snapshot{
+		UptimeSec:     12.5,
+		Events:        42,
+		DroppedWrites: 3,
+		Counters: []Counter{
+			{Name: "par.tasks", Value: 128},
+			{Name: "core.iterations", Value: 25},
+		},
+		Gauges: []Gauge{{Name: "train.loss", Value: 0.125}},
+		Spans: []Span{
+			{Name: "flow.signoff/gr", Count: 4, TotalSec: 1.5, MaxSec: 0.5},
+			{Name: "flow.signoff", Count: 4, TotalSec: 2, MaxSec: 0.75},
+		},
+		Hists: []Hist{h1, h2},
+	}
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs/export -update` to record)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The golden exposition must itself pass the validator.
+	n, err := ValidateText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("golden exposition invalid: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("golden exposition has no samples")
+	}
+}
+
+// TestWriteTextDeterministic: rendering is order-insensitive — a snapshot
+// with shuffled series renders byte-identically, because WriteText sorts.
+func TestWriteTextDeterministic(t *testing.T) {
+	render := func(s *Snapshot) string {
+		var b bytes.Buffer
+		if err := WriteText(&b, s); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := render(goldenSnapshot())
+	sh := goldenSnapshot()
+	for i, j := 0, len(sh.Counters)-1; i < j; i, j = i+1, j-1 {
+		sh.Counters[i], sh.Counters[j] = sh.Counters[j], sh.Counters[i]
+	}
+	for i, j := 0, len(sh.Hists)-1; i < j; i, j = i+1, j-1 {
+		sh.Hists[i], sh.Hists[j] = sh.Hists[j], sh.Hists[i]
+	}
+	if b := render(sh); a != b {
+		t.Fatal("shuffled snapshot rendered differently")
+	}
+}
+
+func TestValidateTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"comments only":  "# HELP x y\n# TYPE x counter\n",
+		"garbage line":   "tsteiner_counter_total{name=\"a\"} 1\nnot a metric line\n",
+		"bad value":      "tsteiner_gauge{name=\"a\"} twelve\n",
+		"bad name":       "9leading_digit 1\n",
+		"open label set": "tsteiner_gauge{name=\"a\" 1\n",
+		"non-cumulative buckets": "tsteiner_hist_bucket{name=\"h\",le=\"1\"} 5\n" +
+			"tsteiner_hist_bucket{name=\"h\",le=\"2\"} 3\n",
+		"malformed comment": "# NOPE foo bar\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidateText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ValidateText accepted %q", name, in)
+		}
+	}
+	// Distinct histograms keep independent cumulative chains.
+	ok := "tsteiner_hist_bucket{name=\"a\",le=\"1\"} 5\n" +
+		"tsteiner_hist_bucket{name=\"b\",le=\"1\"} 2\n" +
+		"tsteiner_hist_bucket{name=\"a\",le=\"+Inf\"} 5\n"
+	if n, err := ValidateText(strings.NewReader(ok)); err != nil || n != 3 {
+		t.Errorf("per-histogram chains: n=%d err=%v", n, err)
+	}
+}

@@ -21,6 +21,12 @@ type Flags struct {
 	CPUProfile string
 	MemProfile string
 
+	// Listen is the -obs-listen address: when non-empty, Setup starts a
+	// live observability server (/metrics, /healthz, /trace, pprof) for
+	// the duration of the run. It implies a sink (aggregate-only when
+	// -obs-out is unset) with the trace ring buffer enabled.
+	Listen string
+
 	// CheckpointDir/Resume/Deadline are the fault-tolerance knobs: where
 	// to write CRC-checksummed train/refine checkpoints, whether to resume
 	// from them, and the process-wide wall-clock budget (0 = unlimited).
@@ -39,6 +45,8 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 		"parallel workers (0 = all CPUs, 1 = serial; results are byte-identical at any value)")
 	fs.StringVar(&f.Out, "obs-out", "",
 		"write an NDJSON telemetry trace to this path and print a summary at exit")
+	fs.StringVar(&f.Listen, "obs-listen", "",
+		"serve /metrics, /healthz, /trace and /debug/pprof on this host:port while the run is live (port 0 picks one)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this path at exit")
 	fs.StringVar(&f.CheckpointDir, "checkpoint-dir", "",
@@ -51,12 +59,14 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 }
 
 // Setup activates everything the parsed flags request: it opens the trace
-// sink (nil when -obs-out is unset — the no-op default), registers it as
-// the par worker-utilization observer, and starts the CPU profile. The
-// returned close function stops profiling, writes the heap profile,
-// unregisters the observer, prints the telemetry summary to summaryTo
-// (stderr when nil) and closes the trace file; call it exactly once, at
-// exit.
+// sink (nil when neither -obs-out nor -obs-listen is set — the no-op
+// default), registers it as the par worker-utilization observer, starts
+// the live observability server when -obs-listen is set (ring buffer
+// enabled, bound address logged to stderr), and starts the CPU profile.
+// The returned close function shuts the server down gracefully, stops
+// profiling, writes the heap profile, unregisters the observer, prints
+// the telemetry summary to summaryTo (stderr when nil) and closes the
+// trace file; call it exactly once, at exit.
 func (f *Flags) Setup(summaryTo io.Writer) (*Sink, func(), error) {
 	if summaryTo == nil {
 		summaryTo = os.Stderr
@@ -64,6 +74,7 @@ func (f *Flags) Setup(summaryTo io.Writer) (*Sink, func(), error) {
 	var (
 		sink     *Sink
 		traceOut *os.File
+		server   *Server
 	)
 	if f.Out != "" {
 		var err error
@@ -72,10 +83,33 @@ func (f *Flags) Setup(summaryTo io.Writer) (*Sink, func(), error) {
 			return nil, nil, fmt.Errorf("obs: trace: %w", err)
 		}
 		sink = New(traceOut)
+	} else if f.Listen != "" {
+		sink = New(nil) // aggregate-only: /metrics and /trace still work
+	}
+	if sink != nil {
 		par.SetObserver(sink)
+	}
+	if f.Listen != "" {
+		sink.EnableRing(DefaultRingSize)
+		var err error
+		server, err = Serve(f.Listen, sink)
+		if err != nil {
+			par.SetObserver(nil)
+			if traceOut != nil {
+				traceOut.Close()
+			}
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics, /healthz, /trace and /debug/pprof on http://%s\n", server.Addr())
 	}
 	stopCPU, err := StartCPUProfile(f.CPUProfile)
 	if err != nil {
+		if server != nil {
+			server.Close()
+		}
+		if sink != nil {
+			par.SetObserver(nil)
+		}
 		if traceOut != nil {
 			traceOut.Close()
 		}
@@ -85,6 +119,11 @@ func (f *Flags) Setup(summaryTo io.Writer) (*Sink, func(), error) {
 		stopCPU()
 		if err := WriteHeapProfile(f.MemProfile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+		}
+		if server != nil {
+			if err := server.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "obs: server shutdown:", err)
+			}
 		}
 		if sink != nil {
 			par.SetObserver(nil)
@@ -97,4 +136,15 @@ func (f *Flags) Setup(summaryTo io.Writer) (*Sink, func(), error) {
 		}
 	}
 	return sink, closeFn, nil
+}
+
+// Manifest builds the provenance record for a command using these shared
+// flags: the tool name, build environment, the resolved worker count and
+// the full parsed flag set. Call after fs.Parse; the command fills in
+// Seed/Lanes and the library/model hashes it knows.
+func (f *Flags) Manifest(tool string, fs *flag.FlagSet) *Manifest {
+	m := NewManifest(tool)
+	m.Workers = par.Workers(f.Workers)
+	m.CollectFlags(fs)
+	return m
 }

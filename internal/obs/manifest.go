@@ -1,0 +1,106 @@
+package obs
+
+// Run manifests: a provenance record describing exactly which
+// configuration produced an artifact. Every artifact-writing command
+// builds one after flag parsing, emits it as the first trace event, and
+// writes it atomically next to each artifact (<artifact>.manifest.json),
+// so a recorded number — a results table, a checkpoint, a benchmark
+// baseline — is always attributable to its seeds, flags, toolchain and
+// model.
+
+import (
+	"flag"
+	"runtime"
+	"sort"
+	"strings"
+
+	"tsteiner/internal/guard"
+)
+
+// FlagValue is one resolved command-line flag (post-parse value, default
+// included), kept as an ordered slice so manifest JSON is deterministic.
+type FlagValue struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Manifest records the provenance of one run. Fields the producing
+// command cannot know (ModelHash before training finishes) stay empty
+// until set; WriteNextTo serializes whatever is known at write time.
+type Manifest struct {
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	// Seed/Workers/Lanes are the reproducibility-critical knobs, hoisted
+	// out of Flags so consumers need not parse flag strings. Workers is
+	// the resolved count (0 → GOMAXPROCS applied).
+	Seed    int64 `json:"seed"`
+	Workers int   `json:"workers"`
+	Lanes   int   `json:"lanes"`
+	// LibFingerprint/ModelHash pin the cell library and the evaluator
+	// parameters the run used (lib.Fingerprint / gnn.Model.Hash).
+	LibFingerprint string `json:"lib_fingerprint,omitempty"`
+	ModelHash      string `json:"model_hash,omitempty"`
+	// Flags is the full parsed flag set, sorted by name.
+	Flags []FlagValue `json:"flags,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool with the build
+// environment filled in.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{
+		Tool:      tool,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+}
+
+// CollectFlags snapshots every flag of fs (parsed values, defaults
+// included) sorted by name. Call after fs.Parse.
+func (m *Manifest) CollectFlags(fs *flag.FlagSet) {
+	m.Flags = m.Flags[:0]
+	fs.VisitAll(func(f *flag.Flag) {
+		m.Flags = append(m.Flags, FlagValue{Name: f.Name, Value: f.Value.String()})
+	})
+	sort.Slice(m.Flags, func(i, j int) bool { return m.Flags[i].Name < m.Flags[j].Name })
+}
+
+// Emit writes the manifest as one trace event. Commands call it directly
+// after Setup, before any instrumented work, so it is the first event of
+// the trace and shows up in the ring buffer and tracestat.
+func (m *Manifest) Emit(s *Sink) {
+	if s == nil {
+		return
+	}
+	var fl strings.Builder
+	for i, f := range m.Flags {
+		if i > 0 {
+			fl.WriteByte(' ')
+		}
+		fl.WriteString(f.Name)
+		fl.WriteByte('=')
+		fl.WriteString(f.Value)
+	}
+	s.Event("manifest",
+		KV{K: "tool", V: m.Tool},
+		KV{K: "go", V: m.GoVersion},
+		KV{K: "os", V: m.OS}, KV{K: "arch", V: m.Arch},
+		KV{K: "seed", V: m.Seed},
+		KV{K: "workers", V: m.Workers}, KV{K: "lanes", V: m.Lanes},
+		KV{K: "lib", V: m.LibFingerprint}, KV{K: "model", V: m.ModelHash},
+		KV{K: "flags", V: fl.String()})
+}
+
+// WriteFile writes the manifest as indented JSON via guard's atomic
+// write, so a crash mid-write never leaves a truncated manifest.
+func (m *Manifest) WriteFile(path string) error {
+	return guard.AtomicWriteJSON(path, m)
+}
+
+// WriteNextTo writes the manifest beside an artifact, at
+// <artifact>.manifest.json.
+func (m *Manifest) WriteNextTo(artifactPath string) error {
+	return m.WriteFile(artifactPath + ".manifest.json")
+}

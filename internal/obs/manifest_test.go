@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestManifestCollectFlagsSorted(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.String("zeta", "z", "")
+	fs.Int("alpha", 3, "")
+	fs.Bool("mid", true, "")
+	if err := fs.Parse([]string{"-alpha", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest("test")
+	m.CollectFlags(fs)
+	if len(m.Flags) != 3 {
+		t.Fatalf("collected %d flags, want 3", len(m.Flags))
+	}
+	if !sort.SliceIsSorted(m.Flags, func(i, j int) bool { return m.Flags[i].Name < m.Flags[j].Name }) {
+		t.Fatalf("flags not sorted: %+v", m.Flags)
+	}
+	if m.Flags[0].Name != "alpha" || m.Flags[0].Value != "7" {
+		t.Fatalf("parsed value not captured: %+v", m.Flags[0])
+	}
+	if m.GoVersion != runtime.Version() || m.OS != runtime.GOOS {
+		t.Fatalf("runtime provenance missing: %+v", m)
+	}
+}
+
+func TestManifestWriteNextTo(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "results_table1.txt")
+	m := NewManifest("experiments")
+	m.Seed = 2023
+	m.Workers = 4
+	m.LibFingerprint = "abc123"
+	if err := m.WriteNextTo(artifact); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(artifact + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[len(raw)-1] != '\n' {
+		t.Fatal("manifest JSON lacks trailing newline")
+	}
+	var got Manifest
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "experiments" || got.Seed != 2023 || got.Workers != 4 || got.LibFingerprint != "abc123" {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	// omitempty keeps absent provenance out of the record.
+	if strings.Contains(string(raw), "model") {
+		t.Fatalf("empty model hash serialized: %s", raw)
+	}
+}
+
+func TestManifestEmitFirstEvent(t *testing.T) {
+	var buf strings.Builder
+	s := New(&buf)
+	m := NewManifest("tsteiner")
+	m.Seed = 7
+	m.Emit(s)
+	s.Event("later", KV{K: "x", V: 1})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace: %q", buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["ev"] != "manifest" || first["tool"] != "tsteiner" || first["seed"] != float64(7) {
+		t.Fatalf("first event is not the manifest: %v", first)
+	}
+	// Emitting into a nil sink must be a no-op, not a panic.
+	m.Emit(nil)
+}

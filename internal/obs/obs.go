@@ -33,6 +33,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tsteiner/internal/obs/export"
 )
 
 // KV is one ordered key/value pair of a trace event. Values may be
@@ -47,20 +49,20 @@ type KV struct {
 type Sink struct {
 	mu    sync.Mutex
 	w     io.Writer // NDJSON stream; nil = aggregate only
+	ring  *eventRing
 	epoch time.Time
 	seq   int64 // span id allocator
 
 	counters map[string]int64
 	gauges   map[string]float64
-	hists    map[string]*histAgg
+	hists    map[string]*export.Hist
 	spans    map[string]*spanAgg
 	events   int64
-}
-
-type histAgg struct {
-	count    int64
-	sum      float64
-	min, max float64
+	// droppedWrites counts NDJSON lines the stream writer refused
+	// (io.WriteString error). The events still reach the aggregates and
+	// the ring; the count is surfaced by WriteSummary and /metrics so a
+	// silently failing trace file is visible.
+	droppedWrites int64
 }
 
 type spanAgg struct {
@@ -77,7 +79,7 @@ func New(w io.Writer) *Sink {
 		epoch:    time.Now(),
 		counters: map[string]int64{},
 		gauges:   map[string]float64{},
-		hists:    map[string]*histAgg{},
+		hists:    map[string]*export.Hist{},
 		spans:    map[string]*spanAgg{},
 	}
 }
@@ -105,6 +107,11 @@ type Span struct {
 	name string
 	id   int64
 	t0   time.Time
+	// ended/dur guard against double-End (both mutated under sink.mu):
+	// the second and every later End is a no-op returning the duration
+	// the first one recorded.
+	ended bool
+	dur   time.Duration
 }
 
 // Start opens a root span. The returned span must be closed with End;
@@ -131,6 +138,8 @@ func (sp *Span) Child(name string) *Span {
 }
 
 // End closes the span, records its monotonic duration and returns it.
+// Ending a span twice is safe: later calls record nothing and return the
+// duration captured by the first End.
 func (sp *Span) End() time.Duration {
 	if sp == nil {
 		return 0
@@ -138,6 +147,13 @@ func (sp *Span) End() time.Duration {
 	d := time.Since(sp.t0)
 	s := sp.sink
 	s.mu.Lock()
+	if sp.ended {
+		d = sp.dur
+		s.mu.Unlock()
+		return d
+	}
+	sp.ended = true
+	sp.dur = d
 	ag := s.spans[sp.name]
 	if ag == nil {
 		ag = &spanAgg{}
@@ -188,17 +204,10 @@ func (s *Sink) Observe(name string, v float64) {
 func (s *Sink) observeLocked(name string, v float64) {
 	h := s.hists[name]
 	if h == nil {
-		h = &histAgg{min: v, max: v}
+		h = &export.Hist{Name: name}
 		s.hists[name] = h
 	}
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
+	h.Observe(v)
 }
 
 // Event emits one structured NDJSON line with the given ordered fields.
@@ -243,10 +252,13 @@ func (s *Sink) ObservePool(workers, tasks int, busy []time.Duration, wall time.D
 	s.mu.Unlock()
 }
 
-// emitLocked writes one NDJSON line; the caller holds s.mu.
+// emitLocked writes one NDJSON line to the stream and the ring buffer;
+// the caller holds s.mu. A stream write error does not abort the run —
+// the line is counted as dropped and the count surfaces in the exit
+// summary and on /metrics.
 func (s *Sink) emitLocked(ev string, kv []KV) {
 	s.events++
-	if s.w == nil {
+	if s.w == nil && s.ring == nil {
 		return
 	}
 	var b strings.Builder
@@ -261,7 +273,65 @@ func (s *Sink) emitLocked(ev string, kv []KV) {
 		writeJSONValue(&b, f.V)
 	}
 	b.WriteString("}\n")
-	io.WriteString(s.w, b.String())
+	line := b.String()
+	if s.ring != nil {
+		s.ring.add(line)
+	}
+	if s.w != nil {
+		if _, err := io.WriteString(s.w, line); err != nil {
+			s.droppedWrites++
+		}
+	}
+}
+
+// DroppedWrites reports how many trace lines were lost to stream write
+// errors (0 for a disabled sink).
+func (s *Sink) DroppedWrites() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.droppedWrites
+}
+
+// Snapshot copies every aggregate under the lock into a sorted
+// export.Snapshot — the input of the Prometheus exposition, taken
+// consistently while concurrent instrumentation continues.
+func (s *Sink) Snapshot() *export.Snapshot {
+	if s == nil {
+		return &export.Snapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &export.Snapshot{
+		UptimeSec:     time.Since(s.epoch).Seconds(),
+		Events:        s.events,
+		DroppedWrites: s.droppedWrites,
+		Counters:      make([]export.Counter, 0, len(s.counters)),
+		Gauges:        make([]export.Gauge, 0, len(s.gauges)),
+		Spans:         make([]export.Span, 0, len(s.spans)),
+		Hists:         make([]export.Hist, 0, len(s.hists)),
+	}
+	for name, v := range s.counters {
+		snap.Counters = append(snap.Counters, export.Counter{Name: name, Value: v})
+	}
+	for name, v := range s.gauges {
+		snap.Gauges = append(snap.Gauges, export.Gauge{Name: name, Value: v})
+	}
+	for name, ag := range s.spans {
+		snap.Spans = append(snap.Spans, export.Span{
+			Name: name, Count: ag.count,
+			TotalSec: ag.total.Seconds(), MaxSec: ag.max.Seconds(),
+		})
+	}
+	for _, h := range s.hists {
+		hc := *h
+		hc.Buckets = append([]int64(nil), h.Buckets...)
+		snap.Hists = append(snap.Hists, hc)
+	}
+	snap.Sort()
+	return snap
 }
 
 func writeJSONValue(b *strings.Builder, v any) {
@@ -332,16 +402,17 @@ func (s *Sink) WriteSummary(w io.Writer) error {
 		b.WriteString("\nhistograms\n")
 		rows := make([][]string, 0, len(s.hists))
 		for name, h := range s.hists {
-			mean := 0.0
-			if h.count > 0 {
-				mean = h.sum / float64(h.count)
-			}
 			rows = append(rows, []string{
-				name, strconv.FormatInt(h.count, 10),
-				fmt.Sprintf("%.4g", mean), fmt.Sprintf("%.4g", h.min), fmt.Sprintf("%.4g", h.max),
+				name, strconv.FormatInt(h.Count, 10),
+				fmt.Sprintf("%.4g", h.Mean()), fmt.Sprintf("%.4g", h.Min),
+				fmt.Sprintf("%.4g", h.Quantile(0.5)), fmt.Sprintf("%.4g", h.Quantile(0.95)),
+				fmt.Sprintf("%.4g", h.Quantile(0.99)), fmt.Sprintf("%.4g", h.Max),
 			})
 		}
-		writeAligned(&b, []string{"name", "count", "mean", "min", "max"}, rows)
+		writeAligned(&b, []string{"name", "count", "mean", "min", "p50", "p95", "p99", "max"}, rows)
+	}
+	if s.droppedWrites > 0 {
+		fmt.Fprintf(&b, "\nWARNING: %d trace events were dropped (stream write errors)\n", s.droppedWrites)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -118,7 +118,7 @@ func TestSummaryAggregates(t *testing.T) {
 		t.Fatalf("span aggregate wrong: %+v", ag)
 	}
 	h := s.hists["hist.c"]
-	if h.count != 2 || h.min != 1 || h.max != 3 || h.sum != 4 {
+	if h.Count != 2 || h.Min != 1 || h.Max != 3 || h.Sum != 4 {
 		t.Fatalf("hist aggregate wrong: %+v", h)
 	}
 }

@@ -1,0 +1,72 @@
+package obs
+
+// eventRing is a bounded ring of the most recent NDJSON trace lines. It
+// backs the /trace endpoint: a live run can be inspected without tailing
+// (or even having) a trace file. All access happens under Sink.mu.
+type eventRing struct {
+	buf   []string
+	next  int
+	total int64
+}
+
+func (r *eventRing) add(line string) {
+	r.buf[r.next] = line
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+}
+
+// last returns up to n of the most recent lines, oldest first.
+func (r *eventRing) last(n int) []string {
+	stored := len(r.buf)
+	if r.total < int64(stored) {
+		stored = int(r.total)
+	}
+	if n > stored {
+		n = stored
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	start := (r.next - n + len(r.buf)) % len(r.buf)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// DefaultRingSize is the ring capacity Setup uses when -obs-listen
+// enables the trace endpoint.
+const DefaultRingSize = 4096
+
+// EnableRing attaches a bounded in-memory buffer of the most recent n
+// trace lines to the sink (idempotent; n<=0 uses DefaultRingSize). Events
+// are rendered into the ring even when no -obs-out stream is configured,
+// so /trace works on server-only runs.
+func (s *Sink) EnableRing(n int) {
+	if s == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	s.mu.Lock()
+	if s.ring == nil {
+		s.ring = &eventRing{buf: make([]string, n)}
+	}
+	s.mu.Unlock()
+}
+
+// RecentEvents returns up to n of the most recent NDJSON trace lines,
+// oldest first. Nil when the ring is not enabled.
+func (s *Sink) RecentEvents(n int) []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ring == nil {
+		return nil
+	}
+	return s.ring.last(n)
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanDoubleEnd: the second End is a no-op that reports the duration
+// the first one recorded — one aggregate entry, one span_end trace line.
+func TestSpanDoubleEnd(t *testing.T) {
+	var buf strings.Builder
+	s := New(&buf)
+	sp := s.Start("phase")
+	d1 := sp.End()
+	time.Sleep(time.Millisecond)
+	d2 := sp.End()
+	if d1 != d2 {
+		t.Fatalf("second End returned %v, want the first duration %v", d2, d1)
+	}
+	snap := s.Snapshot()
+	if len(snap.Spans) != 1 || snap.Spans[0].Count != 1 {
+		t.Fatalf("double End leaked into aggregates: %+v", snap.Spans)
+	}
+	if n := strings.Count(buf.String(), `"ev":"span_end"`); n != 1 {
+		t.Fatalf("trace has %d span_end lines, want 1:\n%s", n, buf.String())
+	}
+	var nilSpan *Span
+	if d := nilSpan.End(); d != 0 {
+		t.Fatalf("nil span End = %v, want 0", d)
+	}
+}
+
+type failWriter struct{ fails int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.fails++
+	return 0, errors.New("disk full")
+}
+
+// TestDroppedWrites: a failing trace stream must not lose aggregates or
+// crash the run — the loss is counted and surfaced in the summary.
+func TestDroppedWrites(t *testing.T) {
+	fw := &failWriter{}
+	s := New(fw)
+	s.Event("a", KV{K: "x", V: 1})
+	s.Start("p").End()
+	if got := s.DroppedWrites(); got != 3 { // event + span_start + span_end
+		t.Fatalf("DroppedWrites = %d, want 3", got)
+	}
+	snap := s.Snapshot()
+	if snap.DroppedWrites != 3 || snap.Events != 3 {
+		t.Fatalf("snapshot dropped=%d events=%d, want 3/3", snap.DroppedWrites, snap.Events)
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatal("span aggregate lost alongside the stream write")
+	}
+	var sum strings.Builder
+	if err := s.WriteSummary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.String(), "WARNING: 3 trace events were dropped") {
+		t.Fatalf("summary does not surface dropped writes:\n%s", sum.String())
+	}
+}
+
+func TestEventRing(t *testing.T) {
+	s := New(nil)
+	if got := s.RecentEvents(10); got != nil {
+		t.Fatalf("ring disabled but RecentEvents = %v", got)
+	}
+	s.EnableRing(4)
+	s.EnableRing(99) // idempotent: capacity stays 4
+	for i := 0; i < 10; i++ {
+		s.Event("tick", KV{K: "i", V: i})
+	}
+	all := s.RecentEvents(100)
+	if len(all) != 4 {
+		t.Fatalf("ring holds %d events, want capacity 4", len(all))
+	}
+	// Oldest first: ticks 6..9 survive.
+	for i, line := range all {
+		if !strings.Contains(line, `"i":`+string(rune('6'+i))) {
+			t.Fatalf("ring order wrong at %d: %q", i, line)
+		}
+	}
+	last2 := s.RecentEvents(2)
+	if len(last2) != 2 || !strings.Contains(last2[1], `"i":9`) {
+		t.Fatalf("RecentEvents(2) = %v", last2)
+	}
+	if got := s.RecentEvents(0); got != nil {
+		t.Fatalf("RecentEvents(0) = %v, want nil", got)
+	}
+
+	var nilSink *Sink
+	nilSink.EnableRing(8)
+	if got := nilSink.RecentEvents(5); got != nil {
+		t.Fatalf("nil sink RecentEvents = %v", got)
+	}
+}
+
+// TestSnapshotIsolated: a snapshot is a deep copy — mutating its bucket
+// slices must not corrupt the live histograms.
+func TestSnapshotIsolated(t *testing.T) {
+	s := New(nil)
+	s.Observe("h", 1.0)
+	snap := s.Snapshot()
+	if len(snap.Hists) != 1 || snap.Hists[0].Count != 1 {
+		t.Fatalf("snapshot hists: %+v", snap.Hists)
+	}
+	for i := range snap.Hists[0].Buckets {
+		snap.Hists[0].Buckets[i] = 999
+	}
+	s.Observe("h", 1.0)
+	if got := s.Snapshot().Hists[0]; got.Count != 2 {
+		t.Fatalf("live histogram corrupted by snapshot mutation: %+v", got)
+	}
+	var total int64
+	for _, c := range s.Snapshot().Hists[0].Buckets {
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("bucket total = %d, want 2", total)
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+// The live observability surface: a stdlib net/http handler bundle over a
+// *Sink. Everything served here is read-only telemetry — handlers take
+// snapshots under the sink lock and never write back, so serving cannot
+// change algorithmic output (the exp server-on/off byte-identity gate
+// holds this).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"tsteiner/internal/obs/export"
+)
+
+// Handler returns the observability mux for a sink:
+//
+//	/metrics        Prometheus text exposition of all aggregates
+//	/healthz        liveness probe ("ok")
+//	/trace?n=K      the most recent K NDJSON trace events (ring buffer)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// The sink may be nil; the endpoints then serve empty-but-valid payloads,
+// so a misconfigured server still answers its probes.
+func Handler(s *Sink) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := export.WriteText(w, s.Snapshot()); err != nil {
+			// The snapshot is already rendered in memory; an error here
+			// means the client went away — nothing to do.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "trace: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, line := range s.RecentEvents(n) {
+			io.WriteString(w, line)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live observability endpoint bound to a TCP address. Close
+// shuts it down gracefully (in-flight scrapes finish, bounded by
+// shutdownGrace).
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+const shutdownGrace = 2 * time.Second
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves the
+// Handler bundle in a background goroutine until Close.
+func Serve(addr string, s *Sink) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(s)}
+	sv := &Server{srv: srv, ln: ln, done: make(chan error, 1)}
+	go func() {
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		sv.done <- err
+	}()
+	return sv, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (sv *Server) Addr() string { return sv.ln.Addr().String() }
+
+// URL returns the server's http base URL.
+func (sv *Server) URL() string { return "http://" + sv.Addr() }
+
+// Close gracefully shuts the server down: the listener stops accepting,
+// in-flight requests get shutdownGrace to complete, stragglers are cut.
+func (sv *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := sv.srv.Shutdown(ctx); err != nil {
+		sv.srv.Close()
+	}
+	return <-sv.done
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tsteiner/internal/obs/export"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServeEndpoints(t *testing.T) {
+	s := New(nil)
+	s.EnableRing(16)
+	s.Add("core.iterations", 3)
+	s.Gauge("train.loss", 0.5)
+	s.Observe("core.iter_ms", 1.5)
+	s.Start("flow.signoff").End()
+	for i := 0; i < 5; i++ {
+		s.Event("tick", KV{K: "i", V: i})
+	}
+
+	sv, err := Serve("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	base := sv.URL()
+
+	code, body, _ := get(t, base+"/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	n, err := export.ValidateText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`tsteiner_counter_total{name="core.iterations"} 3`,
+		`tsteiner_gauge{name="train.loss"} 0.5`,
+		`tsteiner_span_count{name="flow.signoff"} 1`,
+		`tsteiner_hist_count{name="core.iter_ms"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics (%d samples) lacks %q", n, want)
+		}
+	}
+
+	code, body, hdr = get(t, base+"/trace?n=3")
+	if code != 200 || hdr.Get("Content-Type") != "application/x-ndjson" {
+		t.Fatalf("/trace: %d %q", code, hdr.Get("Content-Type"))
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 3 || !strings.Contains(lines[2], `"i":4`) {
+		t.Fatalf("/trace?n=3 returned %d lines, newest %q", len(lines), lines[len(lines)-1])
+	}
+
+	if code, _, _ := get(t, base+"/trace?n=bogus"); code != 400 {
+		t.Fatalf("/trace?n=bogus: HTTP %d, want 400", code)
+	}
+	if code, _, _ := get(t, base+"/trace?n=-1"); code != 400 {
+		t.Fatalf("/trace?n=-1: HTTP %d, want 400", code)
+	}
+	if code, _, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: HTTP %d", code)
+	}
+}
+
+// TestServeNilSink: a server over a nil sink still answers its probes
+// with valid payloads.
+func TestServeNilSink(t *testing.T) {
+	sv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	code, body, _ := get(t, sv.URL()+"/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	code, body, _ = get(t, sv.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	if _, err := export.ValidateText(strings.NewReader(body)); err != nil {
+		t.Fatalf("nil-sink exposition invalid: %v", err)
+	}
+	if code, _, _ := get(t, sv.URL()+"/trace"); code != 200 {
+		t.Fatalf("/trace: HTTP %d", code)
+	}
+}
+
+// TestConcurrentScrapes hammers /metrics and /trace from several
+// goroutines while the sink is being written — the race detector is the
+// assertion (verify.sh runs this package under -race).
+func TestConcurrentScrapes(t *testing.T) {
+	s := New(io.Discard)
+	s.EnableRing(64)
+	sv, err := Serve("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(sv.URL() + "/metrics")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				resp, err = http.Get(sv.URL() + "/trace?n=10")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for i := 0; time.Now().Before(deadline); i++ {
+		sp := s.Start("work")
+		s.Add("ops", 1)
+		s.Observe("v", float64(i))
+		s.Event("tick", KV{K: "i", V: i})
+		sp.End()
+	}
+	close(stop)
+	wg.Wait()
+	if s.Snapshot().Events == 0 {
+		t.Fatal("no events recorded during scrape storm")
+	}
+}

@@ -8,6 +8,7 @@ package train
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"math"
 
@@ -238,6 +239,7 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 			opt.Obs.Event("train.cutoff", obs.KV{K: "epoch", V: ep}, obs.KV{K: "reason", V: reason})
 			break
 		}
+		epT0 := time.Now()
 		order := rng.Perm(len(trainSet))
 		epochLoss, epochGradSq := 0.0, 0.0
 		if opt.Accumulate {
@@ -263,10 +265,13 @@ func Train(m *gnn.Model, samples []*Sample, opt Options) (float64, error) {
 			}
 		}
 		last = epochLoss / float64(len(trainSet))
+		epochMS := float64(time.Since(epT0)) / float64(time.Millisecond)
 		opt.Obs.Add("train.epochs", 1)
+		opt.Obs.Observe("train.epoch_ms", epochMS)
 		opt.Obs.Event("train.epoch",
 			obs.KV{K: "epoch", V: ep}, obs.KV{K: "loss", V: last},
-			obs.KV{K: "grad_norm", V: math.Sqrt(epochGradSq)})
+			obs.KV{K: "grad_norm", V: math.Sqrt(epochGradSq)},
+			obs.KV{K: "dur_ms", V: epochMS})
 		if opt.Verbose != nil {
 			opt.Verbose(ep, last)
 		}
