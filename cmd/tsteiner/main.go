@@ -8,6 +8,13 @@
 //	         [-workers N] [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	         [-checkpoint-dir dir] [-resume] [-deadline 10m]
 //
+// Server mode (tsteinerd, see internal/serve) and client mode:
+//
+//	tsteiner -serve 127.0.0.1:8080 [-spool dir] [-queue-depth 8] [-job-workers 1]
+//	tsteiner -submit http://127.0.0.1:8080 -job-design design.json
+//	         [-kind signoff|train|refine] [-job-id id] [-wait 10m]
+//	         [-save-forest refined.json] [-deadline 5m]
+//
 // When -model names an existing file the evaluator is loaded from it;
 // otherwise a fresh evaluator is trained on this design (plus perturbed
 // variants) before refinement.
@@ -59,6 +66,17 @@ func main() {
 		designPath   = flag.String("save-design", "", "write the design JSON to this path")
 		verilogPath  = flag.String("save-verilog", "", "write a structural Verilog view to this path")
 		trace        = flag.Bool("trace", false, "print the per-iteration refinement trace")
+
+		serveAddr  = flag.String("serve", "", "run as the tsteinerd daemon on this host:port (port 0 picks one) until SIGTERM")
+		spoolDir   = flag.String("spool", "tsteinerd-spool", "daemon spool directory for crash-safe job state (server mode)")
+		queueDepth = flag.Int("queue-depth", 8, "daemon admission-queue depth; a full queue answers 429 + Retry-After (server mode)")
+		jobWorkers = flag.Int("job-workers", 1, "jobs executed concurrently by the daemon (server mode)")
+		submitURL  = flag.String("submit", "", "submit a job to the tsteinerd at this base URL instead of running locally (client mode)")
+		jobDesign  = flag.String("job-design", "", "designio JSON file to submit (client mode)")
+		jobID      = flag.String("job-id", "", "idempotency key for the submitted job (client mode; default: digest of the design bytes)")
+		jobKind    = flag.String("kind", "refine", "submitted job kind: signoff|train|refine (client mode)")
+		jobWait    = flag.Duration("wait", 0, "wait up to this long for the submitted job to finish (client mode; 0 = submit only)")
+		jobRetries = flag.Int("retries", 8, "submit attempts before giving up on 429/503/connection errors (client mode)")
 	)
 	shared := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -68,6 +86,21 @@ func main() {
 	}
 	defer closeObs()
 	workers := &shared.Workers
+
+	if *serveAddr != "" || *submitURL != "" {
+		if err := runService(serviceConfig{
+			serveAddr: *serveAddr, spool: *spoolDir,
+			queueDepth: *queueDepth, jobWorkers: *jobWorkers,
+			submitURL: *submitURL, designFile: *jobDesign,
+			jobID: *jobID, kind: *jobKind, wait: *jobWait, retries: *jobRetries,
+			forestOut: *forestPath,
+			seed:      *seed, epochs: *epochs, iters: *iters, lanes: *lanes,
+			workers: *workers, deadlineWall: shared.Deadline,
+		}, sink); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	manifest = shared.Manifest("tsteiner", flag.CommandLine)
 	manifest.Seed = *seed

@@ -1,0 +1,152 @@
+package main
+
+// Server and client modes: `tsteiner -serve` turns the binary into
+// tsteinerd (the refinement-as-a-service daemon of internal/serve);
+// `tsteiner -submit` sends one job to a running daemon and optionally
+// waits for its artifacts. Both modes exit non-zero on misuse so scripts
+// can gate on the status code.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tsteiner/internal/guard"
+	"tsteiner/internal/obs"
+	"tsteiner/internal/serve"
+)
+
+type serviceConfig struct {
+	serveAddr  string
+	spool      string
+	queueDepth int
+	jobWorkers int
+
+	submitURL  string
+	designFile string
+	jobID      string
+	kind       string
+	wait       time.Duration
+	retries    int
+	forestOut  string
+
+	seed         int64
+	epochs       int
+	iters        int
+	lanes        int
+	workers      int
+	deadlineWall time.Duration
+}
+
+// runService dispatches to daemon or client mode; exactly one of
+// serveAddr/submitURL must be set (main only calls it when at least one
+// is).
+func runService(cfg serviceConfig, sink *obs.Sink) error {
+	if cfg.serveAddr != "" && cfg.submitURL != "" {
+		return fmt.Errorf("tsteiner: -serve and -submit are mutually exclusive")
+	}
+	if cfg.serveAddr != "" {
+		return runDaemon(cfg, sink)
+	}
+	return runSubmit(cfg)
+}
+
+// runDaemon runs tsteinerd until SIGINT/SIGTERM, then drains gracefully:
+// in-flight jobs finish, queued jobs stay spooled for the next daemon
+// over the same spool.
+func runDaemon(cfg serviceConfig, sink *obs.Sink) error {
+	if sink == nil {
+		// The daemon always aggregates: /metrics must answer scrapes even
+		// when no -obs-out trace was requested.
+		sink = obs.New(nil)
+		sink.EnableRing(obs.DefaultRingSize)
+	}
+	s, err := serve.New(serve.Options{
+		SpoolDir:   cfg.spool,
+		QueueDepth: cfg.queueDepth,
+		JobWorkers: cfg.jobWorkers,
+		Obs:        sink,
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.Serve(cfg.serveAddr); err != nil {
+		return err
+	}
+	// The URL line is the machine-readable handshake: scripts read it to
+	// find the bound port when -serve used port 0.
+	fmt.Printf("tsteinerd listening on %s\n", s.URL())
+	log.Printf("tsteinerd: spool %s, queue depth %d, %d job workers", cfg.spool, cfg.queueDepth, cfg.jobWorkers)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	sig := <-ch
+	log.Printf("tsteinerd: %s received, draining", sig)
+	return s.Close()
+}
+
+// runSubmit sends one job. The design file is inlined into the request;
+// the job ID defaults to a digest of the design bytes plus the kind, so
+// re-running the same submission is idempotent end to end.
+func runSubmit(cfg serviceConfig) error {
+	if cfg.designFile == "" {
+		return fmt.Errorf("tsteiner: -submit requires -job-design")
+	}
+	raw, err := os.ReadFile(cfg.designFile)
+	if err != nil {
+		return fmt.Errorf("tsteiner: %w", err)
+	}
+	if !json.Valid(raw) {
+		return fmt.Errorf("tsteiner: %s is not valid JSON", cfg.designFile)
+	}
+	id := cfg.jobID
+	if id == "" {
+		sum := sha256.Sum256(raw)
+		id = cfg.kind + "-" + hex.EncodeToString(sum[:])[:12]
+	}
+	req := &serve.JobRequest{
+		ID:         id,
+		Kind:       cfg.kind,
+		Design:     raw,
+		Seed:       cfg.seed,
+		Epochs:     cfg.epochs,
+		Iters:      cfg.iters,
+		Lanes:      cfg.lanes,
+		Workers:    cfg.workers,
+		DeadlineMS: cfg.deadlineWall.Milliseconds(),
+	}
+	c := &serve.Client{Base: cfg.submitURL, Retries: cfg.retries}
+	st, err := c.Submit(req)
+	if err != nil {
+		return err
+	}
+	log.Printf("job %s submitted: %s", st.ID, st.State)
+	if cfg.wait > 0 {
+		st, err = c.Wait(id, cfg.wait)
+		if err != nil {
+			return err
+		}
+		if st.State != serve.StateDone {
+			return fmt.Errorf("tsteiner: job %s %s: %s", id, st.State, st.Error)
+		}
+		if cfg.forestOut != "" {
+			forest, err := c.Forest(id)
+			if err != nil {
+				return err
+			}
+			if err := guard.AtomicWriteFile(cfg.forestOut, forest, 0o644); err != nil {
+				return err
+			}
+			log.Printf("refined forest written to %s", cfg.forestOut)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	return enc.Encode(st)
+}

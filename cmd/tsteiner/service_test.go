@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/designio"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/serve"
+	"tsteiner/internal/synth"
+)
+
+func writeTestDesign(t *testing.T, path string) {
+	t.Helper()
+	d, err := synth.Generate(synth.Spec{
+		Name: "clismoke", Seed: 3, Cells: 30, Endpoints: 6, PIs: 3, Depth: 4, ClockNS: 1.0,
+	}, lib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := designio.WriteJSONFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeClientMisuseExitCodes asserts that every server/client flag
+// misuse exits non-zero through the compiled binary.
+func TestServeClientMisuseExitCodes(t *testing.T) {
+	bin := check.GoBuild(t, "tsteiner/cmd/tsteiner")
+	dir := t.TempDir()
+	design := filepath.Join(dir, "design.json")
+	writeTestDesign(t, design)
+
+	// Conflicting modes.
+	out := check.RunFail(t, dir, bin, "-serve", "127.0.0.1:0", "-submit", "http://127.0.0.1:1")
+	if !strings.Contains(out, "mutually exclusive") {
+		t.Errorf("conflict misuse lacks diagnosis:\n%s", out)
+	}
+	// Unbindable listen address.
+	check.RunFail(t, dir, bin, "-serve", "256.256.256.256:99999")
+	// Client mode without a design.
+	out = check.RunFail(t, dir, bin, "-submit", "http://127.0.0.1:1")
+	if !strings.Contains(out, "-job-design") {
+		t.Errorf("missing-design misuse lacks diagnosis:\n%s", out)
+	}
+	// Missing design file.
+	check.RunFail(t, dir, bin, "-submit", "http://127.0.0.1:1", "-job-design", filepath.Join(dir, "absent.json"))
+	// Bad kind (rejected client-side before any connection).
+	check.RunFail(t, dir, bin, "-submit", "http://127.0.0.1:1", "-job-design", design, "-kind", "bogus")
+	// No daemon listening: retries exhaust, then a non-zero exit.
+	check.RunFail(t, dir, bin, "-submit", "http://127.0.0.1:1", "-job-design", design, "-kind", "signoff", "-retries", "2")
+}
+
+// TestServeClientJobRoundtrip runs the client mode in-process (for
+// coverage) against an in-process daemon: submit, wait, artifact
+// download, and idempotent resubmission.
+func TestServeClientJobRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	design := filepath.Join(dir, "design.json")
+	writeTestDesign(t, design)
+
+	s, err := serve.New(serve.Options{SpoolDir: filepath.Join(dir, "spool")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	forest := filepath.Join(dir, "refined.json")
+	args := []string{
+		"-submit", s.URL(), "-job-design", design, "-job-id", "cli-1",
+		"-kind", "refine", "-epochs", "2", "-iters", "2", "-wait", "2m",
+		"-save-forest", forest,
+	}
+	out := check.RunMain(t, dir, main, args...)
+	if !strings.Contains(out, `"State": "done"`) {
+		t.Fatalf("client wait did not report a done job:\n%s", out)
+	}
+	if !strings.Contains(out, "refined forest written") {
+		t.Fatalf("client did not download the forest artifact:\n%s", out)
+	}
+	// Resubmitting the identical job is a dedupe, not a re-run.
+	out = check.RunMain(t, dir, main, args...)
+	if !strings.Contains(out, `"Attempts": 1`) {
+		t.Fatalf("resubmit re-ran the job:\n%s", out)
+	}
+}
+
+// TestServeDaemonSIGTERMDrain drives the compiled binary end to end: boot
+// the daemon, scrape /metrics over its advertised URL, submit a job via
+// client mode, then SIGTERM and require a clean drain (exit 0).
+func TestServeDaemonSIGTERMDrain(t *testing.T) {
+	bin := check.GoBuild(t, "tsteiner/cmd/tsteiner")
+	dir := t.TempDir()
+	design := filepath.Join(dir, "design.json")
+	writeTestDesign(t, design)
+
+	cmd := exec.Command(bin, "-serve", "127.0.0.1:0", "-spool", filepath.Join(dir, "spool"))
+	cmd.Dir = dir
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line advertises the bound URL.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatal("daemon wrote no handshake line")
+	}
+	fields := strings.Fields(sc.Text())
+	url := fields[len(fields)-1]
+	if !strings.HasPrefix(url, "http://") {
+		t.Fatalf("unexpected handshake line %q", sc.Text())
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+
+	subOut := check.RunOK(t, dir, bin,
+		"-submit", url, "-job-design", design, "-job-id", "drain-smoke",
+		"-kind", "signoff", "-wait", "2m")
+	if !strings.Contains(subOut, `"State": "done"`) {
+		t.Fatalf("submitted job did not finish:\n%s", subOut)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon did not drain cleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

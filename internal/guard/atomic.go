@@ -3,15 +3,40 @@ package guard
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
+
+// openDir is the directory-open seam syncDir goes through; tests override
+// it to exercise the fsync error path without unmounting anything.
+var openDir = os.Open
+
+// syncDir fsyncs a directory so a rename recorded in it survives a power
+// loss, not just a process crash. Filesystems that reject directory fsync
+// (EINVAL on some network mounts) are tolerated: the rename itself is
+// still atomic there, durability is simply the mount's own contract.
+func syncDir(dir string) error {
+	d, err := openDir(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
+}
 
 // AtomicWriteFile writes data to path via a temp file in the same
 // directory followed by os.Rename, so readers never observe a partial
 // file: they see either the previous content or the complete new one.
+// The temp file is fsynced before the rename and the parent directory
+// after it, so the completed write also survives a power-loss-style crash
+// — the durability contract checkpoints and spooled jobs rely on.
 func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
@@ -31,6 +56,10 @@ func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
 		cleanup()
 		return fmt.Errorf("guard: atomic write %s: %w", path, err)
 	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("guard: atomic write %s: %w", path, err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("guard: atomic write %s: %w", path, err)
@@ -38,6 +67,12 @@ func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("guard: atomic write %s: %w", path, err)
+	}
+	// The content is in place and readers see it; reporting a directory
+	// fsync failure anyway is deliberate — callers relying on crash
+	// safety must not treat an un-persisted rename as committed.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("guard: atomic write %s: sync dir: %w", path, err)
 	}
 	return nil
 }

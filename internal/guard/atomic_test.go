@@ -2,8 +2,10 @@ package guard
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -62,5 +64,56 @@ func TestAtomicWriteJSON(t *testing.T) {
 	raw3, _ := os.ReadFile(path)
 	if err := json.Unmarshal(raw3, &still); err != nil || still.A != 2 {
 		t.Fatalf("failed write damaged destination: %v %+v", err, still)
+	}
+}
+
+// TestAtomicWriteSyncDirError covers the durability error path: when the
+// parent-directory fsync after the rename fails, AtomicWriteFile must
+// report it (a caller relying on crash safety must not treat the rename
+// as committed), while the renamed content is still the complete new
+// bytes — never a torn file.
+func TestAtomicWriteSyncDirError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+
+	injected := errors.New("injected open failure")
+	old := openDir
+	openDir = func(string) (*os.File, error) { return nil, injected }
+	defer func() { openDir = old }()
+
+	err := AtomicWriteFile(path, []byte("payload"), 0o644)
+	if !errors.Is(err, injected) {
+		t.Fatalf("dir fsync failure not reported: %v", err)
+	}
+	if !strings.Contains(err.Error(), "sync dir") {
+		t.Fatalf("error does not name the failing step: %v", err)
+	}
+	// The rename itself completed: the file is whole, just not durable.
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "payload" {
+		t.Fatalf("content after fsync failure: %q, %v", got, rerr)
+	}
+}
+
+// TestAtomicWriteSyncsDir pins the healthy durability path: a normal
+// write goes through the directory fsync (openDir consulted) and leaves
+// exactly the expected bytes.
+func TestAtomicWriteSyncsDir(t *testing.T) {
+	dir := t.TempDir()
+	opened := 0
+	old := openDir
+	openDir = func(name string) (*os.File, error) { opened++; return os.Open(name) }
+	defer func() { openDir = old }()
+
+	path := filepath.Join(dir, "out.bin")
+	if err := AtomicWriteFile(path, []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if opened != 1 {
+		t.Fatalf("parent directory opened %d times for fsync, want 1", opened)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("content: %q, %v", got, err)
 	}
 }

@@ -1,0 +1,67 @@
+package guard
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBudgetContext covers the budget→context bridge: nil budgets and
+// wall-less budgets yield cancellable contexts without deadlines, a wall
+// budget yields a context whose deadline matches the budget origin, and
+// expiry cancels the context in lockstep with ExceededWall.
+func TestBudgetContext(t *testing.T) {
+	// Nil budget: no deadline, still cancellable.
+	var nilB *Budget
+	ctx, cancel := nilB.Context(nil)
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("nil budget context has a deadline")
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatal("nil budget context already done")
+	default:
+	}
+	cancel()
+	<-ctx.Done()
+
+	// Iteration-only budget: same as unlimited for the context bridge.
+	ctx, cancel = (&Budget{MaxIters: 5}).Context(context.Background())
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("iteration-only budget context has a deadline")
+	}
+	cancel()
+
+	// Wall budget: deadline = start + Wall, and Context implies Start, so
+	// ExceededWall agrees with the same origin.
+	b := &Budget{Wall: 50 * time.Millisecond}
+	ctx, cancel = b.Context(context.Background())
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("wall budget context has no deadline")
+	}
+	if until := time.Until(dl); until > 50*time.Millisecond || until < 0 {
+		t.Fatalf("deadline %v from now, want within (0, 50ms]", until)
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatal("context done before the wall budget expired")
+	case <-time.After(5 * time.Millisecond):
+	}
+	<-ctx.Done() // expires on its own
+	if reason, over := b.ExceededWall(); !over {
+		t.Fatalf("context expired but ExceededWall disagrees (%q, %v)", reason, over)
+	}
+
+	// Parent cancellation propagates ahead of the deadline.
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx, cancel = (&Budget{Wall: time.Hour}).Context(parent)
+	defer cancel()
+	pcancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+}

@@ -17,6 +17,7 @@
 package guard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -69,6 +70,24 @@ func (b *Budget) ExceededWall() (string, bool) {
 		return fmt.Sprintf("wall-clock budget %s exceeded (%s elapsed)", b.Wall, el.Round(time.Millisecond)), true
 	}
 	return "", false
+}
+
+// Context bridges the wall-clock budget to context.Context cancellation
+// for context-aware call sites (HTTP handlers, net dials): the returned
+// context is cancelled when the budget's wall clock expires. A nil budget
+// or one without a wall bound yields a plainly cancellable context with no
+// deadline. Starting the budget is implied (idempotent), so the context
+// deadline and ExceededWall agree on the same origin. Callers must call
+// the CancelFunc when done, as with context.WithDeadline.
+func (b *Budget) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	if b == nil || b.Wall <= 0 {
+		return context.WithCancel(parent)
+	}
+	b.Start()
+	return context.WithDeadline(parent, b.start.Add(b.Wall))
 }
 
 // BudgetError reports a run stopped at a phase boundary because its budget

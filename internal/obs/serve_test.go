@@ -165,3 +165,65 @@ func TestConcurrentScrapes(t *testing.T) {
 		t.Fatal("no events recorded during scrape storm")
 	}
 }
+
+// TestConcurrentScrapesDuringShutdown closes the server while scrapers
+// are mid-flight and the sink is still being written: shutdown must be
+// race-free (the detector is the assertion), in-flight scrapes must
+// finish or fail with a connection error — never a hang — and the
+// listener must actually be gone afterwards.
+func TestConcurrentScrapesDuringShutdown(t *testing.T) {
+	s := New(io.Discard)
+	s.EnableRing(64)
+	sv, err := Serve("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := sv.URL()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors are expected once the listener closes; the
+				// scraper just keeps hammering until told to stop.
+				if resp, err := http.Get(url + "/metrics"); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	// Writers keep mutating the sink across the shutdown boundary.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Add("shutdown.ops", 1)
+			s.Event("tick", KV{K: "i", V: i})
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the storm ramp up
+	if err := sv.Close(); err != nil {
+		t.Fatalf("close during scrape storm: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if _, err := http.Get(url + "/metrics"); err == nil {
+		t.Fatal("listener still answering after Close")
+	}
+}

@@ -9,8 +9,9 @@
 # allocation-regression gate against BENCH_refine.json (including the
 # batched per-candidate records), the live-observability smoke gate
 # (-obs-listen scrape via tracestat + trace-fixture A/B regression
-# detection), and a refresh of the per-package coverage baseline in
-# COVERAGE.md.
+# detection), the tsteinerd daemon gates (byte-identity fault matrix
+# under -race plus a boot/submit/scrape/drain smoke), and a refresh of
+# the per-package coverage baseline in COVERAGE.md.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,6 +20,11 @@ go vet ./...
 go test ./...
 go test -race -short ./...
 go test -race -run 'Fault|Resume|Panic' ./...
+
+# Daemon gate: the tsteinerd byte-identity + fault matrix (concurrent
+# submits vs serial runner, kill/restart resume, queue saturation, retry
+# storms) and the server/client cmd smoke, all under the race detector.
+go test -race -run 'Serve|Job|Resume' ./...
 
 # Live-observability race gate: concurrent /metrics+/trace scrapes while
 # the full pipeline refines (server-on/off byte-identity runs under the
@@ -64,6 +70,30 @@ done
 "$OBS_TMP/tracestat" -scrape "$OBS_URL"
 kill "$OBS_PID" 2>/dev/null || true
 wait "$OBS_PID" 2>/dev/null || true
+
+# tsteinerd smoke gate: boot the daemon on a random port, submit a tiny
+# sign-off job through client mode, validate the daemon's /metrics with
+# `tracestat -scrape`, then SIGTERM and require a clean drain (exit 0).
+"$OBS_TMP/tsteiner" -design spm -scale 0.12 -baseline-only \
+  -save-design "$OBS_TMP/design.json" >/dev/null 2>&1
+"$OBS_TMP/tsteiner" -serve 127.0.0.1:0 -spool "$OBS_TMP/spool" \
+  >"$OBS_TMP/serve.log" 2>&1 &
+SRV_PID=$!
+SRV_URL=
+for _ in $(seq 100); do
+  SRV_URL=$(sed -n 's#^tsteinerd listening on \(http://[0-9.:]*\)$#\1#p' "$OBS_TMP/serve.log" | head -1)
+  [ -n "$SRV_URL" ] && break
+  kill -0 "$SRV_PID" 2>/dev/null || { echo "tsteinerd died at boot:"; cat "$OBS_TMP/serve.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$SRV_URL" ] || { echo "tsteinerd never advertised its URL"; cat "$OBS_TMP/serve.log"; exit 1; }
+"$OBS_TMP/tsteiner" -submit "$SRV_URL" -job-design "$OBS_TMP/design.json" \
+  -kind signoff -job-id verify-smoke -wait 2m >"$OBS_TMP/submit.log" 2>&1
+grep -q '"State": "done"' "$OBS_TMP/submit.log" \
+  || { echo "tsteinerd smoke job did not finish:"; cat "$OBS_TMP/submit.log"; exit 1; }
+"$OBS_TMP/tracestat" -scrape "$SRV_URL"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || { echo "tsteinerd did not drain cleanly"; cat "$OBS_TMP/serve.log"; exit 1; }
 
 # Trace-analyzer gate against the committed fixtures: the analyzer must
 # reproduce the rollup/convergence tables, and the A/B diff must flag
