@@ -11,6 +11,13 @@
 //	        [-refine] [-epochs 60] [-iters 25] [-seed 2023]
 //	        [-workers N] [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	        [-checkpoint-dir dir] [-resume] [-deadline 10m]
+//
+// Large designs: -stream loads the file through the token-wise streaming
+// decoder (internal/designio.StreamDesignFile), so the JSON is never
+// materialized alongside the netlist; -shards N runs sharded incremental
+// refinement (internal/shard) instead of the GNN refiner:
+//
+//	runflow -design big.json -stream -shards 4 [-rounds 8]
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"tsteiner/internal/lib"
 	"tsteiner/internal/netlist"
 	"tsteiner/internal/obs"
+	"tsteiner/internal/shard"
 	"tsteiner/internal/sta"
 	"tsteiner/internal/train"
 	"tsteiner/internal/viz"
@@ -43,8 +51,11 @@ func main() {
 		refine  = flag.Bool("refine", false, "train an evaluator and refine Steiner points before sign-off")
 		epochs  = flag.Int("epochs", 60, "evaluator training epochs (-refine)")
 		iters   = flag.Int("iters", 25, "max refinement iterations N (-refine)")
-	lanes   = flag.Int("lanes", 0, "line-search candidates per fused batched forward (0 = sequential; -refine)")
+		lanes   = flag.Int("lanes", 0, "line-search candidates per fused batched forward (0 = sequential; -refine)")
 		seed    = flag.Int64("seed", 2023, "random seed (-refine)")
+		stream  = flag.Bool("stream", false, "load the design through the streaming decoder (constant decode memory)")
+		shards  = flag.Int("shards", 0, "run sharded incremental refinement with this many proposal shards (0 = off)")
+		rounds  = flag.Int("rounds", 8, "sharded refinement rounds (-shards)")
 	)
 	shared := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -84,9 +95,15 @@ func main() {
 	}
 
 	l := lib.Default()
-	// ReadJSONFile rejects truncated or corrupt design files with a typed
-	// error instead of decoding a partial design.
-	d, err := designio.ReadJSONFile(*path, l)
+	// Both loaders reject truncated or corrupt design files with a typed
+	// error instead of decoding a partial design; the streaming one never
+	// holds the decoded JSON and the netlist at the same time.
+	var d *netlist.Design
+	if *stream {
+		d, err = designio.StreamDesignFile(*path, l)
+	} else {
+		d, err = designio.ReadJSONFile(*path, l)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,6 +146,22 @@ func main() {
 		rep.WirelengthDBU, rep.Vias, rep.DRVs, rep.Overflow)
 
 	finalForest := prepared.Forest
+	if *shards > 0 {
+		sopt := shard.DefaultOptions()
+		sopt.Shards = *shards
+		sopt.Workers = shared.Workers
+		sopt.Rounds = *rounds
+		log.Printf("sharded refinement: %d shards, %d rounds", sopt.Shards, sopt.Rounds)
+		res, err := shard.Refine(prepared, sopt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		finalForest = res.Forest
+		log.Printf("refined: %d/%d rounds accepted, %d nets moved, %d nets re-timed (init %.1fs, refine %.1fs)",
+			res.Accepted, res.Rounds, res.MovedNets, res.RetimedNets, res.InitSec, res.RefineSec)
+		fmt.Printf("sharded:  WNS %.3f ns, TNS %.2f ns, %d violations (from WNS %.3f, TNS %.2f)\n",
+			res.WNS, res.TNS, res.Vios, res.InitWNS, res.InitTNS)
+	}
 	if *refine {
 		res, err := refineDesign(prepared, timing, rep, *epochs, *iters, *lanes, *seed, shared, budget, sink, manifest)
 		if err != nil {

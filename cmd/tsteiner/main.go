@@ -8,12 +8,18 @@
 //	         [-workers N] [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	         [-checkpoint-dir dir] [-resume] [-deadline 10m]
 //
+// Sharded incremental refinement on a scaled-up design (see
+// internal/shard): tiles -scaleup seeded copies of the benchmark,
+// then refines with incremental rerouting and windowed re-timing:
+//
+//	tsteiner -design spm -scaleup 10 -shards 4 [-rounds 8] [-workers N]
+//
 // Server mode (tsteinerd, see internal/serve) and client mode:
 //
 //	tsteiner -serve 127.0.0.1:8080 [-spool dir] [-queue-depth 8] [-job-workers 1]
 //	tsteiner -submit http://127.0.0.1:8080 -job-design design.json
 //	         [-kind signoff|train|refine] [-job-id id] [-wait 10m]
-//	         [-save-forest refined.json] [-deadline 5m]
+//	         [-job-shards 4] [-save-forest refined.json] [-deadline 5m]
 //
 // When -model names an existing file the evaluator is loaded from it;
 // otherwise a fresh evaluator is trained on this design (plus perturbed
@@ -36,6 +42,8 @@ import (
 	"tsteiner/internal/lib"
 	"tsteiner/internal/obs"
 	"tsteiner/internal/report"
+	"tsteiner/internal/shard"
+	"tsteiner/internal/synth"
 	"tsteiner/internal/train"
 	"tsteiner/internal/viz"
 )
@@ -66,6 +74,8 @@ func main() {
 		designPath   = flag.String("save-design", "", "write the design JSON to this path")
 		verilogPath  = flag.String("save-verilog", "", "write a structural Verilog view to this path")
 		trace        = flag.Bool("trace", false, "print the per-iteration refinement trace")
+		shards       = flag.Int("shards", 0, "run sharded incremental refinement with this many proposal shards (0 = GNN flow)")
+		scaleup      = flag.Int("scaleup", 1, "tile this many seeded copies of the benchmark into one design (with -shards)")
 
 		serveAddr  = flag.String("serve", "", "run as the tsteinerd daemon on this host:port (port 0 picks one) until SIGTERM")
 		spoolDir   = flag.String("spool", "tsteinerd-spool", "daemon spool directory for crash-safe job state (server mode)")
@@ -77,6 +87,7 @@ func main() {
 		jobKind    = flag.String("kind", "refine", "submitted job kind: signoff|train|refine (client mode)")
 		jobWait    = flag.Duration("wait", 0, "wait up to this long for the submitted job to finish (client mode; 0 = submit only)")
 		jobRetries = flag.Int("retries", 8, "submit attempts before giving up on 429/503/connection errors (client mode)")
+		jobShards  = flag.Int("job-shards", 0, "run a refine job through the sharded incremental engine with this many shards; -iters becomes the round budget (client mode; 0 = GNN refinement)")
 	)
 	shared := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -95,6 +106,7 @@ func main() {
 			jobID: *jobID, kind: *jobKind, wait: *jobWait, retries: *jobRetries,
 			forestOut: *forestPath,
 			seed:      *seed, epochs: *epochs, iters: *iters, lanes: *lanes,
+			jobShards: *jobShards,
 			workers: *workers, deadlineWall: shared.Deadline,
 		}, sink); err != nil {
 			log.Fatal(err)
@@ -123,6 +135,13 @@ func main() {
 		if err := manifest.WriteFile(filepath.Join(shared.CheckpointDir, "manifest.json")); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *shards > 0 {
+		if err := runSharded(*design, *scaleup, *shards, *rounds, *workers, sink, budget); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	log.Printf("running baseline flow on %s (scale %.2f)", *design, *scale)
@@ -292,6 +311,56 @@ func main() {
 		saveManifest(*forestPath)
 		log.Printf("refined forest written to %s", *forestPath)
 	}
+}
+
+// runSharded is the -shards path: tile the benchmark -scaleup times,
+// prepare it, refine through internal/shard and print the sign-off
+// movement. The result is byte-identical at any shard/worker count.
+func runSharded(name string, factor, shards, rounds, workers int, sink *obs.Sink, budget *guard.Budget) error {
+	spec, err := synth.BenchmarkByName(name)
+	if err != nil {
+		return err
+	}
+	l := lib.Default()
+	log.Printf("generating %s ×%d", name, factor)
+	d, err := synth.GenerateScaled(spec, factor, l)
+	if err != nil {
+		return err
+	}
+	cfg := flow.ScaledConfig()
+	cfg.Workers = workers
+	cfg.Obs = sink
+	cfg.Budget = budget
+	p, err := flow.Prepare(d, l, cfg)
+	if err != nil {
+		return err
+	}
+	st := d.Stats()
+	log.Printf("prepared %s: %d cells, %d nets, %d endpoints (%.1fs)",
+		d.Name, st.CellNodes, len(d.Nets), st.Endpoints, p.PrepSec)
+
+	opt := shard.DefaultOptions()
+	opt.Shards = shards
+	opt.Workers = workers
+	opt.Rounds = rounds
+	log.Printf("sharded refinement: %d shards, %d rounds", opt.Shards, opt.Rounds)
+	res, err := shard.Refine(p, opt)
+	if err != nil {
+		return err
+	}
+	log.Printf("refined: %d/%d rounds accepted, %d nets moved, %d nets re-timed (init %.1fs, refine %.1fs)",
+		res.Accepted, res.Rounds, res.MovedNets, res.RetimedNets, res.InitSec, res.RefineSec)
+
+	t := report.Table{
+		Title:  "sharded refinement sign-off",
+		Header: []string{"state", "WNS", "TNS", "#Vios", "WL", "#Vias", "overflow"},
+	}
+	t.AddRow("initial", report.F(res.InitWNS, 3), report.F(res.InitTNS, 1),
+		report.I(res.InitVios), "-", "-", "-")
+	t.AddRow("refined", report.F(res.WNS, 3), report.F(res.TNS, 1),
+		report.I(res.Vios), fmt.Sprint(res.WirelengthDBU),
+		report.I(res.Vias), report.I(res.Overflow))
+	return t.Render(os.Stdout)
 }
 
 // writeFile renders through guard.AtomicWriteFunc so an interrupted run

@@ -40,6 +40,7 @@ type serviceConfig struct {
 	epochs       int
 	iters        int
 	lanes        int
+	jobShards    int
 	workers      int
 	deadlineWall time.Duration
 }
@@ -118,6 +119,7 @@ func runSubmit(cfg serviceConfig) error {
 		Epochs:     cfg.epochs,
 		Iters:      cfg.iters,
 		Lanes:      cfg.lanes,
+		Shards:     cfg.jobShards,
 		Workers:    cfg.workers,
 		DeadlineMS: cfg.deadlineWall.Milliseconds(),
 	}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"tsteiner/internal/flow"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/shard"
+	"tsteiner/internal/synth"
+)
+
+// Scale-experiment parameters. These pin the workload BENCH_scale.json
+// was recorded on: the spm benchmark tiled to 1x/10x/100x and refined
+// through the sharded incremental engine. Changing any of them requires
+// re-recording with -benchscaleupdate.
+const (
+	ScaleFile     = "BENCH_scale.json"
+	ScaleWorkload = "spm"
+	ScaleRounds   = 3
+	ScaleShards   = 4
+)
+
+// ScaleFactors are the recorded design sizes.
+var ScaleFactors = []int{1, 10, 100}
+
+// ScaleEntry is one recorded scale point. The wall-clock columns are the
+// point of the record: InitSec is the unavoidable linear cost (place,
+// Steinerize, full route + extract + STA once), PerRoundSec the
+// incremental cost the windowed path pays per refinement round.
+type ScaleEntry struct {
+	Factor      int     `json:"factor"`
+	Cells       int     `json:"cells"`
+	Nets        int     `json:"nets"`
+	Endpoints   int     `json:"endpoints"`
+	InitSec     float64 `json:"init_sec"`
+	PerRoundSec float64 `json:"per_round_sec"`
+	Rounds      int     `json:"rounds"`
+	MovedNets   int     `json:"moved_nets"`
+	RetimedNets int     `json:"retimed_nets"`
+}
+
+// ScaleBaseline is the committed shape of BENCH_scale.json.
+type ScaleBaseline struct {
+	Workload string       `json:"workload"`
+	Shards   int          `json:"shards"`
+	Rounds   int          `json:"rounds"`
+	Entries  []ScaleEntry `json:"entries"`
+}
+
+// RunScale prepares a factor-times-tiled ScaleWorkload and refines it
+// through the sharded engine, returning the measured scale point. The
+// infinite slack threshold admits every net so each factor executes the
+// full ScaleRounds rounds — the per-round time is measured on real work.
+func RunScale(factor, shards, workers int) (*ScaleEntry, error) {
+	spec, err := synth.BenchmarkByName(ScaleWorkload)
+	if err != nil {
+		return nil, err
+	}
+	l := lib.Default()
+	d, err := synth.GenerateScaled(spec, factor, l)
+	if err != nil {
+		return nil, err
+	}
+	cfg := flow.ScaledConfig()
+	cfg.Workers = workers
+	p, err := flow.Prepare(d, l, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opt := shard.DefaultOptions()
+	opt.Shards = shards
+	opt.Workers = workers
+	opt.Rounds = ScaleRounds
+	opt.SlackThreshold = math.Inf(1)
+	res, err := shard.Refine(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	per := 0.0
+	if res.Rounds > 0 {
+		per = res.RefineSec / float64(res.Rounds)
+	}
+	return &ScaleEntry{
+		Factor:      factor,
+		Cells:       len(d.Cells),
+		Nets:        len(d.Nets),
+		Endpoints:   len(d.Endpoints()),
+		InitSec:     res.InitSec,
+		PerRoundSec: per,
+		Rounds:      res.Rounds,
+		MovedNets:   res.MovedNets,
+		RetimedNets: res.RetimedNets,
+	}, nil
+}
+
+// ScalePath locates BENCH_scale.json at the repository root.
+func ScalePath() (string, error) {
+	p, err := BaselinePath()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(filepath.Dir(p), ScaleFile), nil
+}
+
+// LoadScale reads the committed scale baseline.
+func LoadScale(path string) (*ScaleBaseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b ScaleBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write serializes the scale baseline with a trailing newline, matching
+// the other committed BENCH files.
+func (b *ScaleBaseline) Write(path string) error {
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Entry returns the recorded point for a factor, or nil.
+func (b *ScaleBaseline) Entry(factor int) *ScaleEntry {
+	for i := range b.Entries {
+		if b.Entries[i].Factor == factor {
+			return &b.Entries[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+)
+
+var (
+	benchScale = flag.Bool("benchscale", false,
+		"run the live sub-linearity gate (re-measures the 1x and 100x scale points)")
+	benchScaleUpdate = flag.Bool("benchscaleupdate", false,
+		"re-measure every scale point and rewrite BENCH_scale.json")
+)
+
+// TestScaleBaselineSubLinear is the deterministic half of the scale gate:
+// the committed BENCH_scale.json must show per-round wall time growing
+// sub-linearly in design size. For every factor above 1x, the per-round
+// cost ratio must stay under half the cell-count ratio, and at the top
+// factor a refinement round must be cheaper than the one-off full
+// pipeline (init) at that scale — otherwise the incremental engine is
+// buying nothing. Reads the committed record only; it never re-measures,
+// so it runs in every `go test ./...`.
+func TestScaleBaselineSubLinear(t *testing.T) {
+	path, err := ScalePath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadScale(path)
+	if os.IsNotExist(err) {
+		t.Skipf("no committed scale baseline at %s; record one with -benchscaleupdate", path)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Workload != ScaleWorkload || base.Shards != ScaleShards || base.Rounds != ScaleRounds {
+		t.Fatalf("baseline pins %s shards=%d rounds=%d, harness pins %s shards=%d rounds=%d: re-record",
+			base.Workload, base.Shards, base.Rounds, ScaleWorkload, ScaleShards, ScaleRounds)
+	}
+	assertSubLinear(t, entriesOf(t, base))
+}
+
+// TestBenchScaleGate is the live half (verify.sh runs it with
+// -benchscale): re-measure the smallest and largest scale points on this
+// machine and hold the same sub-linearity bound on fresh numbers.
+func TestBenchScaleGate(t *testing.T) {
+	if !*benchScale {
+		t.Skip("scale gate disabled; enable with -benchscale")
+	}
+	small, err := RunScale(ScaleFactors[0], ScaleShards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunScale(ScaleFactors[len(ScaleFactors)-1], ScaleShards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("live 1x: %+v", *small)
+	t.Logf("live %dx: %+v", big.Factor, *big)
+	assertSubLinear(t, []*ScaleEntry{small, big})
+}
+
+// entriesOf resolves the pinned factors out of a baseline, failing on a
+// missing or round-starved record.
+func entriesOf(t *testing.T, base *ScaleBaseline) []*ScaleEntry {
+	t.Helper()
+	out := make([]*ScaleEntry, 0, len(ScaleFactors))
+	for _, f := range ScaleFactors {
+		e := base.Entry(f)
+		if e == nil {
+			t.Fatalf("baseline has no %dx entry; re-record with -benchscaleupdate", f)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// assertSubLinear holds the scale claim over a set of entries sorted by
+// factor: entries[0] is the reference point. Three legs, from strongest
+// to weakest:
+//
+//  1. The refresh set is scale-free: the number of nets the windowed STA
+//     re-times per run must stay within a constant factor of the 1×
+//     reference, even though the design grew 100×. This is the
+//     deterministic heart of the claim (an O(design) refresh would show
+//     up as a 100× ratio here, far outside the bound).
+//  2. Per-round wall time grows sub-linearly in cell count relative to
+//     the reference — the replay's O(design) bookkeeping has a far
+//     smaller constant than routing, extraction and STA.
+//  3. At every scaled factor a refinement round costs less wall time
+//     than the one-off full pipeline (init) at the same scale —
+//     otherwise the incremental engine buys nothing.
+func assertSubLinear(t *testing.T, entries []*ScaleEntry) {
+	t.Helper()
+	ref := entries[0]
+	if ref.Rounds != ScaleRounds || ref.PerRoundSec <= 0 || ref.RetimedNets <= 0 {
+		t.Fatalf("reference entry executed %d rounds (per-round %.4fs, retimed %d); the scale claim is vacuous",
+			ref.Rounds, ref.PerRoundSec, ref.RetimedNets)
+	}
+	for _, e := range entries[1:] {
+		if e.Rounds != ScaleRounds {
+			t.Errorf("%dx executed %d rounds, want %d", e.Factor, e.Rounds, ScaleRounds)
+			continue
+		}
+		cellRatio := float64(e.Cells) / float64(ref.Cells)
+		timeRatio := e.PerRoundSec / ref.PerRoundSec
+		workRatio := float64(e.RetimedNets) / float64(ref.RetimedNets)
+		t.Logf("%dx: cells x%.1f, per-round time x%.1f (%.4fs vs %.4fs), retimed x%.1f (%d vs %d)",
+			e.Factor, cellRatio, timeRatio, e.PerRoundSec, ref.PerRoundSec, workRatio, e.RetimedNets, ref.RetimedNets)
+		if workRatio > 4 {
+			t.Errorf("%dx: retimed-net count grew x%.1f over the reference (bound x4): the refresh set is scaling with the design",
+				e.Factor, workRatio)
+		}
+		if timeRatio >= cellRatio {
+			t.Errorf("%dx per-round time is not sub-linear: grew x%.1f against x%.1f cells",
+				e.Factor, timeRatio, cellRatio)
+		}
+		if e.PerRoundSec >= e.InitSec {
+			t.Errorf("%dx: a refinement round (%.4fs) costs as much as the full pipeline (%.4fs); the incremental engine buys nothing",
+				e.Factor, e.PerRoundSec, e.InitSec)
+		}
+	}
+}
+
+// TestBenchScaleUpdateBaseline re-measures every pinned factor and
+// rewrites BENCH_scale.json:
+// go test ./internal/bench -run TestBenchScaleUpdateBaseline -benchscaleupdate -timeout 30m
+func TestBenchScaleUpdateBaseline(t *testing.T) {
+	if !*benchScaleUpdate {
+		t.Skip("scale recorder disabled; enable with -benchscaleupdate")
+	}
+	base := &ScaleBaseline{Workload: ScaleWorkload, Shards: ScaleShards, Rounds: ScaleRounds}
+	for _, f := range ScaleFactors {
+		e, err := RunScale(f, ScaleShards, 0)
+		if err != nil {
+			t.Fatalf("%dx: %v", f, err)
+		}
+		t.Logf("%dx: %+v", f, *e)
+		base.Entries = append(base.Entries, *e)
+	}
+	path, err := ScalePath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	fmt.Printf("recorded %s:\n%s", path, raw)
+}

@@ -1,0 +1,322 @@
+package designio
+
+// Streaming design loader: token-wise decoding of the same JSON schema
+// WriteJSON emits, feeding netlist.Builder element by element. Unlike
+// ReadJSON, the file's port/cell/net arrays are never materialized as a
+// decoded DOM — peak memory is the design under construction plus one
+// element — which is what makes 100× scaled designs loadable without
+// holding the netlist twice. The price is a canonical section order
+// (Name before the element sections, Ports and Cells before Nets —
+// exactly the order WriteJSON produces); files that violate it are
+// rejected with a typed *guard.CorruptError rather than silently
+// mis-resolving pins.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tsteiner/internal/geom"
+	"tsteiner/internal/guard"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+)
+
+// corrupt wraps a decode failure the way ReadJSON does.
+func corrupt(reason string, err error) error {
+	return &guard.CorruptError{Reason: reason, Err: err}
+}
+
+// streamState carries the builder plus the name→ID maps the Nets
+// section needs for pin resolution.
+type streamState struct {
+	b        *netlist.Builder
+	d        *netlist.Design
+	portPins map[string]netlist.PinID
+	portPos  map[netlist.PinID]geom.Point
+	cellIDs  map[string]netlist.CellID
+	cellPos  map[string]geom.Point
+}
+
+// StreamDesignFile streams a design from path; decode failures carry
+// the path.
+func StreamDesignFile(path string, l *lib.Library) (*netlist.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := StreamDesign(f, l)
+	if err != nil {
+		if ce, ok := err.(*guard.CorruptError); ok && ce.Path == "" {
+			ce.Path = path
+		}
+		return nil, err
+	}
+	return d, nil
+}
+
+// StreamDesign reconstructs a design from r without decoding the whole
+// file at once. The result is identical to ReadJSON on the same bytes;
+// every file StreamDesign accepts, ReadJSON also accepts.
+func StreamDesign(r io.Reader, l *lib.Library) (*netlist.Design, error) {
+	dec := json.NewDecoder(r)
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, err
+	}
+	st := &streamState{
+		portPins: map[string]netlist.PinID{},
+		portPos:  map[netlist.PinID]geom.Point{},
+		cellIDs:  map[string]netlist.CellID{},
+		cellPos:  map[string]geom.Point{},
+	}
+	name := ""
+	clockNS := 0.0
+	var die [4]int
+	seen := map[string]bool{}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, corrupt("truncated or malformed design JSON", err)
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return nil, corrupt("truncated or malformed design JSON", fmt.Errorf("designio: non-string object key %v", tok))
+		}
+		// encoding/json matches struct fields case-insensitively, so the
+		// streaming loader must too — otherwise it would skip a section
+		// ReadJSON consumes and the two decodes would diverge.
+		for _, canon := range [...]string{"Name", "ClockNS", "Die", "Ports", "Cells", "Nets"} {
+			if strings.EqualFold(key, canon) {
+				key = canon
+				break
+			}
+		}
+		switch key {
+		case "Name", "ClockNS", "Die", "Ports", "Cells", "Nets":
+			if seen[key] {
+				return nil, corrupt(fmt.Sprintf("duplicate %q section", key), nil)
+			}
+			seen[key] = true
+		}
+		switch key {
+		case "Name":
+			if st.b != nil {
+				return nil, corrupt("Name section after element sections", nil)
+			}
+			if err := dec.Decode(&name); err != nil {
+				return nil, corrupt("truncated or malformed design JSON", err)
+			}
+		case "ClockNS":
+			if err := dec.Decode(&clockNS); err != nil {
+				return nil, corrupt("truncated or malformed design JSON", err)
+			}
+		case "Die":
+			if err := dec.Decode(&die); err != nil {
+				return nil, corrupt("truncated or malformed design JSON", err)
+			}
+		case "Ports":
+			if seen["Nets"] {
+				return nil, corrupt("Ports section after Nets", nil)
+			}
+			st.ensureBuilder(name, l)
+			if err := streamPorts(dec, st); err != nil {
+				return nil, err
+			}
+		case "Cells":
+			if seen["Nets"] {
+				return nil, corrupt("Cells section after Nets", nil)
+			}
+			st.ensureBuilder(name, l)
+			if err := streamCells(dec, st); err != nil {
+				return nil, err
+			}
+		case "Nets":
+			st.ensureBuilder(name, l)
+			if err := streamNets(dec, st); err != nil {
+				return nil, err
+			}
+		default:
+			if err := skipValue(dec); err != nil {
+				return nil, corrupt("truncated or malformed design JSON", err)
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, err
+	}
+	st.ensureBuilder(name, l)
+	if clockNS > 0 {
+		st.b.SetClockPeriod(clockNS)
+	}
+	st.b.SetDie(geom.BBox{XLo: die[0], YLo: die[1], XHi: die[2], YHi: die[3]})
+	out, err := st.b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	// Reapply placement, exactly as ReadJSON does.
+	for name, pos := range st.cellPos {
+		inst := out.Cell(st.cellIDs[name])
+		inst.Pos = pos
+		for _, pid := range inst.Pins {
+			out.Pin(pid).Pos = pos
+		}
+	}
+	for pid, pos := range st.portPos {
+		out.Pin(pid).Pos = pos
+	}
+	return out, nil
+}
+
+func (st *streamState) ensureBuilder(name string, l *lib.Library) {
+	if st.b == nil {
+		st.b = netlist.NewBuilder(name, l)
+	}
+}
+
+func streamPorts(dec *json.Decoder, st *streamState) error {
+	return streamArray(dec, func() error {
+		var jp jsonPort
+		if err := dec.Decode(&jp); err != nil {
+			return corrupt("truncated or malformed design JSON", err)
+		}
+		var pid netlist.PinID
+		switch jp.Dir {
+		case "in":
+			pid = st.b.AddPI(jp.Name)
+		case "out":
+			pid = st.b.AddPO(jp.Name, jp.Cap)
+		default:
+			return fmt.Errorf("designio: port %q has direction %q", jp.Name, jp.Dir)
+		}
+		st.portPins[jp.Name] = pid
+		st.portPos[pid] = geom.Point{X: jp.Pos.X, Y: jp.Pos.Y}
+		return nil
+	})
+}
+
+func streamCells(dec *json.Decoder, st *streamState) error {
+	return streamArray(dec, func() error {
+		var jc jsonCell
+		if err := dec.Decode(&jc); err != nil {
+			return corrupt("truncated or malformed design JSON", err)
+		}
+		if _, dup := st.cellIDs[jc.Name]; dup {
+			return fmt.Errorf("designio: duplicate cell %q", jc.Name)
+		}
+		st.cellIDs[jc.Name] = st.b.AddCell(jc.Name, jc.Master)
+		st.cellPos[jc.Name] = geom.Point{X: jc.Pos.X, Y: jc.Pos.Y}
+		return nil
+	})
+}
+
+func streamNets(dec *json.Decoder, st *streamState) error {
+	// Pin resolution needs every port and cell to exist already; a file
+	// with Nets ahead of Ports/Cells cannot be streamed in one pass.
+	st.d = st.b.Design()
+	return streamArray(dec, func() error {
+		var jn jsonNet
+		if err := dec.Decode(&jn); err != nil {
+			return corrupt("truncated or malformed design JSON", err)
+		}
+		drv, err := st.resolve(jn.Driver)
+		if err != nil {
+			return err
+		}
+		sinks := make([]netlist.PinID, 0, len(jn.Sinks))
+		for _, sref := range jn.Sinks {
+			s, err := st.resolve(sref)
+			if err != nil {
+				return err
+			}
+			sinks = append(sinks, s)
+		}
+		st.b.Connect(drv, sinks...)
+		return nil
+	})
+}
+
+// resolve mirrors ReadJSON's pin-reference resolution: a bare name is a
+// port, "inst/PIN" is a cell pin.
+func (st *streamState) resolve(ref string) (netlist.PinID, error) {
+	if pid, ok := st.portPins[ref]; ok {
+		return pid, nil
+	}
+	slash := strings.IndexByte(ref, '/')
+	if slash < 0 {
+		return 0, fmt.Errorf("designio: unknown pin %q", ref)
+	}
+	cid, ok := st.cellIDs[ref[:slash]]
+	if !ok {
+		return 0, fmt.Errorf("designio: unknown cell in pin %q", ref)
+	}
+	inst := st.d.Cell(cid)
+	if inst.Master == nil {
+		return 0, fmt.Errorf("designio: cell %q has no master", ref[:slash])
+	}
+	want := ref[slash+1:]
+	for i, in := range inst.Master.Inputs {
+		if in == want {
+			return inst.Pins[i], nil
+		}
+	}
+	if inst.Master.Output == want {
+		return inst.OutputPin(), nil
+	}
+	return 0, fmt.Errorf("designio: cell %q has no pin %q", ref[:slash], want)
+}
+
+// streamArray consumes a JSON array, invoking el once per element.
+func streamArray(dec *json.Decoder, el func() error) error {
+	if err := expectDelim(dec, '['); err != nil {
+		return err
+	}
+	for dec.More() {
+		if err := el(); err != nil {
+			return err
+		}
+	}
+	return expectDelim(dec, ']')
+}
+
+// expectDelim consumes one token and requires it to be the delimiter.
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return corrupt("truncated or malformed design JSON", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return corrupt("truncated or malformed design JSON", fmt.Errorf("designio: expected %q, got %v", want, tok))
+	}
+	return nil
+}
+
+// skipValue discards the next JSON value (scalar, object or array).
+func skipValue(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	d, ok := tok.(json.Delim)
+	if !ok || (d != '{' && d != '[') {
+		return nil
+	}
+	depth := 1
+	for depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		if d, ok := tok.(json.Delim); ok {
+			switch d {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			}
+		}
+	}
+	return nil
+}

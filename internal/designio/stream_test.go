@@ -1,0 +1,198 @@
+package designio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsteiner/internal/guard"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/place"
+	"tsteiner/internal/synth"
+)
+
+// tinyDesign is a hand-written minimal file exercising every section.
+const tinyDesign = `{
+ "Name": "tiny",
+ "ClockNS": 1.5,
+ "Die": [0, 0, 1000, 1000],
+ "Ports": [
+  {"Name": "a", "Dir": "in", "Cap": 0, "Pos": {"X": 10, "Y": 20}},
+  {"Name": "y", "Dir": "out", "Cap": 0.008, "Pos": {"X": 900, "Y": 900}}
+ ],
+ "Cells": [
+  {"Name": "u0", "Master": "INV_X1", "Pos": {"X": 500, "Y": 500}}
+ ],
+ "Nets": [
+  {"Name": "n0", "Driver": "a", "Sinks": ["u0/A"]},
+  {"Name": "n1", "Driver": "u0/Z", "Sinks": ["y"]}
+ ]
+}`
+
+func roundTripEqual(t *testing.T, data []byte) {
+	t.Helper()
+	l := lib.Default()
+	ds, err := StreamDesign(bytes.NewReader(data), l)
+	if err != nil {
+		t.Fatalf("StreamDesign: %v", err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("streamed design invalid: %v", err)
+	}
+	dw, err := ReadJSON(bytes.NewReader(data), l)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	var bs, bw bytes.Buffer
+	if err := WriteJSON(&bs, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&bw, dw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bs.Bytes(), bw.Bytes()) {
+		t.Fatal("streamed design differs from whole-file decode")
+	}
+}
+
+// TestStreamMatchesWholeFile: on every benchmark-shaped design (and a
+// scaled one), the streaming loader reconstructs exactly the design the
+// whole-file loader does.
+func TestStreamMatchesWholeFile(t *testing.T) {
+	roundTripEqual(t, []byte(tinyDesign))
+
+	l := lib.Default()
+	for _, name := range []string{"spm", "cic_decimator"} {
+		spec, err := synth.BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := synth.Generate(spec.Scale(0.2), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := place.Place(d, place.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		roundTripEqual(t, buf.Bytes())
+	}
+
+	spec, err := synth.BenchmarkByName("spm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := synth.GenerateScaled(spec, 3, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, scaled); err != nil {
+		t.Fatal(err)
+	}
+	roundTripEqual(t, buf.Bytes())
+}
+
+// TestStreamRejectsOutOfOrder: section orders that would force the
+// loader to buffer (Nets ahead of the pins they reference) are rejected
+// with a typed *guard.CorruptError, not a misresolve or a panic.
+func TestStreamRejectsOutOfOrder(t *testing.T) {
+	l := lib.Default()
+	cases := []struct{ name, body string }{
+		{"nets-before-cells", `{"Name":"x","Nets":[],"Cells":[]}`},
+		{"nets-before-ports", `{"Name":"x","Nets":[],"Ports":[]}`},
+		{"name-after-cells", `{"Cells":[],"Name":"x"}`},
+		{"duplicate-section", `{"Name":"x","Cells":[],"Cells":[]}`},
+		{"truncated", tinyDesign[:len(tinyDesign)/2]},
+		{"not-an-object", `[1,2,3]`},
+		{"empty", ``},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := StreamDesign(strings.NewReader(tc.body), l)
+			var ce *guard.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want *guard.CorruptError, got %v", err)
+			}
+		})
+	}
+}
+
+// TestStreamDesignFile: the file wrapper works and stamps the path into
+// corruption errors.
+func TestStreamDesignFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(tinyDesign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := StreamDesignFile(good, lib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "tiny" || len(d.Cells) != 1 || len(d.Nets) != 2 {
+		t.Fatalf("unexpected design: %s %d cells %d nets", d.Name, len(d.Cells), len(d.Nets))
+	}
+	if d.ClockPeriod != 1.5 {
+		t.Fatalf("clock %v", d.ClockPeriod)
+	}
+	if p := d.Cell(netlist.CellID(0)).Pos; p.X != 500 || p.Y != 500 {
+		t.Fatalf("cell position not applied: %v", p)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(tinyDesign[:40]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = StreamDesignFile(bad, lib.Default())
+	var ce *guard.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *guard.CorruptError, got %v", err)
+	}
+	if ce.Path != bad {
+		t.Fatalf("corrupt error path %q, want %q", ce.Path, bad)
+	}
+}
+
+// FuzzStreamDesign: arbitrary bytes must never panic the streaming
+// loader; on success the design validates and matches the whole-file
+// decode byte-for-byte through WriteJSON.
+func FuzzStreamDesign(f *testing.F) {
+	f.Add([]byte(tinyDesign))
+	f.Add([]byte(tinyDesign[:60]))
+	f.Add([]byte(`{"Name":"x","Nets":[{"Driver":"nope","Sinks":[]}],"Cells":[]}`))
+	f.Add([]byte(`{"Name":"x","Extra":{"deep":[{"a":1}]},"Ports":[],"Cells":[],"Nets":[]}`))
+	f.Add([]byte(`{"Cells":[{"Name":"c","Master":"NOSUCH"}]}`))
+	f.Add([]byte(`null`))
+	l := lib.Default()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := StreamDesign(bytes.NewReader(data), l)
+		if err != nil {
+			return // typed rejection is the contract; no panic is the test
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("stream accepted an invalid design: %v", err)
+		}
+		dw, err := ReadJSON(bytes.NewReader(data), l)
+		if err != nil {
+			t.Fatalf("stream accepted what ReadJSON rejects: %v", err)
+		}
+		var bs, bw bytes.Buffer
+		if err := WriteJSON(&bs, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&bw, dw); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bs.Bytes(), bw.Bytes()) {
+			t.Fatal("streamed design differs from whole-file decode")
+		}
+	})
+}

@@ -90,6 +90,31 @@ func DefaultConfig() Config {
 	}
 }
 
+// ScaledConfig returns the pipeline settings for scaled (10–100×)
+// designs: DefaultConfig plus the Hilbert seed placement. The row
+// serpentine the 1× benchmarks pin smears each tiled block across the
+// full die width at large sides, saturating the routing grid; the
+// Hilbert fill keeps blocks compact so scaled designs route in the
+// same sub-saturation regime as the originals.
+func ScaledConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Place.Hilbert = true
+	// A taller metal stack: block-level boundary ports and stitch nets
+	// of a tiled design add traffic the 4-layer stack of the 1×
+	// benchmarks cannot absorb, and chips this size carry more metal
+	// for exactly that reason. Eight extra layers put 100× designs in
+	// the same regime the 1× capacities were sized for (zero overflow,
+	// zero maze reroutes): below saturation, rip-up-and-reroute — and
+	// therefore the incremental replay every refinement round pays — is
+	// empty, so the per-round cost is pure bookkeeping.
+	caps := append([]int{}, cfg.LayerCaps...)
+	for i := 0; i < 8; i++ {
+		caps = append(caps, 10)
+	}
+	cfg.LayerCaps = caps
+	return cfg
+}
+
 // Prepared is the pre-routing state handed to TSteiner: a placed design
 // and its initial Steiner forest.
 type Prepared struct {

@@ -349,6 +349,43 @@ func (g *Grid) assignLayer(d Dir, idx int, use [][]int32) int {
 	return bestL
 }
 
+// StaticLayer returns the layer a static-mode route uses for one step:
+// a pure function of the step's direction and track coordinate
+// (round-robin over the suitable layers by track index), with no
+// booking and no balancing state — so one net's layer assignment can
+// never depend on another net's routing. This is what keeps
+// incremental replay's changed-net set equal to the moved nets; the
+// least-used balancer couples every net to every other through the
+// usage arrays.
+func (g *Grid) StaticLayer(horiz bool, x, y int) int {
+	d, track := Vert, x // vertical runs cycle by column
+	if horiz {
+		d, track = Horiz, y // horizontal runs cycle by row
+	}
+	n := 0
+	for l := 1; l < len(g.LayerCap); l++ {
+		if g.LayerDir[l] == d && g.LayerCap[l] > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	k := track % n
+	if k < 0 {
+		k += n
+	}
+	for l := 1; l < len(g.LayerCap); l++ {
+		if g.LayerDir[l] == d && g.LayerCap[l] > 0 {
+			if k == 0 {
+				return l
+			}
+			k--
+		}
+	}
+	return -1
+}
+
 // UnassignLayerH releases one previously booked track on layer l of a
 // horizontal edge (incremental rip-up).
 func (g *Grid) UnassignLayerH(l, x, y int) {

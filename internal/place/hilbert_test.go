@@ -1,0 +1,91 @@
+package place
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFillOrderPermutation: both fill modes enumerate every site exactly
+// once, including non-power-of-two sides where the Hilbert curve is
+// cropped to the die.
+func TestFillOrderPermutation(t *testing.T) {
+	for _, hilbert := range []bool{false, true} {
+		for _, side := range []int{2, 3, 7, 16, 21, 67, 100} {
+			p := &placer{opt: Options{Hilbert: hilbert}, side: side}
+			order := p.fillOrder()
+			if len(order) != side*side {
+				t.Fatalf("hilbert=%v side=%d: %d sites enumerated", hilbert, side, len(order))
+			}
+			seen := make([]bool, side*side)
+			for _, s := range order {
+				if s < 0 || s >= side*side || seen[s] {
+					t.Fatalf("hilbert=%v side=%d: site %d out of range or repeated", hilbert, side, s)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+// TestSerpentineFillUnchanged pins the default fill to the historical
+// row serpentine: the 1× benchmark placements (and everything recorded
+// on top of them) depend on it byte-for-byte.
+func TestSerpentineFillUnchanged(t *testing.T) {
+	side := 21
+	p := &placer{opt: Options{}, side: side}
+	order := p.fillOrder()
+	for i, got := range order {
+		row := i / side
+		col := i % side
+		if row%2 == 1 {
+			col = side - 1 - col
+		}
+		if want := row*side + col; got != want {
+			t.Fatalf("fill position %d: site %d, serpentine expects %d", i, got, want)
+		}
+	}
+}
+
+// TestHilbertFillLocality is the property the scaled designs rely on:
+// any m consecutive fill positions stay inside an O(√m) patch, at every
+// die size. The serpentine violates this as soon as m exceeds one row,
+// which is exactly what made 100× designs unroutable.
+func TestHilbertFillLocality(t *testing.T) {
+	const window = 256
+	for _, side := range []int{64, 212, 300} {
+		p := &placer{opt: Options{Hilbert: true}, side: side}
+		order := p.fillOrder()
+		// A window of the uncropped curve spans O(√m); cropping to a
+		// non-power-of-two die splices distant curve segments together,
+		// so allow a few multiples — the serpentine fails this bound by
+		// an order of magnitude (a 256-cell run spans a full 212-wide
+		// row pair, half-perimeter ≈ side).
+		limit := 6 * int(math.Sqrt(window))
+		for start := 0; start+window <= len(order); start += window {
+			xlo, ylo := side, side
+			xhi, yhi := 0, 0
+			for _, s := range order[start : start+window] {
+				x, y := s%side, s/side
+				xlo, xhi = min(xlo, x), max(xhi, x)
+				ylo, yhi = min(ylo, y), max(yhi, y)
+			}
+			if hp := (xhi - xlo) + (yhi - ylo); hp > limit {
+				t.Fatalf("side=%d window at %d spans half-perimeter %d > %d", side, start, hp, limit)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

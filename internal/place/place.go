@@ -25,6 +25,15 @@ type Options struct {
 	SwapsPerCell int
 	// Seed drives the refinement's randomness.
 	Seed int64
+	// Hilbert seeds sites along a Hilbert curve instead of the row
+	// serpentine. A serpentine row spans the full die, so on a large die
+	// a run of m connected cells is smeared into a side×(m/side) strip
+	// and its nets stretch across the whole width; the Hilbert fill
+	// keeps any m consecutive cells inside an O(√m)-diameter patch at
+	// every die size, which is what keeps scaled (10–100×) designs
+	// routable. Off by default: all recorded 1× benchmarks pin the
+	// serpentine placement.
+	Hilbert bool
 }
 
 // DefaultOptions returns placement settings used by all benchmarks.
@@ -66,7 +75,11 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 	start := p.totalHPWL()
 	p.refine()
 	end := p.totalHPWL()
-	p.placePorts()
+	if opt.Hilbert {
+		p.placePortsNear()
+	} else {
+		p.placePorts()
+	}
 	p.commitPinPositions()
 	return &Result{Die: die, HPWLStart: start, HPWLEnd: end, Sites: side}, nil
 }
@@ -117,16 +130,63 @@ func (p *placer) seed() {
 	}
 
 	order := p.bfsOrder()
+	sites := p.fillOrder()
 	for i, c := range order {
-		row := i / p.side
-		col := i % p.side
-		if row%2 == 1 {
-			col = p.side - 1 - col // serpentine keeps neighbours close
-		}
-		site := row*p.side + col
+		site := sites[i]
 		p.siteOf[c] = site
 		p.cellAt[site] = c
 	}
+}
+
+// fillOrder enumerates all side² sites in the order cells are poured
+// into them: row serpentine by default, Hilbert curve when requested.
+func (p *placer) fillOrder() []int {
+	out := make([]int, 0, p.side*p.side)
+	if !p.opt.Hilbert {
+		for i := 0; i < p.side*p.side; i++ {
+			row := i / p.side
+			col := i % p.side
+			if row%2 == 1 {
+				col = p.side - 1 - col // serpentine keeps neighbours close
+			}
+			out = append(out, row*p.side+col)
+		}
+		return out
+	}
+	// Walk the Hilbert curve of the next power-of-two square and keep
+	// the points inside the die; skipping out-of-bounds points preserves
+	// the curve order, so the locality guarantee survives the crop.
+	n := 1
+	for n < p.side {
+		n *= 2
+	}
+	for d := 0; d < n*n; d++ {
+		x, y := hilbertD2XY(n, d)
+		if x < p.side && y < p.side {
+			out = append(out, y*p.side+x)
+		}
+	}
+	return out
+}
+
+// hilbertD2XY maps a distance along the Hilbert curve of an n×n grid
+// (n a power of two) to grid coordinates.
+func hilbertD2XY(n, d int) (x, y int) {
+	for s := 1; s < n; s *= 2 {
+		rx := 1 & (d / 2)
+		ry := 1 & (d ^ rx)
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		d /= 4
+	}
+	return
 }
 
 // bfsOrder returns all cells in BFS order over net connectivity.
@@ -250,6 +310,64 @@ func (p *placer) hpwlOf(nets []netlist.NetID) int64 {
 		sum += p.netHPWL(ni)
 	}
 	return sum
+}
+
+// placePortsNear puts every port on the die-boundary point closest to
+// the centroid of its net's placed cell pins. Index-spread ports (the
+// default) are fine on a small die, but on a tiled design they hand
+// each block a handful of die-spanning nets; projecting onto the
+// nearest edge keeps a port next to the block it serves. Used only
+// with the Hilbert fill — the 1× benchmarks pin the spread layout.
+func (p *placer) placePortsNear() {
+	d := p.d
+	die := d.Die
+	place := func(pid netlist.PinID) {
+		port := d.Pin(pid)
+		ni := port.Net
+		if ni == netlist.NoID {
+			port.Pos = geom.Point{X: die.XLo, Y: die.YLo}
+			return
+		}
+		net := d.Net(ni)
+		var sx, sy, n int
+		add := func(q netlist.PinID) {
+			if c := d.Pin(q).Cell; c != netlist.NoID {
+				pt := p.sitePos(p.siteOf[c])
+				sx += pt.X
+				sy += pt.Y
+				n++
+			}
+		}
+		add(net.Driver)
+		for _, s := range net.Sinks {
+			add(s)
+		}
+		c := geom.Point{X: die.XLo, Y: die.YLo}
+		if n > 0 {
+			c = geom.Point{X: sx / n, Y: sy / n}
+		}
+		// Project onto the nearest edge; ties resolve in the fixed
+		// left, right, bottom, top order so placement is deterministic.
+		dl, dr := c.X-die.XLo, die.XHi-c.X
+		db, dt := c.Y-die.YLo, die.YHi-c.Y
+		switch {
+		case dl <= dr && dl <= db && dl <= dt:
+			c.X = die.XLo
+		case dr <= db && dr <= dt:
+			c.X = die.XHi
+		case db <= dt:
+			c.Y = die.YLo
+		default:
+			c.Y = die.YHi
+		}
+		port.Pos = die.Clamp(c)
+	}
+	for _, pid := range d.PIs {
+		place(pid)
+	}
+	for _, pid := range d.POs {
+		place(pid)
+	}
 }
 
 // placePorts spreads PI pins along the left/top edges and PO pins along

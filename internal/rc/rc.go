@@ -46,21 +46,41 @@ func Extract(d *netlist.Design, f *rsmt.Forest, g *grid.Grid, routes *route.Resu
 	}
 	out := make([]NetRC, len(d.Nets))
 	for ni := range d.Nets {
-		tr := f.Trees[ni]
-		edgeRC := make([]rcPair, len(tr.Edges))
-		for _, er := range routes.Routes[ni].Edges {
-			e := tr.Edges[er.TreeEdge]
-			from := tr.Nodes[e.A].Pos.Round()
-			to := tr.Nodes[e.B].Pos.Round()
-			edgeRC[er.TreeEdge] = routedEdgeRC(g, &er, from, to, tech)
-		}
-		nrc, err := evalTree(d, tr, edgeRC, tech)
+		nrc, err := ExtractNet(d, f.Trees[ni], g, &routes.Routes[ni], tech)
 		if err != nil {
 			return nil, err
 		}
 		out[ni] = nrc
 	}
 	return out, nil
+}
+
+// ExtractNet computes the post-routing RC view of a single net — the
+// per-net body of Extract, exported so incremental flows can re-extract
+// only the nets whose routing changed and splice the result into an
+// existing RC vector with bit-identical values.
+func ExtractNet(d *netlist.Design, tr *rsmt.Tree, g *grid.Grid, nr *route.NetRoute, tech *lib.Library) (NetRC, error) {
+	edgeRC := make([]rcPair, len(tr.Edges))
+	for _, er := range nr.Edges {
+		e := tr.Edges[er.TreeEdge]
+		from := tr.Nodes[e.A].Pos.Round()
+		to := tr.Nodes[e.B].Pos.Round()
+		edgeRC[er.TreeEdge] = routedEdgeRC(g, &er, from, to, tech)
+	}
+	return evalTree(d, tr, edgeRC, tech)
+}
+
+// ExtractTreeNet computes the pre-routing RC view of a single net (the
+// per-net body of ExtractFromTrees) — used by windowed-STA tests and
+// flows that move one net at a time before routing exists.
+func ExtractTreeNet(d *netlist.Design, tr *rsmt.Tree, tech *lib.Library) (NetRC, error) {
+	rAvg, cAvg := AvgLayerRC(tech)
+	edgeRC := make([]rcPair, len(tr.Edges))
+	for ei, e := range tr.Edges {
+		l := geom.ManhattanDistF(tr.Nodes[e.A].Pos, tr.Nodes[e.B].Pos)
+		edgeRC[ei] = rcPair{R: l*rAvg + 2*tech.ViaRes, C: l * cAvg}
+	}
+	return evalTree(d, tr, edgeRC, tech)
 }
 
 // ExtractFromTrees computes pre-routing RC views straight from Steiner

@@ -1,0 +1,214 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsteiner/internal/grid"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/place"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/synth"
+)
+
+// staticFixture prepares a routed design in StaticPatterns mode.
+func staticFixture(t *testing.T, name string, scale float64) (*netlist.Design, *rsmt.Forest, *grid.Grid, *Result, Options) {
+	t.Helper()
+	spec, err := synth.BenchmarkByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := synth.Generate(spec.Scale(scale), lib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := place.Place(d, place.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := rsmt.BuildAll(d, rsmt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.StaticPatterns = true
+	g := newTestGrid(t, d)
+	prev, err := Route(d, f, g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, f, g, prev, opt
+}
+
+func newTestGrid(t *testing.T, d *netlist.Design) *grid.Grid {
+	t.Helper()
+	g, err := grid.New(d.Die, 8, []int{0, 12, 12, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// requireSameRouting fails unless two results are byte-identical:
+// every edge's cells, layers and vias, the tallies, and the grid state
+// they left behind.
+func requireSameRouting(t *testing.T, got, want *Result, gGot, gWant *grid.Grid) {
+	t.Helper()
+	if len(got.Routes) != len(want.Routes) {
+		t.Fatalf("route count %d vs %d", len(got.Routes), len(want.Routes))
+	}
+	for ni := range want.Routes {
+		if routesDiffer(&got.Routes[ni], &want.Routes[ni]) {
+			t.Fatalf("net %d realization differs from from-scratch route", ni)
+		}
+	}
+	if got.WirelengthDBU != want.WirelengthDBU || got.Vias != want.Vias ||
+		got.Overflow != want.Overflow || got.MazeReroutes != want.MazeReroutes {
+		t.Fatalf("tallies differ: (%d, %d, %d, %d) vs (%d, %d, %d, %d)",
+			got.WirelengthDBU, got.Vias, got.Overflow, got.MazeReroutes,
+			want.WirelengthDBU, want.Vias, want.Overflow, want.MazeReroutes)
+	}
+	if gGot.W != gWant.W || gGot.H != gWant.H {
+		t.Fatalf("grid shape differs")
+	}
+	for y := 0; y < gGot.H; y++ {
+		for x := 0; x < gGot.W; x++ {
+			if x+1 < gGot.W && gGot.UsageH(x, y) != gWant.UsageH(x, y) {
+				t.Fatalf("usageH(%d,%d): %d vs %d", x, y, gGot.UsageH(x, y), gWant.UsageH(x, y))
+			}
+			if y+1 < gGot.H && gGot.UsageV(x, y) != gWant.UsageV(x, y) {
+				t.Fatalf("usageV(%d,%d): %d vs %d", x, y, gGot.UsageV(x, y), gWant.UsageV(x, y))
+			}
+			for l := 1; l < len(gGot.LayerCap); l++ {
+				if x+1 < gGot.W && gGot.LayerUsageH(l, x, y) != gWant.LayerUsageH(l, x, y) {
+					t.Fatalf("layerUseH(%d,%d,%d) differs", l, x, y)
+				}
+				if y+1 < gGot.H && gGot.LayerUsageV(l, x, y) != gWant.LayerUsageV(l, x, y) {
+					t.Fatalf("layerUseV(%d,%d,%d) differs", l, x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestPropIncrementalStaticByteIdentity is the issue's routing
+// property: in StaticPatterns mode, for seeded random subsets of moved
+// nets, Incremental's result is byte-identical to a from-scratch Route
+// of the new forest (including grid state). Rounds chain — each
+// incremental result is the next previous state — so replay drift
+// would compound and get caught.
+func TestPropIncrementalStaticByteIdentity(t *testing.T) {
+	for _, name := range []string{"spm", "cic_decimator"} {
+		t.Run(name, func(t *testing.T) {
+			d, oldF, g, prev, opt := staticFixture(t, name, 1.0)
+			rng := rand.New(rand.NewSource(314))
+			rounds := 6
+			if testing.Short() {
+				rounds = 3
+			}
+			for round := 0; round < rounds; round++ {
+				newF := oldF.Clone()
+				xs, ys, idx := newF.SteinerPositions()
+				if len(xs) == 0 {
+					t.Skip("no Steiner points to move")
+				}
+				// Move a random subset by a random whole number of
+				// GCells (some moves stay inside the same GCell and
+				// must be treated as unchanged).
+				k := 1 + rng.Intn(len(xs)/4+1)
+				for j := 0; j < k; j++ {
+					i := rng.Intn(len(xs))
+					xs[i] += float64((rng.Intn(7) - 3) * 8)
+					ys[i] += float64((rng.Intn(7) - 3) * 8)
+				}
+				if err := newF.SetSteinerPositions(xs, ys, idx, d.Die); err != nil {
+					t.Fatal(err)
+				}
+
+				got, nChanged, err := Incremental(d, oldF, newF, g, prev, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gFresh := newTestGrid(t, d)
+				want, err := Route(d, newF, gFresh, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameRouting(t, got, want, g, gFresh)
+
+				// ChangedNets must be exactly the nets whose realization
+				// moved, in ascending order, and cover at least the
+				// GCell-crossing nets counted by nChanged.
+				seen := map[netlist.NetID]bool{}
+				for i, ni := range got.ChangedNets {
+					if i > 0 && got.ChangedNets[i-1] >= ni {
+						t.Fatalf("ChangedNets not strictly ascending")
+					}
+					seen[ni] = true
+				}
+				for ni := range got.Routes {
+					if routesDiffer(&prev.Routes[ni], &got.Routes[ni]) != seen[netlist.NetID(ni)] {
+						t.Fatalf("net %d: ChangedNets membership %v contradicts diff", ni, seen[netlist.NetID(ni)])
+					}
+				}
+				if nChanged == 0 && len(got.ChangedNets) != 0 {
+					t.Fatalf("no net crossed a GCell but %d nets changed", len(got.ChangedNets))
+				}
+
+				oldF, prev = newF, got
+			}
+		})
+	}
+}
+
+// TestIncrementalStaticNoMoveIsIdentity: an incremental step with an
+// identical forest must change nothing — no changed nets, identical
+// tallies, identical grid.
+func TestIncrementalStaticNoMoveIsIdentity(t *testing.T) {
+	d, f, g, prev, opt := staticFixture(t, "spm", 1.0)
+	got, nChanged, err := Incremental(d, f, f.Clone(), g, prev, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nChanged != 0 || len(got.ChangedNets) != 0 {
+		t.Fatalf("identity step reported %d/%d changed nets", nChanged, len(got.ChangedNets))
+	}
+	gFresh := newTestGrid(t, d)
+	want, err := Route(d, f, gFresh, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRouting(t, got, want, g, gFresh)
+}
+
+// TestStaticPatternsArePure: the static pattern choice must be a pure
+// function of the endpoints — identical paths regardless of the grid
+// congestion state it is evaluated under.
+func TestStaticPatternsArePure(t *testing.T) {
+	d, f, g, _, opt := staticFixture(t, "spm", 0.5)
+	r1 := &router{d: d, g: g, opt: opt} // congested grid (post-route)
+	gFresh := newTestGrid(t, d)
+	r2 := &router{d: d, g: gFresh, opt: opt} // empty grid
+	rng := rand.New(rand.NewSource(9))
+	_ = f
+	for trial := 0; trial < 200; trial++ {
+		a := GP{rng.Intn(g.W), rng.Intn(g.H)}
+		b := GP{rng.Intn(g.W), rng.Intn(g.H)}
+		p1 := r1.patternRoute(a, b)
+		p2 := r2.patternRoute(a, b)
+		if len(p1) != len(p2) {
+			t.Fatalf("path length differs for %v→%v", a, b)
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("static path differs for %v→%v at %d", a, b, i)
+			}
+		}
+		// Manhattan-optimal: a static L never detours.
+		wantLen := int(math.Abs(float64(a.X-b.X)) + math.Abs(float64(a.Y-b.Y)))
+		if len(p1)-1 != wantLen {
+			t.Fatalf("static path %v→%v has %d steps, want %d", a, b, len(p1)-1, wantLen)
+		}
+	}
+}

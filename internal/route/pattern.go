@@ -14,6 +14,9 @@ func (r *router) patternRoute(a, b GP) []GP {
 	if a.X == b.X || a.Y == b.Y {
 		return straight(a, b)
 	}
+	if r.opt.StaticPatterns {
+		return staticLPath(a, b)
+	}
 	best := lPath(a, b, true) // horizontal first
 	bestCost := r.pathCost(best)
 	if alt := lPath(a, b, false); true {
@@ -40,6 +43,15 @@ func (r *router) patternRoute(a, b GP) []GP {
 		}
 	}
 	return best
+}
+
+// staticLPath is the congestion-blind pattern choice of StaticPatterns
+// mode: an L whose corner side is picked by the parity of the endpoint
+// coordinate sum. A pure function of (a, b) — no grid state is read —
+// while the parity split still statistically spreads elbows instead of
+// stacking every bend on one side.
+func staticLPath(a, b GP) []GP {
+	return lPath(a, b, (a.X+a.Y+b.X+b.Y)&1 == 0)
 }
 
 // straight returns the unit-step path along a shared row or column.

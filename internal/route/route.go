@@ -28,6 +28,10 @@ type EdgeRoute struct {
 	Cells    []GP // GCell path, len ≥ 1; len==1 means intra-GCell
 	Layers   []int
 	Vias     int
+	// patched records that rip-up-and-reroute replaced the initial
+	// pattern path, so Cells is no longer the pure function of the edge
+	// endpoints that static-mode incremental replay could reuse.
+	patched bool
 }
 
 // StepsDBU returns the routed length of the edge in DBU.
@@ -55,6 +59,12 @@ type Result struct {
 	Overflow int
 	// MazeReroutes counts edges that needed maze routing.
 	MazeReroutes int
+	// ChangedNets lists, in ascending net-ID order, the nets whose final
+	// realization (cells, layers or vias) differs from the previous
+	// result. Populated only by static-mode Incremental; nil otherwise.
+	// This is the exact set downstream RC extraction and windowed STA
+	// must refresh.
+	ChangedNets []netlist.NetID
 }
 
 // Options tunes the router.
@@ -77,6 +87,15 @@ type Options struct {
 	// headroom, trading a little balance for far fewer vias. Off by
 	// default (the recorded experiments use plain least-used balancing).
 	ViaAwareLayers bool
+	// StaticPatterns makes the initial pattern route a congestion-blind
+	// pure function of the edge endpoints (a deterministic L whose
+	// corner is picked by coordinate parity). Phase-1 grid usage then
+	// depends only on the forest — not on net order or routing history —
+	// which is what lets Incremental replay a routing exactly: under
+	// this mode its result is byte-identical to a from-scratch Route of
+	// the new forest. Used by the sharded refinement loop; the default
+	// (congestion-probing) mode is unchanged.
+	StaticPatterns bool
 }
 
 // DefaultOptions returns router settings used by the flow.
@@ -125,6 +144,9 @@ func Route(d *netlist.Design, f *rsmt.Forest, g *grid.Grid, opt Options) (*Resul
 
 	// Rip-up and reroute congested paths.
 	for round := 0; round < opt.RRRRounds; round++ {
+		if g.TotalOverflow() == 0 {
+			break // no overflowed grid edge ⇒ no victims; skip the O(wirelength) scan
+		}
 		victims := r.collectOverflowed(res)
 		if len(victims) == 0 {
 			break
@@ -142,6 +164,7 @@ func Route(d *netlist.Design, f *rsmt.Forest, g *grid.Grid, opt Options) (*Resul
 			}
 			r.commit(path, +1)
 			er.Cells = path
+			er.patched = true
 		}
 	}
 
@@ -263,7 +286,13 @@ func (r *router) assignLayers(er *EdgeRoute) {
 		a, b := er.Cells[i], er.Cells[i+1]
 		horiz := a.Y == b.Y
 		var l int
-		if r.opt.ViaAwareLayers && prev >= 0 {
+		if r.opt.StaticPatterns {
+			// Static mode trades the balancer (and ViaAwareLayers) for
+			// a per-step pure assignment: a net's layers depend only on
+			// its own cells, which is what lets incremental replay skip
+			// untouched nets entirely.
+			l = r.g.StaticLayer(horiz, min(a.X, b.X), min(a.Y, b.Y))
+		} else if r.opt.ViaAwareLayers && prev >= 0 {
 			l = r.g.AssignLayerSticky(horiz, min(a.X, b.X), min(a.Y, b.Y), prev)
 		} else if horiz {
 			l = r.g.AssignLayerH(min(a.X, b.X), a.Y)

@@ -17,6 +17,7 @@ import (
 	"tsteiner/internal/lib"
 	"tsteiner/internal/netlist"
 	"tsteiner/internal/obs"
+	"tsteiner/internal/shard"
 	"tsteiner/internal/train"
 )
 
@@ -124,7 +125,37 @@ func (rn *Runner) Run(req *JobRequest) (*JobResult, error) {
 	}
 
 	finalForest := prepared.Forest
-	if req.Kind == KindTrain || req.Kind == KindRefine {
+	if req.Kind == KindRefine && req.Shards > 0 {
+		// Sharded incremental refinement: no evaluator and no training —
+		// the windowed-STA loop replaces the GNN. Byte-identical at any
+		// Shards/Workers value, so the artifacts stay a pure function of
+		// the request minus its concurrency knobs.
+		sopt := shard.DefaultOptions()
+		sopt.Shards = req.Shards
+		sopt.Workers = req.Workers
+		sopt.Rounds = req.Iters
+		sres, err := shard.Refine(prepared, sopt)
+		if err != nil {
+			return nil, fmt.Errorf("serve: job %s: sharded refine: %w", req.ID, err)
+		}
+		res.Iterations = sres.Rounds
+		res.EvalInitWNS, res.EvalBestWNS = sres.InitWNS, sres.WNS
+		res.EvalInitTNS, res.EvalBestTNS = sres.InitTNS, sres.TNS
+
+		// Like the GNN path, the final sign-off measurement runs
+		// budget-free on the refined forest.
+		finalPrep := *prepared
+		finalCfg := prepared.Config
+		finalCfg.Budget = nil
+		finalPrep.Config = finalCfg
+		rep2, err := flow.Signoff(&finalPrep, sres.Forest)
+		if err != nil {
+			return nil, fmt.Errorf("serve: job %s: %w", req.ID, err)
+		}
+		ref := metricsOf(rep2)
+		res.Refined = &ref
+		finalForest = sres.Forest
+	} else if req.Kind == KindTrain || req.Kind == KindRefine {
 		smp := &train.Sample{
 			Name:     d.Name,
 			Train:    true,

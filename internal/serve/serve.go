@@ -98,6 +98,13 @@ type JobRequest struct {
 	// (0 = all CPUs). Results are byte-identical at any value.
 	Workers int
 
+	// Shards > 0 switches a refine job to the sharded incremental
+	// refiner (internal/shard) instead of the GNN loop: no evaluator is
+	// trained, Iters becomes the round budget, and the result is
+	// byte-identical at any shard count. 0 (the default) keeps the GNN
+	// refinement path.
+	Shards int
+
 	// DeadlineMS is the per-job wall-clock budget in milliseconds
 	// (0 = unlimited). Training and refinement degrade to best-so-far
 	// (JobResult.Cutoff); budget expiry during a flow phase fails the
@@ -136,6 +143,9 @@ func (r *JobRequest) Normalize() {
 	if r.DeadlineMS < 0 {
 		r.DeadlineMS = 0
 	}
+	if r.Shards < 0 {
+		r.Shards = 0 // every "unsharded" spelling is the GNN path
+	}
 }
 
 // maxima keeping one hostile request from monopolizing the server.
@@ -143,6 +153,7 @@ const (
 	maxIDLen  = 64
 	maxEpochs = 1 << 20
 	maxIters  = 1 << 20
+	maxShards = 1 << 12
 )
 
 // Validate rejects malformed requests with a descriptive error. The ID
@@ -182,6 +193,9 @@ func (r *JobRequest) Validate() error {
 	}
 	if r.Epochs > maxEpochs || r.Iters > maxIters {
 		return fmt.Errorf("serve: job %s exceeds the per-job work bounds (epochs %d, iters %d)", r.ID, r.Epochs, r.Iters)
+	}
+	if r.Shards > maxShards {
+		return fmt.Errorf("serve: job %s asks for %d shards (max %d)", r.ID, r.Shards, maxShards)
 	}
 	return nil
 }

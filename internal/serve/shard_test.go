@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestJobRequestShardsNormalizeValidate: the Shards knob follows the
+// package's request rules — Normalize is idempotent (it runs again
+// server-side after the JSON roundtrip) and Validate bounds the value.
+func TestJobRequestShardsNormalizeValidate(t *testing.T) {
+	r := &JobRequest{ID: "s", Kind: KindRefine, Design: json.RawMessage(`{}`), Shards: -3}
+	r.Normalize()
+	if r.Shards != 0 {
+		t.Fatalf("negative Shards normalized to %d, want 0", r.Shards)
+	}
+	before := *r
+	r.Normalize()
+	if r.Shards != before.Shards || r.Seed != before.Seed || r.Epochs != before.Epochs ||
+		r.Iters != before.Iters || r.AugmentVariants != before.AugmentVariants {
+		t.Fatalf("Normalize not idempotent: %+v != %+v", *r, before)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("normalized request rejected: %v", err)
+	}
+	r.Shards = maxShards + 1
+	if err := r.Validate(); err == nil {
+		t.Fatal("Shards above the cap passed Validate")
+	}
+}
+
+// TestServeShardedRefineShardCountInvariant extends the shard-count
+// byte-identity contract to the job runner: two refine jobs differing
+// only in Shards (and Workers) must produce byte-identical forest
+// artifacts and identical refined metrics.
+func TestServeShardedRefineShardCountInvariant(t *testing.T) {
+	d := designJSON(t, 5)
+	mk := func(id string, shards, workers int) *JobRequest {
+		return &JobRequest{ID: id, Kind: KindRefine, Design: d,
+			Seed: 7, Iters: 3, Shards: shards, Workers: workers}
+	}
+	sp, ref := runSerial(t, []*JobRequest{mk("shard-1", 1, 1), mk("shard-4", 4, 2)})
+	f1, f4 := ref["shard-1"][1], ref["shard-4"][1]
+	if !bytes.Equal(f1, f4) {
+		t.Fatal("forest artifacts diverged across shard counts")
+	}
+	read := func(id string) *JobResult {
+		r, err := sp.ReadResult(id)
+		if err != nil || r == nil {
+			t.Fatalf("result %s: %v", id, err)
+		}
+		return r
+	}
+	r1, r4 := read("shard-1"), read("shard-4")
+	if r1.Refined == nil || r4.Refined == nil {
+		t.Fatal("sharded refine job recorded no refined metrics")
+	}
+	if *r1.Refined != *r4.Refined {
+		t.Fatalf("refined metrics diverged: %+v != %+v", *r1.Refined, *r4.Refined)
+	}
+	if r1.Iterations != r4.Iterations {
+		t.Fatalf("rounds diverged: %d != %d", r1.Iterations, r4.Iterations)
+	}
+	if r1.ModelHash != "" || r4.ModelHash != "" {
+		t.Fatal("sharded refine trained a model; it must not")
+	}
+}

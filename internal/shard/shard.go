@@ -1,0 +1,304 @@
+// Package shard is the scaled-design refinement engine: spatially
+// sharded, timing-driven Steiner refinement whose result is byte-
+// identical for every shard count and worker count — and to an
+// unsharded full-route/full-STA reference — by construction.
+//
+// The determinism argument has three legs:
+//
+//  1. Proposals are pure functions of the round-start snapshot. Every
+//     candidate net's move is computed from the same frozen forest and
+//     STA result, so grouping candidates into shards (and running the
+//     groups through internal/par) changes wall clock only, never a
+//     coordinate. The flattened move list is sorted before application.
+//  2. The spatial partition is fixed. Boundary classification uses a
+//     constant strip grid over the die, independent of Options.Shards,
+//     so boundary policies select the same candidate sets at every
+//     shard count.
+//  3. Evaluation is exact. Static-pattern incremental routing replays
+//     byte-identically to a from-scratch route, per-net RC extraction
+//     is bitwise the full extraction, and windowed re-timing is bitwise
+//     a full STA run — so the incremental path and the Reference path
+//     reach the same accept/reject decisions on the same bits.
+package shard
+
+import (
+	"math"
+	"sort"
+
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/sta"
+)
+
+// BoundaryPolicy selects how nets whose trees span multiple partition
+// strips participate in refinement.
+type BoundaryPolicy int
+
+const (
+	// Owner refines every candidate net every round (a boundary net is
+	// owned by the strip holding its bounding-box center). Safe here
+	// because application is globally serialized after the parallel
+	// proposal phase.
+	Owner BoundaryPolicy = iota
+	// Freeze never moves boundary nets.
+	Freeze
+	// Alternate refines interior nets on even rounds and boundary nets
+	// on odd rounds, so the two classes never move in the same round.
+	Alternate
+)
+
+// partitionStrips is the fixed vertical strip count of the spatial
+// partition. Deliberately a constant rather than Options.Shards: the
+// partition decides boundary-ness (and therefore candidate sets under
+// Freeze/Alternate), which must not depend on how many shards execute
+// the round.
+const partitionStrips = 16
+
+// Options configures a sharded refinement run.
+type Options struct {
+	// Shards is the number of concurrent proposal groups (<=1 serializes
+	// into one group). Any value yields byte-identical results.
+	Shards int
+	// Workers bounds the goroutines of the proposal fan-out
+	// (0 = GOMAXPROCS, 1 = serial); byte-identical at any value.
+	Workers int
+	// Rounds bounds the refinement rounds.
+	Rounds int
+	// MaxMovesPerRound caps the candidate nets refined per round (most
+	// critical first).
+	MaxMovesPerRound int
+	// StepFrac is the initial step: each on-path Steiner node moves this
+	// fraction of the way toward the midpoint of its path neighbors.
+	// Halved after every rejected round.
+	StepFrac float64
+	// SlackThreshold admits nets whose worst sink slack is below it.
+	SlackThreshold float64
+	// Boundary selects the cross-strip net policy.
+	Boundary BoundaryPolicy
+	// Reference switches to the unsharded oracle path: full re-route on
+	// a fresh grid, full RC extraction and full STA every round. Slow,
+	// but the sharded path must match it bit for bit.
+	Reference bool
+}
+
+// DefaultOptions returns the refinement settings used by the scale
+// experiments.
+func DefaultOptions() Options {
+	return Options{
+		Shards:           1,
+		Rounds:           8,
+		MaxMovesPerRound: 32,
+		StepFrac:         0.35,
+		SlackThreshold:   0.05,
+		Boundary:         Owner,
+	}
+}
+
+// Result reports a refinement run. Every field except the timings is
+// deterministic: identical across shard counts, worker counts and the
+// Reference path.
+type Result struct {
+	// Forest is the refined continuous forest (the caller's input is not
+	// modified).
+	Forest *rsmt.Forest
+
+	// Initial sign-off metrics (static-pattern routing of the input).
+	InitWNS, InitTNS float64
+	InitVios         int
+
+	// Final sign-off metrics.
+	WNS, TNS float64
+	Vios     int
+	// Final routing-solution quality.
+	WirelengthDBU int64
+	Vias          int
+	Overflow      int
+
+	// Rounds executed, accept/reject split, and the number of nets whose
+	// rounded geometry changed in accepted rounds.
+	Rounds    int
+	Accepted  int
+	Rejected  int
+	MovedNets int
+
+	// RetimedNets counts the nets re-extracted and re-timed across all
+	// rounds — the workload the windowed path pays instead of
+	// whole-design RC+STA. Zero in Reference mode (which always pays the
+	// whole design).
+	RetimedNets int
+
+	// Wall-clock split (not deterministic): initial route+extract+STA
+	// versus the refinement rounds.
+	InitSec, RefineSec float64
+}
+
+// candidate is one net admitted to a round.
+type candidate struct {
+	net   netlist.NetID
+	slack float64
+}
+
+// move relocates one Steiner node (continuous coordinates).
+type move struct {
+	tree, node int32
+	x, y       float64
+}
+
+// strips computes, per net, the partition strip of the tree's
+// bounding-box center and whether the tree spans more than one strip.
+// Pure geometry over the round-start forest.
+func strips(f *rsmt.Forest, xlo, xhi int) (region []int, boundary []bool) {
+	region = make([]int, len(f.Trees))
+	boundary = make([]bool, len(f.Trees))
+	w := float64(xhi - xlo)
+	if w <= 0 {
+		return region, boundary
+	}
+	stripOf := func(x float64) int {
+		s := int((x - float64(xlo)) / w * partitionStrips)
+		if s < 0 {
+			s = 0
+		}
+		if s >= partitionStrips {
+			s = partitionStrips - 1
+		}
+		return s
+	}
+	for ti, tr := range f.Trees {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for ni := range tr.Nodes {
+			x := tr.Nodes[ni].Pos.X
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if len(tr.Nodes) == 0 {
+			continue
+		}
+		region[ti] = stripOf((lo + hi) / 2)
+		boundary[ti] = stripOf(lo) != stripOf(hi)
+	}
+	return region, boundary
+}
+
+// selectCandidates builds the round's capped, most-critical-first
+// candidate list from the round-start STA result. Deterministic:
+// sorted by (slack, net ID), never by map order.
+func selectCandidates(d *netlist.Design, f *rsmt.Forest, T *sta.Result, opt Options, boundary []bool, round int) []candidate {
+	var cands []candidate
+	for ti, tr := range f.Trees {
+		if tr.SteinerCount() == 0 {
+			continue
+		}
+		switch opt.Boundary {
+		case Freeze:
+			if boundary[ti] {
+				continue
+			}
+		case Alternate:
+			if boundary[ti] != (round%2 == 1) {
+				continue
+			}
+		}
+		worst := math.Inf(1)
+		for ni := range tr.Nodes {
+			nd := &tr.Nodes[ni]
+			if nd.Kind != rsmt.PinNode || int(nd.Pin) >= len(T.PinSlack) {
+				continue
+			}
+			if nd.Pin == d.Net(tr.Net).Driver {
+				continue
+			}
+			if s := T.PinSlack[nd.Pin]; s < worst {
+				worst = s
+			}
+		}
+		if worst < opt.SlackThreshold {
+			cands = append(cands, candidate{net: netlist.NetID(ti), slack: worst})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].slack != cands[j].slack {
+			return cands[i].slack < cands[j].slack
+		}
+		return cands[i].net < cands[j].net
+	})
+	if opt.MaxMovesPerRound > 0 && len(cands) > opt.MaxMovesPerRound {
+		cands = cands[:opt.MaxMovesPerRound]
+	}
+	return cands
+}
+
+// proposeNet computes the moves for one net: walk the tree path from
+// the driver (node 0) to the most critical sink and pull every on-path
+// Steiner node a step toward the midpoint of its path neighbors. A
+// pure function of (tree, STA snapshot, step) — no global state — which
+// is what makes the proposal fan-out shard- and worker-invariant.
+func proposeNet(d *netlist.Design, tr *rsmt.Tree, T *sta.Result, ti int32, step float64) []move {
+	// Most critical sink node: min PinSlack, ties to the lower index.
+	sink := int32(-1)
+	worst := math.Inf(1)
+	for ni := range tr.Nodes {
+		nd := &tr.Nodes[ni]
+		if nd.Kind != rsmt.PinNode || int(nd.Pin) >= len(T.PinSlack) {
+			continue
+		}
+		if nd.Pin == d.Net(tr.Net).Driver {
+			continue
+		}
+		if s := T.PinSlack[nd.Pin]; s < worst {
+			worst = s
+			sink = int32(ni)
+		}
+	}
+	if sink <= 0 {
+		return nil
+	}
+	// Parent pointers from node 0 by iterative DFS (deterministic:
+	// adjacency order is edge order).
+	adj := tr.Adjacency()
+	parent := make([]int32, len(tr.Nodes))
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[0] = -1
+	stack := []int32{0}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if parent[v] == -2 {
+				parent[v] = u
+				stack = append(stack, v)
+			}
+		}
+	}
+	if parent[sink] == -2 {
+		return nil
+	}
+	// Path driver → sink.
+	var path []int32
+	for u := sink; u != -1; u = parent[u] {
+		path = append(path, u)
+	}
+	// path is sink→driver; orientation does not matter for midpoints.
+	var out []move
+	for i := 1; i+1 < len(path); i++ {
+		n := path[i]
+		if tr.Nodes[n].Kind != rsmt.SteinerNode {
+			continue
+		}
+		a, b := tr.Nodes[path[i-1]].Pos, tr.Nodes[path[i+1]].Pos
+		p := tr.Nodes[n].Pos
+		out = append(out, move{
+			tree: ti,
+			node: n,
+			x:    p.X + step*((a.X+b.X)/2-p.X),
+			y:    p.Y + step*((a.Y+b.Y)/2-p.Y),
+		})
+	}
+	return out
+}

@@ -98,79 +98,131 @@ func Run(d *netlist.Design, rcs []rc.NetRC) (*Result, error) {
 		if !inst.Master.Sequential {
 			continue
 		}
-		q := inst.OutputPin()
-		arc := inst.Master.ArcFrom("CK")
-		if arc == nil {
-			return nil, fmt.Errorf("sta: register %s lacks CK arc", inst.Name)
+		if err := regBoundary(d, rcs, res, inst); err != nil {
+			return nil, err
 		}
-		load := driverLoad(d, rcs, q)
-		res.Arrival[q] = arc.Delay.Lookup(ClockSlew, load)
-		res.ArrivalMin[q] = res.Arrival[q]
-		res.Slew[q] = arc.Slew.Lookup(ClockSlew, load)
 	}
 
 	// Forward propagation in topological order.
 	for _, pid := range order {
-		p := d.Pin(pid)
-		switch {
-		case p.IsPort && p.Dir == netlist.Output:
-			// PI: boundary condition already set.
-		case p.Dir == netlist.Input:
-			// Net sink: pull from the driving net.
-			if p.Net == netlist.NoID {
-				continue // floating clock pin
-			}
-			net := d.Net(p.Net)
-			si := sinkIndex(net, pid)
-			nrc := &rcs[p.Net]
-			res.Arrival[pid] = res.Arrival[net.Driver] + nrc.SinkDelay[si]
-			res.ArrivalMin[pid] = res.ArrivalMin[net.Driver] + nrc.SinkDelay[si]
-			res.Slew[pid] = rc.CombineSlew(res.Slew[net.Driver], nrc.SinkSlewAdd[si])
-			res.argmaxPred[pid] = net.Driver
-		default:
-			// Cell output pin.
-			inst := d.Cell(p.Cell)
-			if inst.Master.Sequential {
-				continue // CK→Q handled as boundary condition
-			}
-			load := driverLoad(d, rcs, pid)
-			worst := math.Inf(-1)
-			earliest := math.Inf(1)
-			worstSlew := 0.0
-			var worstPred netlist.PinID = netlist.NoID
-			for i, in := range inst.InputPins() {
-				arc := inst.Master.ArcFrom(inst.Master.Inputs[i])
-				if arc == nil {
-					continue
-				}
-				delay := arc.Delay.Lookup(res.Slew[in], load)
-				a := res.Arrival[in] + delay
-				if a > worst {
-					worst = a
-					worstPred = in
-				}
-				if am := res.ArrivalMin[in] + delay; am < earliest {
-					earliest = am
-				}
-				if s := arc.Slew.Lookup(res.Slew[in], load); s > worstSlew {
-					worstSlew = s
-				}
-			}
-			if math.IsInf(worst, -1) {
-				return nil, fmt.Errorf("sta: cell %s output has no timing arc", inst.Name)
-			}
-			res.Arrival[pid] = worst
-			res.ArrivalMin[pid] = earliest
-			res.Slew[pid] = worstSlew
-			res.argmaxPred[pid] = worstPred
+		if err := forwardPin(d, rcs, res, pid); err != nil {
+			return nil, err
 		}
 	}
 
-	// Endpoint constraints and global metrics.
+	endpointMetrics(d, res)
+	slewChecks(d, res)
+	holdChecks(d, res)
+
+	// Backward propagation of required times: every pin learns the
+	// latest arrival that still meets all downstream endpoint
+	// constraints; per-pin slack follows. Used for criticality-driven net
+	// ordering and diagnostics.
+	res.Required = make([]float64, n)
+	for i := range res.Required {
+		res.Required[i] = math.Inf(1)
+	}
+	for i, e := range res.Endpoints {
+		res.Required[e] = res.EndpointSlack[i] + res.Arrival[e] // = constraint
+	}
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		backwardMin(d, rcs, res, order[oi])
+	}
+	res.PinSlack = make([]float64, n)
+	for i := range res.PinSlack {
+		res.PinSlack[i] = res.Required[i] - res.Arrival[i]
+	}
+	return res, nil
+}
+
+// regBoundary applies the CK→Q launch boundary condition at one
+// register: the clock-to-output arc evaluated at the ideal clock slew
+// and the Q net's extracted load.
+func regBoundary(d *netlist.Design, rcs []rc.NetRC, res *Result, inst *netlist.Inst) error {
+	q := inst.OutputPin()
+	arc := inst.Master.ArcFrom("CK")
+	if arc == nil {
+		return fmt.Errorf("sta: register %s lacks CK arc", inst.Name)
+	}
+	load := driverLoad(d, rcs, q)
+	res.Arrival[q] = arc.Delay.Lookup(ClockSlew, load)
+	res.ArrivalMin[q] = res.Arrival[q]
+	res.Slew[q] = arc.Slew.Lookup(ClockSlew, load)
+	return nil
+}
+
+// forwardPin recomputes the forward annotation (arrival, earliest
+// arrival, slew, argmax predecessor) of one pin from its predecessors'
+// already-final values. It is the single forward kernel shared by the
+// full traversal in Run and the windowed re-traversal in Retime, which
+// keeps the two bit-identical by construction.
+func forwardPin(d *netlist.Design, rcs []rc.NetRC, res *Result, pid netlist.PinID) error {
+	p := d.Pin(pid)
+	switch {
+	case p.IsPort && p.Dir == netlist.Output:
+		// PI: boundary condition already set.
+	case p.Dir == netlist.Input:
+		// Net sink: pull from the driving net.
+		if p.Net == netlist.NoID {
+			return nil // floating clock pin
+		}
+		net := d.Net(p.Net)
+		si := sinkIndex(net, pid)
+		nrc := &rcs[p.Net]
+		res.Arrival[pid] = res.Arrival[net.Driver] + nrc.SinkDelay[si]
+		res.ArrivalMin[pid] = res.ArrivalMin[net.Driver] + nrc.SinkDelay[si]
+		res.Slew[pid] = rc.CombineSlew(res.Slew[net.Driver], nrc.SinkSlewAdd[si])
+		res.argmaxPred[pid] = net.Driver
+	default:
+		// Cell output pin.
+		inst := d.Cell(p.Cell)
+		if inst.Master.Sequential {
+			return nil // CK→Q handled as boundary condition
+		}
+		load := driverLoad(d, rcs, pid)
+		worst := math.Inf(-1)
+		earliest := math.Inf(1)
+		worstSlew := 0.0
+		var worstPred netlist.PinID = netlist.NoID
+		for i, in := range inst.InputPins() {
+			arc := inst.Master.ArcFrom(inst.Master.Inputs[i])
+			if arc == nil {
+				continue
+			}
+			delay := arc.Delay.Lookup(res.Slew[in], load)
+			a := res.Arrival[in] + delay
+			if a > worst {
+				worst = a
+				worstPred = in
+			}
+			if am := res.ArrivalMin[in] + delay; am < earliest {
+				earliest = am
+			}
+			if s := arc.Slew.Lookup(res.Slew[in], load); s > worstSlew {
+				worstSlew = s
+			}
+		}
+		if math.IsInf(worst, -1) {
+			return fmt.Errorf("sta: cell %s output has no timing arc", inst.Name)
+		}
+		res.Arrival[pid] = worst
+		res.ArrivalMin[pid] = earliest
+		res.Slew[pid] = worstSlew
+		res.argmaxPred[pid] = worstPred
+	}
+	return nil
+}
+
+// endpointMetrics applies the clock constraint at every endpoint and
+// rebuilds the global setup metrics (slack vector, WNS, TNS, violation
+// count) from the current arrivals.
+func endpointMetrics(d *netlist.Design, res *Result) {
 	res.Endpoints = d.Endpoints()
 	res.EndpointSlack = make([]float64, len(res.Endpoints))
 	res.EndpointArrival = make([]float64, len(res.Endpoints))
 	res.WNS = math.Inf(1)
+	res.TNS = 0
+	res.Vios = 0
 	for i, e := range res.Endpoints {
 		required := d.ClockPeriod
 		p := d.Pin(e)
@@ -191,8 +243,13 @@ func Run(d *netlist.Design, rcs []rc.NetRC) (*Result, error) {
 	if len(res.Endpoints) == 0 {
 		res.WNS = 0
 	}
+}
 
-	// Max-transition checks: every pin's slew against the library rule.
+// slewChecks scans every pin's transition against the library
+// max-transition rule.
+func slewChecks(d *netlist.Design, res *Result) {
+	res.MaxSlewSeen = 0
+	res.SlewVios = 0
 	if limit := d.Lib.MaxSlew; limit > 0 {
 		for _, s := range res.Slew {
 			if s > res.MaxSlewSeen {
@@ -203,10 +260,14 @@ func Run(d *netlist.Design, rcs []rc.NetRC) (*Result, error) {
 			}
 		}
 	}
+}
 
-	// Hold checks at register D pins: the earliest data arrival must not
-	// beat the hold window after the (ideal, zero-skew) capturing edge.
+// holdChecks runs the min-delay analysis at register D pins: the
+// earliest data arrival must not beat the hold window after the (ideal,
+// zero-skew) capturing edge.
+func holdChecks(d *netlist.Design, res *Result) {
 	res.WHS = math.Inf(1)
+	res.HoldVios = 0
 	for ci := range d.Cells {
 		inst := d.Cell(netlist.CellID(ci))
 		if !inst.Master.Sequential {
@@ -227,50 +288,37 @@ func Run(d *netlist.Design, rcs []rc.NetRC) (*Result, error) {
 	if math.IsInf(res.WHS, 1) {
 		res.WHS = 0
 	}
+}
 
-	// Backward propagation of required times: every pin learns the
-	// latest arrival that still meets all downstream endpoint
-	// constraints; per-pin slack follows. Used for criticality-driven net
-	// ordering and diagnostics.
-	res.Required = make([]float64, n)
-	for i := range res.Required {
-		res.Required[i] = math.Inf(1)
+// backwardMin lowers res.Required[pid] by the pin's outgoing timing
+// edges (net edges for a driver pin, the cell arc for a comb input
+// pin), assuming every successor's required time is already final. The
+// single backward kernel shared by Run and Retime.
+func backwardMin(d *netlist.Design, rcs []rc.NetRC, res *Result, pid netlist.PinID) {
+	p := d.Pin(pid)
+	// Net edges out of a driver pin.
+	if p.Dir == netlist.Output && p.Net != netlist.NoID {
+		net := d.Net(p.Net)
+		nrc := &rcs[p.Net]
+		for si, s := range net.Sinks {
+			if r := res.Required[s] - nrc.SinkDelay[si]; r < res.Required[pid] {
+				res.Required[pid] = r
+			}
+		}
 	}
-	for i, e := range res.Endpoints {
-		res.Required[e] = res.EndpointSlack[i] + res.Arrival[e] // = constraint
-	}
-	for oi := len(order) - 1; oi >= 0; oi-- {
-		pid := order[oi]
-		p := d.Pin(pid)
-		// Net edges out of a driver pin.
-		if p.Dir == netlist.Output && p.Net != netlist.NoID {
-			net := d.Net(p.Net)
-			nrc := &rcs[p.Net]
-			for si, s := range net.Sinks {
-				if r := res.Required[s] - nrc.SinkDelay[si]; r < res.Required[pid] {
+	// Cell arc out of an input pin.
+	if p.Dir == netlist.Input && p.Cell != netlist.NoID {
+		inst := d.Cell(p.Cell)
+		if !inst.Master.Sequential {
+			if arc := inst.Master.ArcFrom(d.MasterPinName(pid)); arc != nil {
+				out := inst.OutputPin()
+				delay := arc.Delay.Lookup(res.Slew[pid], driverLoad(d, rcs, out))
+				if r := res.Required[out] - delay; r < res.Required[pid] {
 					res.Required[pid] = r
 				}
 			}
 		}
-		// Cell arc out of an input pin.
-		if p.Dir == netlist.Input && p.Cell != netlist.NoID {
-			inst := d.Cell(p.Cell)
-			if !inst.Master.Sequential {
-				if arc := inst.Master.ArcFrom(d.MasterPinName(pid)); arc != nil {
-					out := inst.OutputPin()
-					delay := arc.Delay.Lookup(res.Slew[pid], driverLoad(d, rcs, out))
-					if r := res.Required[out] - delay; r < res.Required[pid] {
-						res.Required[pid] = r
-					}
-				}
-			}
-		}
 	}
-	res.PinSlack = make([]float64, n)
-	for i := range res.PinSlack {
-		res.PinSlack[i] = res.Required[i] - res.Arrival[i]
-	}
-	return res, nil
 }
 
 // NetCriticality returns, per net, the worst pin slack among the net's

@@ -1,0 +1,136 @@
+package synth
+
+// Large-scale benchmark generation: the 10–100× designs of the sharded
+// refinement experiments. A scaled design is `factor` seeded blocks of
+// the base benchmark tiled into one flat netlist, with consecutive
+// blocks stitched through dedicated pipeline registers (block k's
+// stitch DFFs launch extra startpoint signals into block k+1). The
+// stitch nets are exactly the kind of long cross-region connections
+// that exercise shard boundary policies.
+//
+// The frozen generators are untouched: Generate, Benchmarks() and the
+// per-benchmark seeds/clocks produce byte-identical designs with or
+// without this file (gen_stable_test.go and scale_test.go pin digests
+// on both sides).
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+	"tsteiner/internal/par"
+)
+
+// ScaledName is the canonical name of a scaled benchmark ("spm_x10").
+func ScaledName(base string, factor int) string {
+	return fmt.Sprintf("%s_x%d", base, factor)
+}
+
+// GenerateScaled builds a factor× version of the base benchmark. Each
+// block draws from its own seed (derived from the base seed with the
+// same SplitMix64 stream split the parallel layer uses), so generation
+// is deterministic in (base, factor) and blocks are decorrelated.
+// factor == 1 is exactly Generate(base, l).
+func GenerateScaled(base Spec, factor int, l *lib.Library) (*netlist.Design, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("synth: scale factor %d < 1", factor)
+	}
+	if factor == 1 {
+		return Generate(base, l)
+	}
+	if base.Cells < 4 || base.Endpoints < 2 || base.PIs < 1 {
+		return nil, fmt.Errorf("synth: degenerate spec %+v", base)
+	}
+	b := netlist.NewBuilder(ScaledName(base.Name, factor), l)
+	if base.ClockNS > 0 {
+		b.SetClockPeriod(base.ClockNS)
+	} else {
+		b.SetClockPeriod(l.ClockPeriod)
+	}
+	var imports []netlist.PinID
+	for blk := 0; blk < factor; blk++ {
+		rng := rand.New(rand.NewSource(par.Seed(base.Seed, blk)))
+		exports, err := generateBlock(b, base, l, rng, fmt.Sprintf("b%d_", blk), imports, blk < factor-1)
+		if err != nil {
+			return nil, err
+		}
+		imports = exports
+	}
+	return b.Finish()
+}
+
+// generateBlock emits one base-sized block into the shared builder.
+// imports are startpoint pins driven by the previous block's stitch
+// registers; their nets are flushed by THIS block (each driver is
+// connected exactly once). When stitch is set, the block also creates
+// stitch registers whose D pins consume late block signals and whose Q
+// pins are returned as the next block's imports.
+func generateBlock(b *netlist.Builder, spec Spec, l *lib.Library, rng *rand.Rand, prefix string, imports []netlist.PinID, stitch bool) ([]netlist.PinID, error) {
+	pos := spec.Endpoints / 8
+	if pos < 2 {
+		pos = 2
+	}
+	if pos > 64 {
+		pos = 64
+	}
+	dffs := spec.Endpoints - pos
+	comb := spec.Cells - dffs
+	if comb < 2 {
+		return nil, fmt.Errorf("synth: spec %q leaves %d combinational cells", spec.Name, comb)
+	}
+
+	piPins := make([]netlist.PinID, spec.PIs)
+	for i := range piPins {
+		piPins[i] = b.AddPI(fmt.Sprintf("%spi_%d", prefix, i))
+	}
+	poPins := make([]netlist.PinID, pos)
+	for i := range poPins {
+		poPins[i] = b.AddPO(fmt.Sprintf("%spo_%d", prefix, i), 0.008)
+	}
+	dffIDs := make([]netlist.CellID, dffs)
+	for i := range dffIDs {
+		dffIDs[i] = b.AddCell(fmt.Sprintf("%sr_%d", prefix, i), "DFF_X1")
+	}
+
+	g := &generator{
+		rng:     rng,
+		b:       b,
+		spec:    spec,
+		combNms: l.CombinationalNames(),
+		lib:     l,
+		prefix:  prefix,
+	}
+	start := make([]netlist.PinID, 0, len(piPins)+len(imports))
+	start = append(start, piPins...)
+	start = append(start, imports...)
+	g.buildLogic(start, dffIDs, comb)
+
+	// Stitch registers: created after the logic cloud so their D pins
+	// can sample deep signals, but before the endpoint flush so the
+	// sampled nets are still pending. Their Q pins stay dangling here —
+	// the next block consumes (and flushes) them.
+	var exports []netlist.PinID
+	if stitch {
+		nStitch := spec.PIs / 2
+		if nStitch < 2 {
+			nStitch = 2
+		}
+		if nStitch > 16 {
+			nStitch = 16
+		}
+		n := len(g.signals)
+		tail := n / 3
+		if tail < 1 {
+			tail = 1
+		}
+		for j := 0; j < nStitch; j++ {
+			id := b.AddCell(fmt.Sprintf("%ss_%d", prefix, j), "DFF_X1")
+			g.consume(n-1-g.rng.Intn(tail), g.dInput(id))
+			exports = append(exports, g.cellOut(id))
+		}
+	}
+
+	g.wireEndpoints(poPins, dffIDs)
+	return exports, nil
+}

@@ -1,0 +1,164 @@
+package synth
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"tsteiner/internal/lib"
+	"tsteiner/internal/netlist"
+)
+
+// structuralDigest hashes everything generation decides — port/cell
+// names, masters, pin caps and full net connectivity — so any drift in
+// the generator's RNG stream or wiring shows up as a digest change.
+func structuralDigest(d *netlist.Design) uint64 {
+	h := fnv.New64a()
+	w := func(s string) { h.Write([]byte(s)); h.Write([]byte{0}) }
+	wu := func(v uint64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	w(d.Name)
+	wu(math.Float64bits(d.ClockPeriod))
+	for pi := range d.Pins {
+		p := d.Pin(netlist.PinID(pi))
+		w(p.Name)
+		wu(uint64(p.Dir))
+		wu(math.Float64bits(p.Cap))
+	}
+	for ci := range d.Cells {
+		inst := d.Cell(netlist.CellID(ci))
+		w(inst.Name)
+		w(inst.Master.Name)
+	}
+	for ni := range d.Nets {
+		net := d.Net(netlist.NetID(ni))
+		w(net.Name)
+		wu(uint64(int64(net.Driver)))
+		for _, s := range net.Sinks {
+			wu(uint64(int64(s)))
+		}
+	}
+	return h.Sum64()
+}
+
+// Pinned digests: the frozen single-block benchmarks (which the scale
+// knob must never disturb) and representative scaled designs. If a
+// change to this package moves any of these values, seeded benchmark
+// generation drifted and every calibrated clock and recorded experiment
+// is invalid — do not update the constants without that intent.
+const (
+	digestSpm        = 0x6f3c0f42f2d2b0ed
+	digestCic        = 0x0b6b4fa607744a68
+	digestUsb        = 0xb0179506ea688341
+	digestSpmX10     = 0x5da271498fe2903c
+	digestSpmX4      = 0x04e603cbaf0183e3
+	digestCicX3      = 0x5d4aa03fab335843
+	statsSpmX10Cells = 2452
+	statsSpmX10Ends  = 1362
+)
+
+func genScaled(t *testing.T, name string, factor int) *netlist.Design {
+	t.Helper()
+	d, err := GenerateScaled(mustSpec(t, name), factor, lib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("scaled design invalid: %v", err)
+	}
+	return d
+}
+
+// TestScaledGenStable pins the scaled generators the way
+// gen_stable_test.go pins the base ones: exact structural digests.
+func TestScaledGenStable(t *testing.T) {
+	x10 := genScaled(t, "spm", 10)
+	if got := structuralDigest(x10); got != digestSpmX10 {
+		t.Fatalf("spm_x10 digest drifted: %#x", got)
+	}
+	st := x10.Stats()
+	if st.CellNodes != statsSpmX10Cells || st.Endpoints != statsSpmX10Ends {
+		t.Fatalf("spm_x10 stats drifted: %+v", st)
+	}
+	if got := structuralDigest(genScaled(t, "spm", 4)); got != digestSpmX4 {
+		t.Fatalf("spm_x4 digest drifted: %#x", got)
+	}
+	if got := structuralDigest(genScaled(t, "cic_decimator", 3)); got != digestCicX3 {
+		t.Fatalf("cic_decimator_x3 digest drifted: %#x", got)
+	}
+}
+
+// TestScaleKnobCannotDriftBaseGeneration regenerates the frozen
+// benchmarks and checks their exact digests: adding the scale knob (or
+// any future generator work) must leave the seeded single-block designs
+// byte-stable, and factor == 1 must be exactly the frozen generator.
+func TestScaleKnobCannotDriftBaseGeneration(t *testing.T) {
+	l := lib.Default()
+	for _, tc := range []struct {
+		name string
+		want uint64
+	}{
+		{"spm", digestSpm},
+		{"cic_decimator", digestCic},
+		{"usb_cdc_core", digestUsb},
+	} {
+		d, err := Generate(mustSpec(t, tc.name), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := structuralDigest(d); got != tc.want {
+			t.Fatalf("%s base digest drifted: %#x", tc.name, got)
+		}
+		x1, err := GenerateScaled(mustSpec(t, tc.name), 1, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := structuralDigest(x1); got != tc.want {
+			t.Fatalf("%s: GenerateScaled(1) != Generate: %#x", tc.name, got)
+		}
+	}
+}
+
+// TestScaledGenDeterministic: same (base, factor) twice — identical
+// digest (all randomness flows from the derived seeds).
+func TestScaledGenDeterministic(t *testing.T) {
+	a := structuralDigest(genScaled(t, "spm", 7))
+	b := structuralDigest(genScaled(t, "spm", 7))
+	if a != b {
+		t.Fatalf("scaled generation not deterministic: %#x vs %#x", a, b)
+	}
+}
+
+// TestScaledGenStitching: consecutive blocks must actually be
+// connected (a net driven by one block's stitch register feeding the
+// next block), otherwise sharded refinement has no boundary nets to
+// manage.
+func TestScaledGenStitching(t *testing.T) {
+	d := genScaled(t, "spm", 3)
+	crossNets := 0
+	for ni := range d.Nets {
+		net := d.Net(netlist.NetID(ni))
+		if net.Driver == netlist.NoID {
+			continue
+		}
+		drv := d.Pin(net.Driver)
+		if drv.Cell == netlist.NoID {
+			continue
+		}
+		name := d.Cell(drv.Cell).Name
+		// Stitch registers are named b<k>_s_<j>.
+		var blk, j int
+		if n, _ := fmt.Sscanf(name, "b%d_s_%d", &blk, &j); n == 2 {
+			crossNets++
+		}
+	}
+	if crossNets == 0 {
+		t.Fatal("no stitch nets found between blocks")
+	}
+}

@@ -143,6 +143,11 @@ type generator struct {
 	spec    Spec
 	combNms []string
 	lib     *lib.Library
+	// prefix namespaces generated instance/test-point names. Empty for
+	// the frozen single-block benchmarks (names must stay byte-stable);
+	// GenerateScaled sets a per-block prefix so tiled blocks coexist in
+	// one netlist.
+	prefix string
 
 	// signals in creation order; index order respects the DAG.
 	signals []signal
@@ -178,7 +183,7 @@ func (g *generator) buildLogic(piPins []netlist.PinID, dffIDs []netlist.CellID, 
 
 	for i := 0; i < comb; i++ {
 		master := g.combNms[g.rng.Intn(len(g.combNms))]
-		cid := g.b.AddCell(fmt.Sprintf("u_%d", i), master)
+		cid := g.b.AddCell(fmt.Sprintf("%su_%d", g.prefix, i), master)
 		inputs := g.cellInputs(cid)
 		depth := 0
 		for _, in := range inputs {
@@ -336,7 +341,7 @@ func (g *generator) wireEndpoints(poPins []netlist.PinID, dffIDs []netlist.CellI
 	extra := 0
 	for i, s := range g.signals {
 		if s.fanout == 0 && !g.isPort(s.pin) {
-			po := g.b.AddPO(fmt.Sprintf("tp_%d", extra), 0.004)
+			po := g.b.AddPO(fmt.Sprintf("%stp_%d", g.prefix, extra), 0.004)
 			extra++
 			g.consume(i, po)
 		}

@@ -3,7 +3,10 @@
 # build, vet, full tests, then the race-mode pass that gates the
 # concurrency layer (internal/par and the obs collectors), a race-mode
 # pass over the fault-tolerance suite (injected faults, checkpoint/
-# resume, panic containment), the property/differential-oracle gate, a
+# resume, panic containment), the property/differential-oracle gate,
+# the scaled-design gates (shard-count byte-identity under -race,
+# windowed-STA oracle, streaming loader, and the BENCH_scale.json
+# sub-linearity re-measurement), a
 # short native-fuzz smoke over the byte-level decoders, the workspace
 # and batched-forward byte-identity + benchmark-replay gates, the
 # allocation-regression gate against BENCH_refine.json (including the
@@ -33,6 +36,21 @@ go test -race -run 'ObsServer|ConcurrentScrapes' ./internal/obs ./internal/exp
 
 # Property-based tests + brute-force differential oracles.
 go test -run 'Prop|Oracle' ./...
+
+# Scaled-design gates: the shard-count/worker-count byte-identity matrix
+# (incremental path vs the full-pipeline Reference), the windowed-STA
+# oracle, and the streaming-loader equivalence tests — then the
+# determinism matrix again under the race detector (the -short race pass
+# above runs it on a 3x design; this one is the full gate).
+go test -run 'Shard|Window|Stream' ./...
+go test -race -run 'ShardDeterminism' ./internal/shard
+
+# Scale-regression gate: re-measure the smallest and largest pinned
+# design sizes through the sharded engine and fail if per-round wall
+# time stops being sub-linear in cell count (the committed
+# BENCH_scale.json is held to the same bound statically by every
+# `go test ./...` run via TestScaleBaselineSubLinear).
+go test ./internal/bench/ -run TestBenchScaleGate -benchscale -timeout 30m
 
 # Workspace determinism gates: pooled vs allocating evaluation must be
 # byte-identical (down to final Steiner coordinates) at any worker
@@ -110,6 +128,7 @@ fi
 # bounded minimization keeps single-core runs productive.
 go test -run '^$' -fuzz FuzzReadCheckpoint -fuzztime 10s -fuzzminimizetime=5x ./internal/guard/
 go test -run '^$' -fuzz FuzzLoadDesign -fuzztime 10s -fuzzminimizetime=5x ./internal/designio/
+go test -run '^$' -fuzz FuzzStreamDesign -fuzztime 10s -fuzzminimizetime=5x ./internal/designio/
 go test -run '^$' -fuzz FuzzLoadModel -fuzztime 10s -fuzzminimizetime=5x ./internal/gnn/
 
 # Refresh the per-package coverage baseline.
