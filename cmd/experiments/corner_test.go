@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsteiner/internal/check"
+)
+
+// TestCornerStudy regenerates the multi-corner sign-off table on one
+// miniature benchmark, with the -out and -model side outputs exercised.
+func TestCornerStudy(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "results.txt")
+	modelFile := filepath.Join(dir, "model.json")
+	out := check.RunMain(t, dir, main,
+		"-corners", "-designs", "spm", "-scale", "0.1",
+		"-epochs", "2", "-iters", "2", "-q",
+		"-out", outFile, "-model", modelFile)
+	for _, want := range []string{"Multi-corner sign-off", "fast", "typical", "slow"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output lacks %q:\n%s", want, out)
+		}
+	}
+	persisted, err := os.ReadFile(outFile)
+	if err != nil || !strings.Contains(string(persisted), "Multi-corner sign-off") {
+		t.Fatalf("-out file missing the table: %v", err)
+	}
+	if fi, err := os.Stat(modelFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("-model file not written: %v", err)
+	}
+}
+
+// TestCornerStudySkipsWithoutSmallDesigns: the study runs on the
+// small/medium set only; restricting -designs to a large benchmark
+// must skip it cleanly instead of paying for a full sign-off.
+func TestCornerStudySkipsWithoutSmallDesigns(t *testing.T) {
+	dir := t.TempDir()
+	out := check.RunMain(t, dir, main,
+		"-corners", "-designs", "aes_cipher", "-scale", "0.1", "-q")
+	if !strings.Contains(out, "corner study skipped") {
+		t.Fatalf("study not skipped for large-only -designs:\n%s", out)
+	}
+}
+
+// TestFiguresAndAblations covers the remaining single-selection paths:
+// both figures and the ablation sweep at miniature scale.
+func TestFiguresAndAblations(t *testing.T) {
+	dir := t.TempDir()
+	out := check.RunMain(t, dir, main,
+		"-figure", "2", "-designs", "spm", "-scale", "0.1",
+		"-trials", "2", "-epochs", "2", "-iters", "2", "-q")
+	if !strings.Contains(out, "FIGURE 2") || !strings.Contains(out, "trials") {
+		t.Fatalf("figure 2 output lacks the histogram:\n%s", out)
+	}
+	out = check.RunMain(t, dir, main,
+		"-figure", "5", "-designs", "spm", "-scale", "0.1",
+		"-epochs", "2", "-iters", "2", "-q")
+	if !strings.Contains(out, "FIGURE 5") {
+		t.Fatalf("figure 5 output lacks the figure:\n%s", out)
+	}
+	out = check.RunMain(t, dir, main,
+		"-ablations", "-designs", "spm", "-scale", "0.1",
+		"-epochs", "2", "-iters", "2", "-q")
+	if !strings.Contains(out, "spm") {
+		t.Fatalf("ablation output lacks the benchmark:\n%s", out)
+	}
+}

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-scale 1.0] [-designs a,b,c] [-out results.txt]
-//	            [-table 1|2|3|4] [-figure 2|5] [-ablations] [-all]
+//	            [-table 1|2|3|4] [-figure 2|5] [-ablations] [-corners] [-all]
 //	            [-trials 10] [-epochs 150] [-model model.json] [-workers N]
 //	            [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	            [-checkpoint-dir dir] [-resume] [-deadline 30m]
@@ -36,6 +36,7 @@ func main() {
 		figure    = flag.Int("figure", 0, "regenerate one figure (2 or 5)")
 		ablations = flag.Bool("ablations", false, "run refinement ablations")
 		studies   = flag.Bool("studies", false, "run the consistency and prior-work (PD) studies")
+		cornerTab = flag.Bool("corners", false, "run the multi-corner sign-off study (fast/typical/slow matrix)")
 		all       = flag.Bool("all", false, "run every table, figure, the ablations and the studies")
 		trials    = flag.Int("trials", 10, "random-move trials per design (figures)")
 		epochs    = flag.Int("epochs", 0, "override training epochs")
@@ -125,7 +126,7 @@ func main() {
 		}
 	}
 
-	runAll := *all || (*table == 0 && *figure == 0 && !*ablations && !*studies)
+	runAll := *all || (*table == 0 && *figure == 0 && !*ablations && !*studies && !*cornerTab)
 	emit := func(name string, run func(io.Writer) error) {
 		fmt.Fprintf(out, "\n")
 		if err := run(out); err != nil {
@@ -199,6 +200,26 @@ func main() {
 				return nil
 			}
 			r, err := suite.Ablations(names)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	}
+
+	if runAll || *cornerTab {
+		emit("corner matrix", func(w io.Writer) error {
+			// The derated sign-off doubles the routing work per design, so
+			// the study runs on the same small/medium set as the ablations.
+			names := []string{"spm", "cic_decimator", "APU"}
+			if len(cfg.Designs) > 0 {
+				names = intersect(names, cfg.Designs)
+			}
+			if len(names) == 0 {
+				fmt.Fprintln(w, "corner study skipped: no small designs in -designs")
+				return nil
+			}
+			r, err := suite.CornerMatrixStudy(names)
 			if err != nil {
 				return err
 			}

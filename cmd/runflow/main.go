@@ -9,6 +9,7 @@
 //
 //	runflow -design mydesign.json [-replace] [-buffer] [-svg out.svg]
 //	        [-refine] [-epochs 60] [-iters 25] [-seed 2023]
+//	        [-corners fast,typical,slow]
 //	        [-workers N] [-obs-out trace.ndjson] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	        [-checkpoint-dir dir] [-resume] [-deadline 10m]
 //
@@ -36,6 +37,7 @@ import (
 	"tsteiner/internal/lib"
 	"tsteiner/internal/netlist"
 	"tsteiner/internal/obs"
+	"tsteiner/internal/report"
 	"tsteiner/internal/shard"
 	"tsteiner/internal/sta"
 	"tsteiner/internal/train"
@@ -56,6 +58,7 @@ func main() {
 		stream  = flag.Bool("stream", false, "load the design through the streaming decoder (constant decode memory)")
 		shards  = flag.Int("shards", 0, "run sharded incremental refinement with this many proposal shards (0 = off)")
 		rounds  = flag.Int("rounds", 8, "sharded refinement rounds (-shards)")
+		cspec   = flag.String("corners", "", `multi-corner sign-off: comma-separated presets fast|typical|slow, "default", or name:delayScale:slewScale:clockScale (empty = typical only)`)
 	)
 	shared := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -68,6 +71,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer closeObs()
+
+	var corners []sta.Corner
+	if *cspec != "" {
+		if corners, err = sta.ParseCorners(*cspec); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	manifest := shared.Manifest("runflow", flag.CommandLine)
 	manifest.Seed = *seed
@@ -124,6 +134,7 @@ func main() {
 	cfg.Workers = shared.Workers
 	cfg.Obs = sink
 	cfg.Budget = budget
+	cfg.Corners = corners
 	var prepared *flow.Prepared
 	if *replace || !hasPlacement(d) {
 		prepared, err = flow.Prepare(d, l, cfg)
@@ -144,6 +155,11 @@ func main() {
 	fmt.Printf("sign-off: WNS %.3f ns, TNS %.2f ns, %d violations\n", rep.WNS, rep.TNS, rep.Vios)
 	fmt.Printf("routing:  WL %d DBU, %d vias, %d DRVs, overflow %d\n",
 		rep.WirelengthDBU, rep.Vias, rep.DRVs, rep.Overflow)
+	if len(rep.Corners) > 0 {
+		if err := report.CornerMatrix("sign-off corner matrix", rep.Corners).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	finalForest := prepared.Forest
 	if *shards > 0 {
@@ -151,6 +167,7 @@ func main() {
 		sopt.Shards = *shards
 		sopt.Workers = shared.Workers
 		sopt.Rounds = *rounds
+		sopt.Corners = corners
 		log.Printf("sharded refinement: %d shards, %d rounds", sopt.Shards, sopt.Rounds)
 		res, err := shard.Refine(prepared, sopt)
 		if err != nil {
@@ -161,9 +178,14 @@ func main() {
 			res.Accepted, res.Rounds, res.MovedNets, res.RetimedNets, res.InitSec, res.RefineSec)
 		fmt.Printf("sharded:  WNS %.3f ns, TNS %.2f ns, %d violations (from WNS %.3f, TNS %.2f)\n",
 			res.WNS, res.TNS, res.Vios, res.InitWNS, res.InitTNS)
+		if len(res.Corners) > 0 {
+			if err := report.CornerMatrix("sharded corner matrix", res.Corners).Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	if *refine {
-		res, err := refineDesign(prepared, timing, rep, *epochs, *iters, *lanes, *seed, shared, budget, sink, manifest)
+		res, err := refineDesign(prepared, timing, rep, *epochs, *iters, *lanes, *seed, corners, shared, budget, sink, manifest)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -181,6 +203,11 @@ func main() {
 		rep2.TSteinerSec = res.RuntimeSec
 		fmt.Printf("refined:  WNS %.3f ns, TNS %.2f ns, %d violations (evaluator WNS %.3f→%.3f, %d iterations)\n",
 			rep2.WNS, rep2.TNS, rep2.Vios, res.InitWNS, res.BestWNS, res.Iterations)
+		if len(rep2.Corners) > 0 {
+			if err := report.CornerMatrix("refined corner matrix", rep2.Corners).Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 
 	if *svgPath != "" {
@@ -202,7 +229,7 @@ func main() {
 // refineDesign trains an evaluator on this design (plus perturbed
 // variants) and runs TSteiner refinement — the same recipe cmd/tsteiner
 // applies to bundled benchmarks, for loaded designs.
-func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, epochs, iters, lanes int, seed int64, shared *obs.Flags, budget *guard.Budget, sink *obs.Sink, manifest *obs.Manifest) (*core.Result, error) {
+func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, epochs, iters, lanes int, seed int64, corners []sta.Corner, shared *obs.Flags, budget *guard.Budget, sink *obs.Sink, manifest *obs.Manifest) (*core.Result, error) {
 	workers := shared.Workers
 	batch, err := gnn.NewBatch(p.Design, p.Forest)
 	if err != nil {
@@ -252,6 +279,10 @@ func refineDesign(p *flow.Prepared, timing *sta.Result, baseline *flow.Report, e
 	ropt.N = iters
 	ropt.CandidateLanes = lanes
 	ropt.Budget = budget
+	if len(corners) > 0 {
+		ropt.Corners = core.CornerTermsFor(corners)
+		ropt.HoldGuard = true
+	}
 	if shared.CheckpointDir != "" {
 		ropt.CheckpointPath = filepath.Join(shared.CheckpointDir, "refine.ckpt")
 		ropt.Resume = shared.Resume

@@ -14,6 +14,13 @@
 //
 //	tsteiner -design spm -scaleup 10 -shards 4 [-rounds 8] [-workers N]
 //
+// Multi-corner sign-off (-corners) runs STA at every listed corner and
+// prints the corner matrix; with refinement it also optimizes the
+// matrix penalty under the fast-corner hold guard:
+//
+//	tsteiner -design spm -corners default
+//	tsteiner -design spm -corners fast,typical,slow -scaleup 10 -shards 4
+//
 // Server mode (tsteinerd, see internal/serve) and client mode:
 //
 //	tsteiner -serve 127.0.0.1:8080 [-spool dir] [-queue-depth 8] [-job-workers 1]
@@ -43,6 +50,7 @@ import (
 	"tsteiner/internal/obs"
 	"tsteiner/internal/report"
 	"tsteiner/internal/shard"
+	"tsteiner/internal/sta"
 	"tsteiner/internal/synth"
 	"tsteiner/internal/train"
 	"tsteiner/internal/viz"
@@ -74,6 +82,7 @@ func main() {
 		designPath   = flag.String("save-design", "", "write the design JSON to this path")
 		verilogPath  = flag.String("save-verilog", "", "write a structural Verilog view to this path")
 		trace        = flag.Bool("trace", false, "print the per-iteration refinement trace")
+		cornersSpec  = flag.String("corners", "", `multi-corner sign-off: comma-separated presets fast|typical|slow, "default", or name:delayScale:slewScale:clockScale (empty = typical only)`)
 		shards       = flag.Int("shards", 0, "run sharded incremental refinement with this many proposal shards (0 = GNN flow)")
 		scaleup      = flag.Int("scaleup", 1, "tile this many seeded copies of the benchmark into one design (with -shards)")
 
@@ -98,6 +107,13 @@ func main() {
 	defer closeObs()
 	workers := &shared.Workers
 
+	var corners []sta.Corner
+	if *cornersSpec != "" {
+		if corners, err = sta.ParseCorners(*cornersSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *serveAddr != "" || *submitURL != "" {
 		if err := runService(serviceConfig{
 			serveAddr: *serveAddr, spool: *spoolDir,
@@ -106,7 +122,7 @@ func main() {
 			jobID: *jobID, kind: *jobKind, wait: *jobWait, retries: *jobRetries,
 			forestOut: *forestPath,
 			seed:      *seed, epochs: *epochs, iters: *iters, lanes: *lanes,
-			jobShards: *jobShards,
+			jobShards: *jobShards, corners: corners,
 			workers: *workers, deadlineWall: shared.Deadline,
 		}, sink); err != nil {
 			log.Fatal(err)
@@ -138,7 +154,7 @@ func main() {
 	}
 
 	if *shards > 0 {
-		if err := runSharded(*design, *scaleup, *shards, *rounds, *workers, sink, budget); err != nil {
+		if err := runSharded(*design, *scaleup, *shards, *rounds, *workers, corners, sink, budget); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -149,6 +165,7 @@ func main() {
 	fcfg.Workers = *workers
 	fcfg.Obs = sink
 	fcfg.Budget = budget
+	fcfg.Corners = corners
 	smp, err := train.BuildSample(*design, *scale, true, fcfg)
 	if err != nil {
 		log.Fatal(err)
@@ -233,6 +250,10 @@ func main() {
 	opt.N = *iters
 	opt.CandidateLanes = *lanes
 	opt.Budget = budget
+	if len(corners) > 0 {
+		opt.Corners = core.CornerTermsFor(corners)
+		opt.HoldGuard = true
+	}
 	if shared.CheckpointDir != "" {
 		opt.CheckpointPath = filepath.Join(shared.CheckpointDir, "refine.ckpt")
 		opt.Resume = shared.Resume
@@ -316,7 +337,7 @@ func main() {
 // runSharded is the -shards path: tile the benchmark -scaleup times,
 // prepare it, refine through internal/shard and print the sign-off
 // movement. The result is byte-identical at any shard/worker count.
-func runSharded(name string, factor, shards, rounds, workers int, sink *obs.Sink, budget *guard.Budget) error {
+func runSharded(name string, factor, shards, rounds, workers int, corners []sta.Corner, sink *obs.Sink, budget *guard.Budget) error {
 	spec, err := synth.BenchmarkByName(name)
 	if err != nil {
 		return err
@@ -343,6 +364,7 @@ func runSharded(name string, factor, shards, rounds, workers int, sink *obs.Sink
 	opt.Shards = shards
 	opt.Workers = workers
 	opt.Rounds = rounds
+	opt.Corners = corners
 	log.Printf("sharded refinement: %d shards, %d rounds", opt.Shards, opt.Rounds)
 	res, err := shard.Refine(p, opt)
 	if err != nil {
@@ -360,7 +382,16 @@ func runSharded(name string, factor, shards, rounds, workers int, sink *obs.Sink
 	t.AddRow("refined", report.F(res.WNS, 3), report.F(res.TNS, 1),
 		report.I(res.Vios), fmt.Sprint(res.WirelengthDBU),
 		report.I(res.Vias), report.I(res.Overflow))
-	return t.Render(os.Stdout)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if len(res.Corners) > 0 {
+		if err := report.CornerMatrix("initial corner matrix", res.InitCorners).Render(os.Stdout); err != nil {
+			return err
+		}
+		return report.CornerMatrix("refined corner matrix", res.Corners).Render(os.Stdout)
+	}
+	return nil
 }
 
 // writeFile renders through guard.AtomicWriteFunc so an interrupted run
@@ -372,4 +403,9 @@ func writeFile(path string, fn func(io.Writer) error) error {
 func printReport(name string, r *flow.Report) {
 	log.Printf("%s: WNS %.3f ns, TNS %.1f ns, %d violations, WL %d DBU, %d vias, %d DRVs (GR %.1fs, DR %.1fs)",
 		name, r.WNS, r.TNS, r.Vios, r.WirelengthDBU, r.Vias, r.DRVs, r.GRSec, r.DRSec)
+	if len(r.Corners) > 0 {
+		if err := report.CornerMatrix(name+" corner matrix", r.Corners).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

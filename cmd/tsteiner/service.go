@@ -20,6 +20,7 @@ import (
 	"tsteiner/internal/guard"
 	"tsteiner/internal/obs"
 	"tsteiner/internal/serve"
+	"tsteiner/internal/sta"
 )
 
 type serviceConfig struct {
@@ -41,6 +42,7 @@ type serviceConfig struct {
 	iters        int
 	lanes        int
 	jobShards    int
+	corners      []sta.Corner
 	workers      int
 	deadlineWall time.Duration
 }
@@ -120,6 +122,7 @@ func runSubmit(cfg serviceConfig) error {
 		Iters:      cfg.iters,
 		Lanes:      cfg.lanes,
 		Shards:     cfg.jobShards,
+		Corners:    cfg.corners,
 		Workers:    cfg.workers,
 		DeadlineMS: cfg.deadlineWall.Milliseconds(),
 	}

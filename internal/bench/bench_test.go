@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -289,28 +290,22 @@ func TestBenchAllocGate(t *testing.T) {
 	if err != nil {
 		t.Fatalf("gate needs a committed baseline: %v", err)
 	}
-	rec, ok := base.Benchmarks["refine_loop"]
-	if !ok {
+	if _, ok := base.Benchmarks["refine_loop"]; !ok {
 		t.Fatalf("baseline %s has no refine_loop record", path)
 	}
 	pooled := measure(BenchmarkRefineLoop)
 	allocating := measure(BenchmarkRefineLoopAllocating)
-	t.Logf("refine_loop pooled: %+v (baseline %+v), allocating: %+v", pooled, rec, allocating)
-	if limit := rec.AllocsOp + rec.AllocsOp/10; pooled.AllocsOp > limit {
-		t.Errorf("pooled refine loop allocs/op regressed: %d > %d (baseline %d +10%%)",
-			pooled.AllocsOp, limit, rec.AllocsOp)
-	}
-	if pooled.AllocsOp*2 > allocating.AllocsOp {
-		t.Errorf("pooling no longer halves allocations: pooled %d vs allocating %d allocs/op",
-			pooled.AllocsOp, allocating.AllocsOp)
+	t.Logf("refine_loop pooled: %+v (baseline %+v), allocating: %+v",
+		pooled, base.Benchmarks["refine_loop"], allocating)
+	if err := base.CheckAllocGate(pooled, allocating); err != nil {
+		t.Error(err)
 	}
 
 	if brec, ok := base.Benchmarks["refine_batched"]; ok {
 		batched := measureLanes(BenchmarkRefineBatched, BatchLanes)
 		t.Logf("refine_batched (per candidate): %+v (baseline %+v)", batched, brec)
-		if limit := brec.AllocsOp + brec.AllocsOp/10; batched.AllocsOp > limit {
-			t.Errorf("batched refine loop allocs/op per candidate regressed: %d > %d (baseline %d +10%%)",
-				batched.AllocsOp, limit, brec.AllocsOp)
+		if err := base.CheckBatchedAllocGate(batched); err != nil {
+			t.Error(err)
 		}
 	}
 
@@ -325,9 +320,8 @@ func TestBenchAllocGate(t *testing.T) {
 	seq := measureLanes(BenchmarkGNNForwardSequentialLanes, BatchLanes)
 	t.Logf("gnn forward per candidate: fused %.0f ns vs sequential %.0f ns (%.2fx)",
 		fused.NsOp, seq.NsOp, seq.NsOp/fused.NsOp)
-	if fused.NsOp*1.3 > seq.NsOp {
-		t.Errorf("fused batched forward lost its margin: %.0f ns/candidate vs %.0f sequential (< 1.3x live floor)",
-			fused.NsOp, seq.NsOp)
+	if err := CheckBatchedMargin(fused, seq, 1.3); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -349,18 +343,13 @@ func TestBatchedBaselineMargin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fused, okF := base.Benchmarks["gnn_forward_batched"]
-	seq, okS := base.Benchmarks["gnn_forward_sequential"]
-	if !okF || !okS {
+	switch err := base.CheckBaselineMargin(); {
+	case errors.Is(err, ErrMissingRecord):
 		t.Skipf("baseline %s predates batched records; re-record with -benchupdate", path)
-	}
-	if fused.Lanes != BatchLanes || seq.Lanes != BatchLanes {
-		t.Fatalf("baseline batched records pin %d/%d lanes, harness pins %d: re-record",
-			fused.Lanes, seq.Lanes, BatchLanes)
-	}
-	if fused.NsOp*1.5 > seq.NsOp {
-		t.Errorf("recorded batched margin below 1.5x: fused %.0f ns/candidate vs sequential %.0f (%.2fx)",
-			fused.NsOp, seq.NsOp, seq.NsOp/fused.NsOp)
+	case errors.Is(err, ErrStaleBaseline):
+		t.Fatalf("%v: re-record", err)
+	case err != nil:
+		t.Error(err)
 	}
 }
 

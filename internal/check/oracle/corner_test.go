@@ -1,0 +1,141 @@
+package oracle_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tsteiner/internal/check"
+	"tsteiner/internal/check/oracle"
+	"tsteiner/internal/lib"
+	"tsteiner/internal/rc"
+	"tsteiner/internal/rsmt"
+	"tsteiner/internal/sta"
+)
+
+// TestOracleMultiCornerSTA runs the full corner matrix on every
+// benchmark and checks each corner's production traversal against the
+// independently derated fixpoint reference, then pins backward
+// compatibility: the typical corner must be bitwise identical to
+// sta.Run — not merely close.
+func TestOracleMultiCornerSTA(t *testing.T) {
+	corners := sta.DefaultCorners()
+	for _, name := range benchNames() {
+		t.Run(name, func(t *testing.T) {
+			p := prepared(t, name, oracleScale)
+			rcs, err := rc.ExtractFromTrees(p.Design, p.Forest, p.Lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := sta.RunCorners(p.Design, rcs, corners)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ci, c := range corners {
+				got := results[ci]
+				want, err := oracle.STAFixpointCorner(p.Design, rcs, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pid := range got.Arrival {
+					if relDiff(got.Arrival[pid], want.Arrival[pid]) > 1e-9 {
+						t.Fatalf("%s pin %d: arrival %.12g (sta) vs %.12g (fixpoint)",
+							c.Name, pid, got.Arrival[pid], want.Arrival[pid])
+					}
+					if relDiff(got.Slew[pid], want.Slew[pid]) > 1e-9 {
+						t.Fatalf("%s pin %d: slew %.12g (sta) vs %.12g (fixpoint)",
+							c.Name, pid, got.Slew[pid], want.Slew[pid])
+					}
+				}
+				for i := range got.Endpoints {
+					if relDiff(got.EndpointSlack[i], want.EndpointSlack[i]) > 1e-9 {
+						t.Fatalf("%s endpoint %d: slack %.12g vs %.12g",
+							c.Name, i, got.EndpointSlack[i], want.EndpointSlack[i])
+					}
+				}
+				if relDiff(got.WNS, want.WNS) > 1e-9 || relDiff(got.TNS, want.TNS) > 1e-9 || got.Vios != want.Vios {
+					t.Fatalf("%s sign-off triple (%.12g, %.12g, %d) vs (%.12g, %.12g, %d)",
+						c.Name, got.WNS, got.TNS, got.Vios, want.WNS, want.TNS, want.Vios)
+				}
+			}
+
+			// Backward compatibility: the typical row of the matrix is
+			// bit-for-bit today's single-corner sign-off.
+			single, err := sta.Run(p.Design, rcs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			typ := results[1]
+			if err := bitIdentical(typ, single); err != nil {
+				t.Fatalf("typical corner vs sta.Run: %v", err)
+			}
+		})
+	}
+}
+
+// TestPropMultiCornerTypicalIdentity is the seeded property variant of
+// the backward-compatibility pin: on random designs, RunCorner at any
+// all-ones corner (whatever its name) is bitwise identical to Run.
+func TestPropMultiCornerTypicalIdentity(t *testing.T) {
+	cfg := check.Config{Cases: 8}
+	check.RunCfg(t, cfg, check.DesignSpecs(), func(spec check.DesignSpec) error {
+		d, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		f, err := rsmt.BuildAll(d, rsmt.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		rcs, err := rc.ExtractFromTrees(d, f, lib.Default())
+		if err != nil {
+			return err
+		}
+		want, err := sta.Run(d, rcs)
+		if err != nil {
+			return err
+		}
+		got, err := sta.RunCorner(d, rcs, sta.Corner{Name: "unit", DelayScale: 1.0, SlewScale: 1.0, ClockScale: 1.0})
+		if err != nil {
+			return err
+		}
+		return bitIdentical(got, want)
+	})
+}
+
+// bitIdentical compares every exported float annotation of two STA
+// results for bit-equality.
+func bitIdentical(got, want *sta.Result) error {
+	vecs := []struct {
+		label string
+		a, b  []float64
+	}{
+		{"Arrival", got.Arrival, want.Arrival},
+		{"Slew", got.Slew, want.Slew},
+		{"ArrivalMin", got.ArrivalMin, want.ArrivalMin},
+		{"Required", got.Required, want.Required},
+		{"PinSlack", got.PinSlack, want.PinSlack},
+		{"EndpointSlack", got.EndpointSlack, want.EndpointSlack},
+		{"EndpointArrival", got.EndpointArrival, want.EndpointArrival},
+	}
+	for _, v := range vecs {
+		if len(v.a) != len(v.b) {
+			return fmt.Errorf("%s: length %d vs %d", v.label, len(v.a), len(v.b))
+		}
+		for i := range v.a {
+			if math.Float64bits(v.a[i]) != math.Float64bits(v.b[i]) {
+				return fmt.Errorf("%s[%d]: %.17g vs %.17g", v.label, i, v.a[i], v.b[i])
+			}
+		}
+	}
+	if math.Float64bits(got.WNS) != math.Float64bits(want.WNS) ||
+		math.Float64bits(got.TNS) != math.Float64bits(want.TNS) ||
+		got.Vios != want.Vios ||
+		math.Float64bits(got.WHS) != math.Float64bits(want.WHS) ||
+		got.HoldVios != want.HoldVios || got.SlewVios != want.SlewVios {
+		return fmt.Errorf("summary metrics differ: (%v %v %d %v %d %d) vs (%v %v %d %v %d %d)",
+			got.WNS, got.TNS, got.Vios, got.WHS, got.HoldVios, got.SlewVios,
+			want.WNS, want.TNS, want.Vios, want.WHS, want.HoldVios, want.SlewVios)
+	}
+	return nil
+}

@@ -271,6 +271,20 @@ type Timing struct {
 // topological order at all. On a DAG of depth D it converges within D
 // sweeps; exceeding the pin count indicates a cycle and fails.
 func STAFixpoint(d *netlist.Design, rcs []rc.NetRC) (*Timing, error) {
+	return STAFixpointCorner(d, rcs, sta.TypicalCorner())
+}
+
+// STAFixpointCorner is the corner-derated fixpoint reference: the same
+// relaxation with every delay multiplied by DelayScale, every
+// transition by SlewScale, and the clock constraint by ClockScale —
+// mirroring the production derating independently, so a scaling
+// mistake on either side breaks the differential test. The typical
+// corner reproduces STAFixpoint bit for bit (multiplication by 1.0 is
+// the IEEE-754 identity).
+func STAFixpointCorner(d *netlist.Design, rcs []rc.NetRC, c sta.Corner) (*Timing, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	if len(rcs) != len(d.Nets) {
 		return nil, fmt.Errorf("oracle: %d RC views for %d nets", len(rcs), len(d.Nets))
 	}
@@ -288,12 +302,13 @@ func STAFixpoint(d *netlist.Design, rcs []rc.NetRC) (*Timing, error) {
 	}
 	// Boundary conditions, identical to sign-off STA's.
 	for _, pid := range d.PIs {
-		res.Slew[pid] = sta.PISlew
+		res.Slew[pid] = sta.PISlew * c.SlewScale
 	}
 	fixed := make([]bool, n) // boundary pins never recomputed
 	for _, pid := range d.PIs {
 		fixed[pid] = true
 	}
+	clockSlew := sta.ClockSlew * c.SlewScale
 	for ci := range d.Cells {
 		inst := d.Cell(netlist.CellID(ci))
 		if !inst.Master.Sequential {
@@ -304,8 +319,8 @@ func STAFixpoint(d *netlist.Design, rcs []rc.NetRC) (*Timing, error) {
 		if arc == nil {
 			return nil, fmt.Errorf("oracle: register %s lacks CK arc", inst.Name)
 		}
-		res.Arrival[q] = arc.Delay.Lookup(sta.ClockSlew, load(q))
-		res.Slew[q] = arc.Slew.Lookup(sta.ClockSlew, load(q))
+		res.Arrival[q] = arc.Delay.Lookup(clockSlew, load(q)) * c.DelayScale
+		res.Slew[q] = arc.Slew.Lookup(clockSlew, load(q)) * c.SlewScale
 		fixed[q] = true
 	}
 
@@ -336,8 +351,8 @@ func STAFixpoint(d *netlist.Design, rcs []rc.NetRC) (*Timing, error) {
 					}
 				}
 				nrc := &rcs[p.Net]
-				arr = res.Arrival[net.Driver] + nrc.SinkDelay[si]
-				slew = rc.CombineSlew(res.Slew[net.Driver], nrc.SinkSlewAdd[si])
+				arr = res.Arrival[net.Driver] + nrc.SinkDelay[si]*c.DelayScale
+				slew = rc.CombineSlew(res.Slew[net.Driver], nrc.SinkSlewAdd[si]*c.SlewScale)
 			case p.Cell != netlist.NoID:
 				// Combinational cell output: worst over input arcs.
 				inst := d.Cell(p.Cell)
@@ -349,10 +364,10 @@ func STAFixpoint(d *netlist.Design, rcs []rc.NetRC) (*Timing, error) {
 					if arc == nil {
 						continue
 					}
-					if a := res.Arrival[in] + arc.Delay.Lookup(res.Slew[in], ld); a > worst {
+					if a := res.Arrival[in] + arc.Delay.Lookup(res.Slew[in], ld)*c.DelayScale; a > worst {
 						worst = a
 					}
-					if s := arc.Slew.Lookup(res.Slew[in], ld); s > worstSlew {
+					if s := arc.Slew.Lookup(res.Slew[in], ld) * c.SlewScale; s > worstSlew {
 						worstSlew = s
 					}
 				}
@@ -379,9 +394,9 @@ func STAFixpoint(d *netlist.Design, rcs []rc.NetRC) (*Timing, error) {
 	res.EndpointSlack = make([]float64, len(res.Endpoints))
 	res.WNS = math.Inf(1)
 	for i, e := range res.Endpoints {
-		required := d.ClockPeriod
+		required := d.ClockPeriod * c.ClockScale
 		if p := d.Pin(e); !p.IsPort {
-			required -= d.Cell(p.Cell).Master.Setup
+			required -= d.Cell(p.Cell).Master.Setup * c.DelayScale
 		}
 		slack := required - res.Arrival[e]
 		res.EndpointSlack[i] = slack

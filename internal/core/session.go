@@ -168,7 +168,7 @@ func (s *evalSession) laneGradients(f *rsmt.Forest, lw, lt float64) (gx, gy []fl
 	// The memo is consumed either way: penalty ops dirty the tape and
 	// Backward accumulates into its leaves.
 	defer s.invalidate()
-	p, err := s.r.penaltyOn(tp, bp.Slack, lw, lt)
+	p, err := s.r.penaltyMatrixOn(tp, bp.Slack, lw, lt)
 	if err != nil {
 		return nil, nil, 0, true, err
 	}

@@ -92,8 +92,26 @@ type Options struct {
 
 	// Fault is the deterministic fault injector (nil in production, zero
 	// overhead). Armed sites: "core.nan" poisons the iteration's gradient,
-	// "core.stall" delays an iteration past a wall-clock budget.
+	// "core.stall" delays an iteration past a wall-clock budget, and
+	// "core.corner.nan" poisons the first corner's derated slack in the
+	// matrix penalty (multi-corner runs only).
 	Fault *fault.Injector
+
+	// Corners enables the multi-corner matrix penalty and accept rule:
+	// P = Σ_c λ_c·P_γ(slack_c) with each corner's slack the affine
+	// derating of the predicted typical slack, and the lexicographic
+	// accept comparing worst-corner WNS then corner-summed TNS. Empty
+	// preserves the single-corner algorithm byte-for-byte (see
+	// corner.go).
+	Corners []CornerTerm
+
+	// HoldGuard adds the setup/hold co-optimization veto: a candidate
+	// that passes the setup accept is re-checked with a tree-geometry
+	// STA at the fastest corner and rejected if it has more hold
+	// violations than the round's starting forest — setup moves must
+	// not create hold violations. Off by default (costs one STA per
+	// otherwise-accepted iteration).
+	HoldGuard bool
 
 	// DisableWorkspace selects the allocating reference evaluation path
 	// instead of the pooled workspace + forward-memo path. Both are
@@ -188,6 +206,9 @@ func NewRefiner(m *gnn.Model, b *gnn.Batch, p *flow.Prepared, opt Options) (*Ref
 	if opt.Gamma <= 0 || opt.N <= 0 || opt.Alpha == 0 {
 		return nil, fmt.Errorf("core: bad options %+v", opt)
 	}
+	if err := validateCornerTerms(opt.Corners); err != nil {
+		return nil, err
+	}
 	return &Refiner{Model: m, Batch: b, Prep: p, Opt: opt}, nil
 }
 
@@ -205,7 +226,7 @@ func (r *Refiner) evalMetrics(f *rsmt.Forest) (wns, tns float64, err error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		wns, tns = hardMetrics(pred.Slack.Data)
+		wns, tns = r.metricsFromSlack(pred.Slack.Data)
 		return wns, tns, nil
 	}
 	tp := tensor.NewTape()
@@ -217,7 +238,7 @@ func (r *Refiner) evalMetrics(f *rsmt.Forest) (wns, tns float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	wns, tns = hardMetrics(pred.Slack.Data)
+	wns, tns = r.metricsFromSlack(pred.Slack.Data)
 	return wns, tns, nil
 }
 
@@ -281,9 +302,10 @@ func (r *Refiner) gradients(f *rsmt.Forest, lw, lt float64) (gx, gy []float64, p
 }
 
 // penalty builds P_γ = λ_w·w_γ + λ_t·t_γ on the tape (Eq. 4–6) from a
-// prediction's slack.
+// prediction's slack — or the multi-corner matrix penalty when
+// Options.Corners are configured.
 func (r *Refiner) penalty(tp *tensor.Tape, pred *gnn.Prediction, lw, lt float64) (*tensor.Tensor, error) {
-	return r.penaltyOn(tp, pred.Slack, lw, lt)
+	return r.penaltyMatrixOn(tp, pred.Slack, lw, lt)
 }
 
 // penaltyOn builds the smoothed penalty directly on a slack tensor:
@@ -560,6 +582,17 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 	initWNS, initTNS := res.InitWNS, res.InitTNS
 	recoveries := res.Recoveries
 
+	// Hold-guard baseline: the round's starting hold-violation count at
+	// the fastest corner. Derived from startForest (not the resumed
+	// best) so interrupted and uninterrupted runs see the same veto.
+	baseHold := 0
+	if opt.HoldGuard {
+		var err error
+		if baseHold, err = r.holdVios(startForest); err != nil {
+			return nil, err
+		}
+	}
+
 	// Persistent per-loop storage, reused across iterations instead of
 	// cloned: the candidate forest (SetSteinerPositions overwrites every
 	// Steiner coordinate, and pin nodes are identical across clones), the
@@ -709,6 +742,19 @@ func (r *Refiner) refineFrom(startForest *rsmt.Forest, ckptPath string) (*Result
 			}
 		}
 		accepted := opt.AlwaysAccept || wns > res.BestWNS || tns > res.BestTNS
+		if accepted && opt.HoldGuard && !opt.AlwaysAccept {
+			// Setup/hold co-optimization: a setup win that mints new hold
+			// violations at the fast corner is vetoed (Alg. 1's accept
+			// becomes lexicographic over the matrix AND hold-safe).
+			hv, herr := r.holdVios(cand)
+			if herr != nil {
+				return nil, herr
+			}
+			if hv > baseHold {
+				accepted = false
+				r.sink().Add("core.hold_rejects", 1)
+			}
+		}
 		if accepted {
 			if wns > res.BestWNS || tns > res.BestTNS {
 				res.BestWNS = wns
@@ -850,7 +896,7 @@ func (r *Refiner) evalCandidates(lanes int, laneXs, laneYs, wns, tns []float64) 
 		r.sink().Add("core.batch_lanes", int64(lanes))
 		r.sink().Observe("gnn.batch_amortized_ns", float64(time.Since(t0).Nanoseconds())/float64(lanes))
 		for k := 0; k < lanes; k++ {
-			wns[k], tns[k] = hardMetrics(bp.LaneSlack(k))
+			wns[k], tns[k] = r.metricsFromSlack(bp.LaneSlack(k))
 		}
 		return nil
 	}
@@ -865,7 +911,7 @@ func (r *Refiner) evalCandidates(lanes int, laneXs, laneYs, wns, tns []float64) 
 		if err != nil {
 			return err
 		}
-		wns[k], tns[k] = hardMetrics(pred.Slack.Data)
+		wns[k], tns[k] = r.metricsFromSlack(pred.Slack.Data)
 	}
 	return nil
 }

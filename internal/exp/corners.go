@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tsteiner/internal/flow"
+	"tsteiner/internal/report"
+	"tsteiner/internal/sta"
+)
+
+// CornerMatrixRow compares baseline and TSteiner sign-off on one design
+// at one corner of the fast/typical/slow matrix.
+type CornerMatrixRow struct {
+	Name     string
+	Baseline sta.CornerMetrics
+	TSteiner sta.CornerMetrics
+}
+
+// CornerMatrixResult is the multi-corner sign-off study: does the
+// typical-corner-trained refinement hold up under derated sign-off?
+// Rows are grouped by design, corners in fast/typical/slow order.
+type CornerMatrixResult struct {
+	Rows []CornerMatrixRow
+}
+
+// CornerMatrixStudy signs off each named design's baseline and refined
+// forests at the standard corner matrix. Refinement itself is the
+// cached single-corner run the paper's tables use — the study measures
+// how its gains translate to the derated corners, not a multi-corner
+// optimization.
+func (s *Suite) CornerMatrixStudy(names []string) (*CornerMatrixResult, error) {
+	corners := sta.DefaultCorners()
+	if err := s.BuildTSRuns(names); err != nil {
+		return nil, err
+	}
+	out := &CornerMatrixResult{}
+	for _, name := range names {
+		smp, err := s.Sample(name)
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := s.TSteiner(name)
+		if err != nil {
+			return nil, err
+		}
+		// A corner-reporting copy of the prepared config; the cached
+		// sample itself stays single-corner.
+		prep := *smp.Prepared
+		cfg := prep.Config
+		cfg.Corners = corners
+		prep.Config = cfg
+		s.logf("corner sign-off %s", name)
+		base, err := flow.Signoff(&prep, smp.Forest)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := flow.Signoff(&prep, res.Forest)
+		if err != nil {
+			return nil, err
+		}
+		if len(base.Corners) != len(corners) || len(ref.Corners) != len(corners) {
+			return nil, fmt.Errorf("exp: corner sign-off returned %d/%d rows, want %d",
+				len(base.Corners), len(ref.Corners), len(corners))
+		}
+		for ci := range corners {
+			out.Rows = append(out.Rows, CornerMatrixRow{
+				Name:     name,
+				Baseline: base.Corners[ci],
+				TSteiner: ref.Corners[ci],
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render writes the study as one table: per design × corner, the
+// baseline and TSteiner sign-off triples plus the hold count at that
+// corner.
+func (r *CornerMatrixResult) Render(w io.Writer) error {
+	t := report.Table{
+		Title: "Multi-corner sign-off: baseline vs TSteiner (typical-corner-trained)",
+		Header: []string{"Benchmark", "Corner",
+			"base WNS", "base TNS", "base Vios", "base Hold",
+			"ts WNS", "ts TNS", "ts Vios", "ts Hold"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.Baseline.Corner.Name,
+			report.F(row.Baseline.WNS, 3), report.F(row.Baseline.TNS, 1),
+			report.I(row.Baseline.Vios), report.I(row.Baseline.HoldVios),
+			report.F(row.TSteiner.WNS, 3), report.F(row.TSteiner.TNS, 1),
+			report.I(row.TSteiner.Vios), report.I(row.TSteiner.HoldVios))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,78 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"tsteiner/internal/sta"
+)
+
+// TestSignoffCornerMatrix checks the flow-level corner wiring: a config
+// with Corners set reports one row per corner, the typical row is
+// bitwise identical to the headline metrics, and derated corners order
+// as expected (slow never beats typical on WNS).
+func TestSignoffCornerMatrix(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Corners = sta.DefaultCorners()
+	p, err := PrepareBenchmark("spm", 1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Signoff(p, p.Forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corners) != len(cfg.Corners) {
+		t.Fatalf("got %d corner rows, want %d", len(rep.Corners), len(cfg.Corners))
+	}
+	var typ *sta.CornerMetrics
+	for i := range rep.Corners {
+		row := &rep.Corners[i]
+		if row.Corner.Name != cfg.Corners[i].Name {
+			t.Fatalf("row %d named %q, want %q", i, row.Corner.Name, cfg.Corners[i].Name)
+		}
+		if math.IsNaN(row.WNS) || math.IsNaN(row.TNS) {
+			t.Fatalf("corner %s: non-finite sign-off", row.Corner.Name)
+		}
+		if row.Corner.Name == "typical" {
+			typ = row
+		}
+	}
+	if typ == nil {
+		t.Fatal("no typical row")
+	}
+	// The typical corner is a pure 1.0-rescale: bitwise equal to the
+	// headline single-corner sign-off.
+	if typ.WNS != rep.WNS || typ.TNS != rep.TNS || typ.Vios != rep.Vios {
+		t.Fatalf("typical row (%v,%v,%d) != headline (%v,%v,%d)",
+			typ.WNS, typ.TNS, typ.Vios, rep.WNS, rep.TNS, rep.Vios)
+	}
+	var slow *sta.CornerMetrics
+	for i := range rep.Corners {
+		if rep.Corners[i].Corner.Name == "slow" {
+			slow = &rep.Corners[i]
+		}
+	}
+	if slow == nil {
+		t.Fatal("no slow row")
+	}
+	if slow.WNS > typ.WNS {
+		t.Fatalf("slow corner WNS %v better than typical %v", slow.WNS, typ.WNS)
+	}
+}
+
+// TestSignoffNoCornersNoRows pins the default: no Corners configured,
+// no corner rows reported.
+func TestSignoffNoCornersNoRows(t *testing.T) {
+	p, err := PrepareBenchmark("spm", 1.0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Signoff(p, p.Forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corners) != 0 {
+		t.Fatalf("got %d corner rows without Corners configured", len(rep.Corners))
+	}
+}

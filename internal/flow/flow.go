@@ -42,6 +42,12 @@ type Config struct {
 	// using a pre-routing STA pass (an extension beyond the CUGR-like
 	// baseline; off by default to match the paper's flow).
 	TimingDrivenRoute bool
+	// Corners lists the sign-off corners to report beyond the typical
+	// one: when non-empty, Signoff runs STA once per corner over the
+	// same extraction and fills Report.Corners with the matrix. The
+	// headline WNS/TNS/Vios stay the typical corner's, so single-corner
+	// consumers are unaffected.
+	Corners []sta.Corner
 	// Workers bounds the goroutines used by parallel flow stages
 	// (0 = GOMAXPROCS, 1 = serial). Results are byte-identical for every
 	// worker count; it only affects wall clock.
@@ -260,6 +266,11 @@ type Report struct {
 	WHS      float64
 	HoldVios int
 	SlewVios int
+	// Corners holds the multi-corner sign-off matrix (one row per
+	// Config.Corners entry, same order) when the run was configured for
+	// it; empty otherwise. The headline metrics above are always the
+	// typical corner's.
+	Corners []sta.CornerMetrics
 	// Workers records the resolved worker count the producing run was
 	// configured with, so wall-clock numbers (Table IV) can be annotated
 	// with the parallelism they were measured under.
@@ -381,6 +392,25 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 	if cfg.Obs.Enabled() {
 		cfg.Obs.Observe("flow.sta_allocs", float64(cfg.Obs.Mallocs()-staM0))
 	}
+	var cornerRows []sta.CornerMetrics
+	if len(cfg.Corners) > 0 {
+		if err := cfg.phaseGate("sta_corners"); err != nil {
+			return nil, nil, err
+		}
+		sp = root.Child("sta_corners")
+		t0 = time.Now()
+		cres, err := sta.RunCorners(d, rcs, cfg.Corners)
+		staSec += time.Since(t0).Seconds()
+		sp.End()
+		if err != nil {
+			return nil, nil, fmt.Errorf("flow: corner sta: %w", err)
+		}
+		cfg.Obs.Add("flow.sta_runs", int64(len(cfg.Corners)))
+		cornerRows = make([]sta.CornerMetrics, len(cres))
+		for i, cr := range cres {
+			cornerRows[i] = cr.CornerSummary()
+		}
+	}
 	rep := &Report{
 		WNS:           timing.WNS,
 		TNS:           timing.TNS,
@@ -396,6 +426,7 @@ func SignoffTiming(p *Prepared, f *rsmt.Forest) (*Report, *sta.Result, error) {
 		WHS:           timing.WHS,
 		HoldVios:      timing.HoldVios,
 		SlewVios:      timing.SlewVios,
+		Corners:       cornerRows,
 		Workers:       par.Workers(cfg.Workers),
 	}
 	cfg.Obs.Event("flow.signoff",

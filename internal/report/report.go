@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"tsteiner/internal/sta"
 )
 
 // Table is a simple titled grid.
@@ -77,6 +79,23 @@ func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
 
 // I formats an int.
 func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// CornerMatrix lays out a multi-corner sign-off matrix: one row per
+// corner with its derating scales and that corner's sign-off metrics.
+func CornerMatrix(title string, rows []sta.CornerMetrics) *Table {
+	t := &Table{
+		Title: title,
+		Header: []string{"corner", "delay x", "slew x", "clock x",
+			"WNS", "TNS", "vios", "WHS", "hold", "slew"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Corner.Name,
+			F(r.Corner.DelayScale, 2), F(r.Corner.SlewScale, 2), F(r.Corner.ClockScale, 2),
+			F(r.WNS, 4), F(r.TNS, 4), I(r.Vios),
+			F(r.WHS, 4), I(r.HoldVios), I(r.SlewVios))
+	}
+	return t
+}
 
 // Histogram renders a textual histogram: one line per bucket with a bar
 // proportional to the count (the Fig. 2 distribution view).

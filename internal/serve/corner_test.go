@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tsteiner/internal/sta"
+)
+
+// TestJobRequestCornerValidation: the Corners field follows the package's
+// request rules — per-corner validation, duplicate-name rejection, and
+// the per-job corner cap.
+func TestJobRequestCornerValidation(t *testing.T) {
+	base := func() *JobRequest {
+		return &JobRequest{ID: "c", Kind: KindSignoff, Design: json.RawMessage(`{}`)}
+	}
+	r := base()
+	r.Corners = sta.DefaultCorners()
+	r.Normalize()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("default corners rejected: %v", err)
+	}
+
+	r = base()
+	r.Corners = []sta.Corner{{Name: "", DelayScale: 1, SlewScale: 1, ClockScale: 1}}
+	if err := r.Validate(); err == nil {
+		t.Fatal("unnamed corner passed Validate")
+	}
+
+	r = base()
+	r.Corners = []sta.Corner{sta.TypicalCorner(), sta.TypicalCorner()}
+	if err := r.Validate(); err == nil {
+		t.Fatal("duplicate corner passed Validate")
+	}
+
+	r = base()
+	for i := 0; i <= maxCorners; i++ {
+		c := sta.TypicalCorner()
+		c.Name = string(rune('a' + i))
+		r.Corners = append(r.Corners, c)
+	}
+	if err := r.Validate(); err == nil {
+		t.Fatalf("%d corners passed Validate (max %d)", len(r.Corners), maxCorners)
+	}
+}
+
+// TestServeCornerJobReportsMatrix runs a sharded refine job with the
+// standard corner matrix through the runner and checks the result carries
+// per-corner rows for both the baseline and refined forests, with the
+// typical row bitwise equal to the headline metrics.
+func TestServeCornerJobReportsMatrix(t *testing.T) {
+	d := designJSON(t, 5)
+	corners := sta.DefaultCorners()
+	req := &JobRequest{ID: "corner-shard", Kind: KindRefine, Design: d,
+		Seed: 7, Iters: 3, Shards: 2, Corners: corners}
+	sp, _ := runSerial(t, []*JobRequest{req})
+	res, err := sp.ReadResult("corner-shard")
+	if err != nil || res == nil {
+		t.Fatalf("result: %v", err)
+	}
+	check := func(label string, rows []sta.CornerMetrics, head Metrics) {
+		if len(rows) != len(corners) {
+			t.Fatalf("%s: %d corner rows, want %d", label, len(rows), len(corners))
+		}
+		for i, row := range rows {
+			if row.Corner.Name != corners[i].Name {
+				t.Fatalf("%s row %d named %q, want %q", label, i, row.Corner.Name, corners[i].Name)
+			}
+			if row.Corner.Name == "typical" && (row.WNS != head.WNS || row.TNS != head.TNS) {
+				t.Fatalf("%s typical row (%v,%v) != headline (%v,%v)",
+					label, row.WNS, row.TNS, head.WNS, head.TNS)
+			}
+		}
+	}
+	check("baseline", res.BaselineCorners, res.Baseline)
+	if res.Refined == nil {
+		t.Fatal("no refined metrics")
+	}
+	check("refined", res.RefinedCorners, *res.Refined)
+}

@@ -101,6 +101,7 @@ func (rn *Runner) Run(req *JobRequest) (*JobResult, error) {
 	cfg.Obs = jobSink
 	cfg.Budget = budget
 	cfg.Fault = rn.Fault
+	cfg.Corners = req.Corners
 
 	var prepared *flow.Prepared
 	if hasPlacement(d) {
@@ -117,11 +118,12 @@ func (rn *Runner) Run(req *JobRequest) (*JobResult, error) {
 	}
 
 	res := &JobResult{
-		ID:       req.ID,
-		Kind:     req.Kind,
-		Design:   d.Name,
-		Seed:     req.Seed,
-		Baseline: metricsOf(rep),
+		ID:              req.ID,
+		Kind:            req.Kind,
+		Design:          d.Name,
+		Seed:            req.Seed,
+		Baseline:        metricsOf(rep),
+		BaselineCorners: rep.Corners,
 	}
 
 	finalForest := prepared.Forest
@@ -134,6 +136,7 @@ func (rn *Runner) Run(req *JobRequest) (*JobResult, error) {
 		sopt.Shards = req.Shards
 		sopt.Workers = req.Workers
 		sopt.Rounds = req.Iters
+		sopt.Corners = req.Corners
 		sres, err := shard.Refine(prepared, sopt)
 		if err != nil {
 			return nil, fmt.Errorf("serve: job %s: sharded refine: %w", req.ID, err)
@@ -154,6 +157,7 @@ func (rn *Runner) Run(req *JobRequest) (*JobResult, error) {
 		}
 		ref := metricsOf(rep2)
 		res.Refined = &ref
+		res.RefinedCorners = rep2.Corners
 		finalForest = sres.Forest
 	} else if req.Kind == KindTrain || req.Kind == KindRefine {
 		smp := &train.Sample{
@@ -208,6 +212,7 @@ func (rn *Runner) Run(req *JobRequest) (*JobResult, error) {
 			}
 			ref := metricsOf(rep2)
 			res.Refined = &ref
+			res.RefinedCorners = rep2.Corners
 			finalForest = rres.Forest
 		}
 		// A budget that expired during training (clean early stop, no
@@ -318,6 +323,10 @@ func (rn *Runner) refine(req *JobRequest, m *gnn.Model, smp *train.Sample, prepa
 	opt.Fault = rn.Fault
 	opt.CheckpointPath = ckpt
 	opt.Resume = fileExists(ckpt)
+	if len(req.Corners) > 0 {
+		opt.Corners = core.CornerTermsFor(req.Corners)
+		opt.HoldGuard = true
+	}
 
 	interrupted := false
 	if rn.Fault.Fire("serve.kill.refine") {

@@ -25,7 +25,7 @@
 //     the job again, so a client retry storm never double-runs work.
 //   - Train once, refine many: trained evaluators are cached in memory
 //     and on disk, keyed by a design-family hash (canonical design bytes
-//     + the training inputs), with singleflight so concurrent jobs of
+//   - the training inputs), with singleflight so concurrent jobs of
 //     one family train exactly once.
 //
 // Determinism note: job *artifacts* (result.json, forest.json) are pure
@@ -40,6 +40,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+
+	"tsteiner/internal/sta"
 )
 
 // Job kinds. Signoff runs the baseline pipeline (place if needed, Steiner,
@@ -110,6 +112,14 @@ type JobRequest struct {
 	// (JobResult.Cutoff); budget expiry during a flow phase fails the
 	// job cleanly with a typed reason.
 	DeadlineMS int64
+
+	// Corners lists extra sign-off corners. When set, the job's sign-off
+	// runs report the per-corner matrix (JobResult.BaselineCorners /
+	// RefinedCorners), GNN refinement optimizes the matrix penalty under
+	// the hold guard, and sharded refinement takes its round verdicts on
+	// the matrix. Empty = typical corner only; corners do not enter the
+	// model-family hash because training labels stay typical-corner.
+	Corners []sta.Corner `json:",omitempty"`
 }
 
 // Normalize applies the documented defaults in place: Seed 0 → 2023,
@@ -150,10 +160,11 @@ func (r *JobRequest) Normalize() {
 
 // maxima keeping one hostile request from monopolizing the server.
 const (
-	maxIDLen  = 64
-	maxEpochs = 1 << 20
-	maxIters  = 1 << 20
-	maxShards = 1 << 12
+	maxIDLen   = 64
+	maxEpochs  = 1 << 20
+	maxIters   = 1 << 20
+	maxShards  = 1 << 12
+	maxCorners = 8
 )
 
 // Validate rejects malformed requests with a descriptive error. The ID
@@ -197,6 +208,19 @@ func (r *JobRequest) Validate() error {
 	if r.Shards > maxShards {
 		return fmt.Errorf("serve: job %s asks for %d shards (max %d)", r.ID, r.Shards, maxShards)
 	}
+	if len(r.Corners) > maxCorners {
+		return fmt.Errorf("serve: job %s asks for %d corners (max %d)", r.ID, len(r.Corners), maxCorners)
+	}
+	seen := make(map[string]bool, len(r.Corners))
+	for _, c := range r.Corners {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("serve: job %s: %w", r.ID, err)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("serve: job %s: duplicate corner %q", r.ID, c.Name)
+		}
+		seen[c.Name] = true
+	}
 	return nil
 }
 
@@ -223,21 +247,27 @@ type JobResult struct {
 
 	// Baseline is the sign-off of the unrefined design (every kind).
 	Baseline Metrics
+	// BaselineCorners is the baseline's multi-corner sign-off matrix
+	// (requests with Corners set only).
+	BaselineCorners []sta.CornerMetrics `json:",omitempty"`
 
 	// Evaluator facts (train and refine kinds).
-	ModelHash    string  `json:",omitempty"`
-	R2All        float64 `json:",omitempty"`
-	R2Ends       float64 `json:",omitempty"`
-	FamilyHash   string  `json:",omitempty"`
+	ModelHash  string  `json:",omitempty"`
+	R2All      float64 `json:",omitempty"`
+	R2Ends     float64 `json:",omitempty"`
+	FamilyHash string  `json:",omitempty"`
 
 	// Refinement facts (refine kind).
-	Refined          *Metrics `json:",omitempty"`
-	Iterations       int      `json:",omitempty"`
-	ConvergedByRatio bool     `json:",omitempty"`
-	EvalInitWNS      float64  `json:",omitempty"`
-	EvalBestWNS      float64  `json:",omitempty"`
-	EvalInitTNS      float64  `json:",omitempty"`
-	EvalBestTNS      float64  `json:",omitempty"`
+	Refined *Metrics `json:",omitempty"`
+	// RefinedCorners is the refined forest's multi-corner sign-off
+	// matrix (refine requests with Corners set only).
+	RefinedCorners   []sta.CornerMetrics `json:",omitempty"`
+	Iterations       int                 `json:",omitempty"`
+	ConvergedByRatio bool                `json:",omitempty"`
+	EvalInitWNS      float64             `json:",omitempty"`
+	EvalBestWNS      float64             `json:",omitempty"`
+	EvalInitTNS      float64             `json:",omitempty"`
+	EvalBestTNS      float64             `json:",omitempty"`
 
 	// Degradation facts: a budget cutoff or exhausted numerical
 	// recoveries returns the best solution so far, recorded here —
@@ -255,7 +285,7 @@ type JobStatus struct {
 	ID       string
 	Kind     string
 	State    string
-	Error    string     `json:",omitempty"`
+	Error    string `json:",omitempty"`
 	Attempts int
 	Result   *JobResult `json:",omitempty"`
 }

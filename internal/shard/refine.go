@@ -38,6 +38,12 @@ func Refine(p *flow.Prepared, opt Options) (*Result, error) {
 	if opt.StepFrac <= 0 {
 		opt.StepFrac = DefaultOptions().StepFrac
 	}
+	corners, multi, err := cornerSet(opt.Corners)
+	if err != nil {
+		return nil, err
+	}
+	primary := primaryCorner(corners)
+	holdIdx := holdCornerIdx(corners)
 	root := cfg.Obs.Start("shard.refine")
 	defer root.End()
 
@@ -66,21 +72,30 @@ func Refine(p *flow.Prepared, opt Options) (*Result, error) {
 		sp.End()
 		return nil, fmt.Errorf("shard: initial extract: %w", err)
 	}
-	T, err := sta.Run(d, rcs)
+	Ts, err := sta.RunCorners(d, rcs, corners)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("shard: initial sta: %w", err)
 	}
-	var rt *sta.Retimer
+	// T is the primary corner's view — candidate selection and proposals
+	// read its slacks; the verdict reads the whole matrix.
+	T := Ts[primary]
+	var rts []*sta.Retimer
 	if !opt.Reference {
-		if rt, err = sta.NewRetimer(d); err != nil {
-			return nil, fmt.Errorf("shard: retimer: %w", err)
+		rts = make([]*sta.Retimer, len(corners))
+		for i, c := range corners {
+			if rts[i], err = sta.NewCornerRetimer(d, c); err != nil {
+				return nil, fmt.Errorf("shard: retimer: %w", err)
+			}
 		}
 	}
 
 	res := &Result{
 		InitWNS: T.WNS, InitTNS: T.TNS, InitVios: T.Vios,
 		InitSec: time.Since(t0).Seconds(),
+	}
+	if multi {
+		res.InitCorners = cornerRows(Ts)
 	}
 	step := opt.StepFrac
 	consecRejects := 0
@@ -162,7 +177,7 @@ func Refine(p *flow.Prepared, opt Options) (*Result, error) {
 		// re-time, or the full-pipeline Reference.
 		var (
 			resR    *route.Result
-			T2      *sta.Result
+			T2s     []*sta.Result
 			gNext   *grid.Grid
 			rcs2    []rc.NetRC
 			saved   []savedRC
@@ -181,7 +196,7 @@ func Refine(p *flow.Prepared, opt Options) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("shard: round %d extract: %w", round, err)
 			}
-			T2, err = sta.Run(d, rcs2)
+			T2s, err = sta.RunCorners(d, rcs2, corners)
 			if err != nil {
 				return nil, fmt.Errorf("shard: round %d sta: %w", round, err)
 			}
@@ -203,17 +218,27 @@ func Refine(p *flow.Prepared, opt Options) (*Result, error) {
 					return nil, fmt.Errorf("shard: round %d extract net %d: %w", round, ni, err)
 				}
 			}
-			T2, err = rt.Retime(T, rcs, refresh)
-			if err != nil {
-				return nil, fmt.Errorf("shard: round %d retime: %w", round, err)
+			T2s = make([]*sta.Result, len(corners))
+			for ci := range corners {
+				T2s[ci], err = rts[ci].Retime(Ts[ci], rcs, refresh)
+				if err != nil {
+					return nil, fmt.Errorf("shard: round %d retime: %w", round, err)
+				}
 			}
 			res.RetimedNets += len(refresh)
 		}
 
 		// Global verdict on sign-off bits: both paths computed the same
-		// WNS/TNS down to the last ulp, so they take the same branch.
-		if T2.WNS > T.WNS || (T2.WNS == T.WNS && T2.TNS >= T.TNS) {
-			rnd, prev, T = next, resR, T2
+		// per-corner WNS/TNS down to the last ulp, so they take the same
+		// branch. A matrix win that worsens the hold count at the
+		// min-DelayScale corner is vetoed (multi-corner runs only).
+		accept := matrixBetter(T2s, Ts)
+		if accept && multi && T2s[holdIdx].HoldVios > Ts[holdIdx].HoldVios {
+			accept = false
+			res.HoldRejects++
+		}
+		if accept {
+			rnd, prev, Ts, T = next, resR, T2s, T2s[primary]
 			if opt.Reference {
 				g, rcs = gNext, rcs2
 			}
@@ -249,6 +274,9 @@ func Refine(p *flow.Prepared, opt Options) (*Result, error) {
 
 	res.Forest = cont
 	res.WNS, res.TNS, res.Vios = T.WNS, T.TNS, T.Vios
+	if multi {
+		res.Corners = cornerRows(Ts)
+	}
 	res.WirelengthDBU, res.Vias, res.Overflow = prev.WirelengthDBU, prev.Vias, prev.Overflow
 	res.RefineSec = time.Since(t1).Seconds()
 	return res, nil

@@ -75,6 +75,14 @@ type Options struct {
 	SlackThreshold float64
 	// Boundary selects the cross-strip net policy.
 	Boundary BoundaryPolicy
+	// Corners enables multi-corner sign-off: STA runs at every listed
+	// corner, the round verdict compares worst-corner WNS then
+	// corner-summed TNS, and an accepted round is vetoed if it raises
+	// the hold-violation count at the minimum-DelayScale corner.
+	// Candidate selection and proposals read the primary
+	// (maximum-DelayScale) corner's slacks. Empty reproduces the
+	// single-typical-corner engine byte for byte.
+	Corners []sta.Corner
 	// Reference switches to the unsharded oracle path: full re-route on
 	// a fresh grid, full RC extraction and full STA every round. Slow,
 	// but the sharded path must match it bit for bit.
@@ -114,12 +122,21 @@ type Result struct {
 	Vias          int
 	Overflow      int
 
+	// Per-corner sign-off rows (initial and final, in Options.Corners
+	// order). Empty for single-corner runs. The headline WNS/TNS/Vios
+	// above are the primary (maximum-DelayScale) corner's.
+	InitCorners []sta.CornerMetrics
+	Corners     []sta.CornerMetrics
+
 	// Rounds executed, accept/reject split, and the number of nets whose
 	// rounded geometry changed in accepted rounds.
 	Rounds    int
 	Accepted  int
 	Rejected  int
 	MovedNets int
+	// HoldRejects counts matrix-winning rounds vetoed by the hold
+	// non-regression check (multi-corner runs only).
+	HoldRejects int
 
 	// RetimedNets counts the nets re-extracted and re-timed across all
 	// rounds — the workload the windowed path pays instead of

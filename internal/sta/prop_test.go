@@ -119,3 +119,40 @@ func TestPropClockPeriodMonotone(t *testing.T) {
 		return nil
 	})
 }
+
+// TestPropCornerMonotone is the corner-scaling property from the
+// multi-corner issue: on random designs, derating is monotone — the
+// slow corner's arrival at every reachable pin dominates typical,
+// which dominates fast (delays scale up and the delay tables are
+// monotone in slew), and the setup summaries order the same way:
+// WNS_slow ≤ WNS_typ ≤ WNS_fast.
+func TestPropCornerMonotone(t *testing.T) {
+	check.RunCfg(t, propCfg, check.DesignSpecs(), func(spec check.DesignSpec) error {
+		d, rcs, typ, err := timed(spec)
+		if err != nil {
+			return err
+		}
+		results, err := sta.RunCorners(d, rcs, sta.DefaultCorners()) // fast, typical, slow
+		if err != nil {
+			return err
+		}
+		fast, slow := results[0], results[2]
+		for i := range typ.Arrival {
+			if fast.Arrival[i] > typ.Arrival[i]+1e-12 || typ.Arrival[i] > slow.Arrival[i]+1e-12 {
+				return fmt.Errorf("pin %d: arrivals not monotone fast %.12g / typ %.12g / slow %.12g",
+					i, fast.Arrival[i], typ.Arrival[i], slow.Arrival[i])
+			}
+		}
+		if slow.WNS > typ.WNS+1e-12 || typ.WNS > fast.WNS+1e-12 {
+			return fmt.Errorf("WNS not monotone: slow %.12g / typ %.12g / fast %.12g",
+				slow.WNS, typ.WNS, fast.WNS)
+		}
+		// The embedded typical result must be the identity analysis.
+		for i := range typ.EndpointSlack {
+			if math.Float64bits(results[1].EndpointSlack[i]) != math.Float64bits(typ.EndpointSlack[i]) {
+				return fmt.Errorf("typical corner diverged from sta.Run at endpoint %d", i)
+			}
+		}
+		return nil
+	})
+}

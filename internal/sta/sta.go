@@ -26,6 +26,10 @@ const (
 
 // Result holds the full timing annotation of a design.
 type Result struct {
+	// Corner records the derating the annotation was computed under;
+	// Run produces the typical (identity) corner.
+	Corner Corner
+
 	// Arrival and Slew are per-pin (ns); pins unreachable from any
 	// startpoint keep zero arrival.
 	Arrival []float64
@@ -69,9 +73,17 @@ type Result struct {
 	argmaxPred []netlist.PinID
 }
 
-// Run performs the PERT traversal. rcs must be indexed by net ID (as
-// produced by the rc package).
+// Run performs the PERT traversal at the typical (identity) corner.
+// rcs must be indexed by net ID (as produced by the rc package).
 func Run(d *netlist.Design, rcs []rc.NetRC) (*Result, error) {
+	return run(d, rcs, TypicalCorner())
+}
+
+// run is the corner-parameterized PERT traversal shared by Run,
+// RunCorner and RunCorners. Every derating is a plain multiplication,
+// so the typical corner (all scales exactly 1.0) cannot perturb a
+// single bit of the annotation.
+func run(d *netlist.Design, rcs []rc.NetRC, c Corner) (*Result, error) {
 	if len(rcs) != len(d.Nets) {
 		return nil, fmt.Errorf("sta: %d RC views for %d nets", len(rcs), len(d.Nets))
 	}
@@ -81,6 +93,7 @@ func Run(d *netlist.Design, rcs []rc.NetRC) (*Result, error) {
 	}
 	n := d.NumPins()
 	res := &Result{
+		Corner:     c,
 		Arrival:    make([]float64, n),
 		Slew:       make([]float64, n),
 		ArrivalMin: make([]float64, n),
@@ -91,7 +104,7 @@ func Run(d *netlist.Design, rcs []rc.NetRC) (*Result, error) {
 	}
 	// Boundary conditions at startpoints.
 	for _, pid := range d.PIs {
-		res.Slew[pid] = PISlew
+		res.Slew[pid] = PISlew * c.SlewScale
 	}
 	for ci := range d.Cells {
 		inst := d.Cell(netlist.CellID(ci))
@@ -145,9 +158,10 @@ func regBoundary(d *netlist.Design, rcs []rc.NetRC, res *Result, inst *netlist.I
 		return fmt.Errorf("sta: register %s lacks CK arc", inst.Name)
 	}
 	load := driverLoad(d, rcs, q)
-	res.Arrival[q] = arc.Delay.Lookup(ClockSlew, load)
+	clockSlew := ClockSlew * res.Corner.SlewScale
+	res.Arrival[q] = arc.Delay.Lookup(clockSlew, load) * res.Corner.DelayScale
 	res.ArrivalMin[q] = res.Arrival[q]
-	res.Slew[q] = arc.Slew.Lookup(ClockSlew, load)
+	res.Slew[q] = arc.Slew.Lookup(clockSlew, load) * res.Corner.SlewScale
 	return nil
 }
 
@@ -169,9 +183,10 @@ func forwardPin(d *netlist.Design, rcs []rc.NetRC, res *Result, pid netlist.PinI
 		net := d.Net(p.Net)
 		si := sinkIndex(net, pid)
 		nrc := &rcs[p.Net]
-		res.Arrival[pid] = res.Arrival[net.Driver] + nrc.SinkDelay[si]
-		res.ArrivalMin[pid] = res.ArrivalMin[net.Driver] + nrc.SinkDelay[si]
-		res.Slew[pid] = rc.CombineSlew(res.Slew[net.Driver], nrc.SinkSlewAdd[si])
+		wireDelay := nrc.SinkDelay[si] * res.Corner.DelayScale
+		res.Arrival[pid] = res.Arrival[net.Driver] + wireDelay
+		res.ArrivalMin[pid] = res.ArrivalMin[net.Driver] + wireDelay
+		res.Slew[pid] = rc.CombineSlew(res.Slew[net.Driver], nrc.SinkSlewAdd[si]*res.Corner.SlewScale)
 		res.argmaxPred[pid] = net.Driver
 	default:
 		// Cell output pin.
@@ -189,7 +204,7 @@ func forwardPin(d *netlist.Design, rcs []rc.NetRC, res *Result, pid netlist.PinI
 			if arc == nil {
 				continue
 			}
-			delay := arc.Delay.Lookup(res.Slew[in], load)
+			delay := arc.Delay.Lookup(res.Slew[in], load) * res.Corner.DelayScale
 			a := res.Arrival[in] + delay
 			if a > worst {
 				worst = a
@@ -198,7 +213,7 @@ func forwardPin(d *netlist.Design, rcs []rc.NetRC, res *Result, pid netlist.PinI
 			if am := res.ArrivalMin[in] + delay; am < earliest {
 				earliest = am
 			}
-			if s := arc.Slew.Lookup(res.Slew[in], load); s > worstSlew {
+			if s := arc.Slew.Lookup(res.Slew[in], load) * res.Corner.SlewScale; s > worstSlew {
 				worstSlew = s
 			}
 		}
@@ -224,10 +239,10 @@ func endpointMetrics(d *netlist.Design, res *Result) {
 	res.TNS = 0
 	res.Vios = 0
 	for i, e := range res.Endpoints {
-		required := d.ClockPeriod
+		required := d.ClockPeriod * res.Corner.ClockScale
 		p := d.Pin(e)
 		if !p.IsPort {
-			required -= d.Cell(p.Cell).Master.Setup
+			required -= d.Cell(p.Cell).Master.Setup * res.Corner.DelayScale
 		}
 		slack := required - res.Arrival[e]
 		res.EndpointSlack[i] = slack
@@ -277,7 +292,7 @@ func holdChecks(d *netlist.Design, res *Result) {
 		if d.Pin(dPin).Net == netlist.NoID {
 			continue
 		}
-		hs := res.ArrivalMin[dPin] - inst.Master.Hold
+		hs := res.ArrivalMin[dPin] - inst.Master.Hold*res.Corner.DelayScale
 		if hs < res.WHS {
 			res.WHS = hs
 		}
@@ -301,7 +316,7 @@ func backwardMin(d *netlist.Design, rcs []rc.NetRC, res *Result, pid netlist.Pin
 		net := d.Net(p.Net)
 		nrc := &rcs[p.Net]
 		for si, s := range net.Sinks {
-			if r := res.Required[s] - nrc.SinkDelay[si]; r < res.Required[pid] {
+			if r := res.Required[s] - nrc.SinkDelay[si]*res.Corner.DelayScale; r < res.Required[pid] {
 				res.Required[pid] = r
 			}
 		}
@@ -312,7 +327,7 @@ func backwardMin(d *netlist.Design, rcs []rc.NetRC, res *Result, pid netlist.Pin
 		if !inst.Master.Sequential {
 			if arc := inst.Master.ArcFrom(d.MasterPinName(pid)); arc != nil {
 				out := inst.OutputPin()
-				delay := arc.Delay.Lookup(res.Slew[pid], driverLoad(d, rcs, out))
+				delay := arc.Delay.Lookup(res.Slew[pid], driverLoad(d, rcs, out)) * res.Corner.DelayScale
 				if r := res.Required[out] - delay; r < res.Required[pid] {
 					res.Required[pid] = r
 				}

@@ -38,6 +38,7 @@ const fullFrac = 0.25
 // for the cones they touch.
 type Retimer struct {
 	d       *netlist.Design
+	corner  Corner
 	order   []netlist.PinID
 	topoIdx []int32
 	fanout  [][]netlist.PinID
@@ -49,8 +50,19 @@ type Retimer struct {
 	heap    []netlist.PinID
 }
 
-// NewRetimer builds the cached traversal structures for d.
+// NewRetimer builds the cached traversal structures for d at the
+// typical (identity) corner.
 func NewRetimer(d *netlist.Design) (*Retimer, error) {
+	return NewCornerRetimer(d, TypicalCorner())
+}
+
+// NewCornerRetimer builds a Retimer whose windowed re-timings apply
+// the corner's derating; Retime is then bitwise equal to a full
+// RunCorner at the same corner (the kernels are shared).
+func NewCornerRetimer(d *netlist.Design, c Corner) (*Retimer, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	order, err := d.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -58,6 +70,7 @@ func NewRetimer(d *netlist.Design) (*Retimer, error) {
 	n := d.NumPins()
 	rt := &Retimer{
 		d:           d,
+		corner:      c,
 		order:       order,
 		topoIdx:     make([]int32, n),
 		fanout:      d.FanoutEdges(),
@@ -86,6 +99,9 @@ func (rt *Retimer) Retime(prev *Result, rcs []rc.NetRC, changed []netlist.NetID)
 	if len(rcs) != len(d.Nets) {
 		return nil, fmt.Errorf("sta: %d RC views for %d nets", len(rcs), len(d.Nets))
 	}
+	if prev.Corner != rt.corner {
+		return nil, fmt.Errorf("sta: retimer corner %q given a %q-corner result", rt.corner.Name, prev.Corner.Name)
+	}
 	if len(changed) == 0 {
 		return prev, nil
 	}
@@ -95,7 +111,7 @@ func (rt *Retimer) Retime(prev *Result, rcs []rc.NetRC, changed []netlist.NetID)
 		}
 	}
 	if float64(len(changed)) >= fullFrac*float64(len(d.Nets)) {
-		return Run(d, rcs)
+		return run(d, rcs, rt.corner)
 	}
 
 	res := prev.clone()
@@ -203,6 +219,7 @@ func (rt *Retimer) Retime(prev *Result, rcs []rc.NetRC, changed []netlist.NetID)
 // slices are rebuilt from scratch by endpointMetrics.
 func (r *Result) clone() *Result {
 	c := &Result{
+		Corner:      r.Corner,
 		Arrival:     append([]float64(nil), r.Arrival...),
 		Slew:        append([]float64(nil), r.Slew...),
 		ArrivalMin:  append([]float64(nil), r.ArrivalMin...),

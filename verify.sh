@@ -6,7 +6,9 @@
 # resume, panic containment), the property/differential-oracle gate,
 # the scaled-design gates (shard-count byte-identity under -race,
 # windowed-STA oracle, streaming loader, and the BENCH_scale.json
-# sub-linearity re-measurement), a
+# sub-linearity re-measurement), the multi-corner sign-off gates
+# (per-corner fixpoint oracle, corner properties, and the multi-corner
+# shard determinism matrix under -race), a
 # short native-fuzz smoke over the byte-level decoders, the workspace
 # and batched-forward byte-identity + benchmark-replay gates, the
 # allocation-regression gate against BENCH_refine.json (including the
@@ -36,6 +38,14 @@ go test -race -run 'ObsServer|ConcurrentScrapes' ./internal/obs ./internal/exp
 
 # Property-based tests + brute-force differential oracles.
 go test -run 'Prop|Oracle' ./...
+
+# Multi-corner sign-off gates: the per-corner fixpoint oracle on all ten
+# benchmarks, typical-corner bitwise identity, the matrix-penalty
+# refiner (hold guard, fault matrix), and the corner property tests —
+# then the multi-corner shard determinism matrix under the race
+# detector (byte-identity at any shard/worker count).
+go test -run 'Corner|MultiCorner' ./...
+go test -race -run 'MultiCornerDeterminism|PropCornerMonotone|CornerTypical' ./internal/shard ./internal/sta
 
 # Scaled-design gates: the shard-count/worker-count byte-identity matrix
 # (incremental path vs the full-pipeline Reference), the windowed-STA
